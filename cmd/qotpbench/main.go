@@ -1,0 +1,66 @@
+// Command qotpbench runs the paper-reproduction experiments (E1–E12, mapping
+// to Table 2 and the extended figures — see DESIGN.md §6) and prints
+// paper-style result tables.
+//
+// Usage:
+//
+//	qotpbench -list
+//	qotpbench -experiment E3
+//	qotpbench -all -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"github.com/exploratory-systems/qotp/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "", "experiment id to run (E1..E12)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		scale = flag.Int("scale", 1, "workload scale multiplier (batches x batch size)")
+	)
+	flag.Parse()
+
+	sc := bench.DefaultScale
+	sc.BatchSize *= *scale
+	if sc.Threads > runtime.GOMAXPROCS(0)*4 {
+		sc.Threads = runtime.GOMAXPROCS(0) * 4
+	}
+
+	switch {
+	case *list:
+		for _, e := range bench.Experiments(sc) {
+			fmt.Printf("%-4s %s\n     expectation: %s\n", e.ID, e.Artifact, e.Expect)
+		}
+	case *all:
+		for _, e := range bench.Experiments(sc) {
+			report, _, err := bench.RunExperiment(e)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qotpbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println(report)
+		}
+	case *expID != "":
+		e, err := bench.Find(*expID, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qotpbench:", err)
+			os.Exit(1)
+		}
+		report, _, err := bench.RunExperiment(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qotpbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(report)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,63 @@
+// Bank: run the same contended money-transfer workload through every
+// protocol in the library and verify the serializability invariants (total
+// balance conserved, no negative balances) hold for each — while the
+// abort/retry profiles differ exactly as the paper predicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/exploratory-systems/qotp"
+)
+
+func main() {
+	const (
+		partitions = 4
+		accounts   = 512
+		initial    = 200
+		batches    = 10
+		batchSize  = 2000
+	)
+
+	fmt.Printf("%-12s %12s %10s %10s %10s   %s\n",
+		"protocol", "committed", "aborts", "retries", "total$", "invariants")
+	for _, proto := range qotp.Protocols() {
+		gen, err := qotp.NewBank(qotp.BankConfig{
+			Accounts: accounts, InitialBalance: initial, MaxTransfer: 150,
+			Partitions: partitions, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := qotp.Open(gen, partitions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := qotp.New(proto, db, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for b := 0; b < batches; b++ {
+			if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+				log.Fatalf("%s: %v", proto, err)
+			}
+		}
+		snap := eng.Stats().Snap(1)
+		total := qotp.BankTotal(db)
+		ok := "OK"
+		if total != uint64(accounts*initial) {
+			ok = fmt.Sprintf("VIOLATED (total %d != %d)", total, accounts*initial)
+		}
+		if minv := qotp.BankMin(db); minv < 0 {
+			ok = fmt.Sprintf("VIOLATED (negative balance %d)", minv)
+		}
+		fmt.Printf("%-12s %12d %10d %10d %10d   %s\n",
+			proto, snap.Committed, snap.UserAborts, snap.Retries, total, ok)
+		eng.Close()
+	}
+	fmt.Println("\nnote: all deterministic engines commit/abort the exact same transactions")
+	fmt.Println("(identical counts above — serial-order semantics). Non-deterministic engines")
+	fmt.Println("retry on CC conflicts; speculative quecc's retries are cascade repairs from")
+	fmt.Println("balance checks that read speculative state (paper §3.2, Table 1).")
+}

@@ -1,0 +1,65 @@
+// Quickstart: open a database, run one batch through the queue-oriented
+// engine, and print the two-phase flow of the paper's Figure 1 (planning
+// into priority queues, queue-oriented execution, batch commit).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/exploratory-systems/qotp"
+)
+
+func main() {
+	// A small YCSB-style table: 8 partitions, zipfian access.
+	gen, err := qotp.NewYCSB(qotp.YCSBConfig{
+		Records: 8192, Partitions: 8, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMWRatio: 0.25, Theta: 0.9, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := qotp.Open(gen, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := qotp.NewQueCC(db, qotp.QueCCOptions{
+		Planners: 2, Executors: 4,
+		Mechanism: qotp.Speculative, Isolation: qotp.Serializable,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	fmt.Println("queue-oriented transaction processing — Figure 1 flow")
+	fmt.Println()
+	fmt.Println("  [clients] --batch--> [2 planners] --priority queues--> [4 executors] --batch commit-->")
+	fmt.Println()
+
+	const batchSize = 5000
+	before := qotp.StateHash(db)
+	batch := gen.NextBatch(batchSize)
+	fmt.Printf("phase 0  batch formed:      %d transactions (%d fragments)\n", len(batch), countFrags(batch))
+	if err := eng.ExecBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	snap := eng.Stats().Snap(1)
+	fmt.Printf("phase 1  planning:          fragments routed into per-partition priority queues (%.2fms)\n",
+		float64(snap.PlanNs)/1e6)
+	fmt.Printf("phase 2  execution:         queues drained in priority order, zero locks (%.2fms)\n",
+		float64(snap.ExecNs)/1e6)
+	fmt.Printf("commit   batch epoch advanced: %d committed, %d aborted by logic\n",
+		snap.Committed, snap.UserAborts)
+	fmt.Printf("state    hash %x -> %x (deterministic: same input batch always yields this hash)\n",
+		before, qotp.StateHash(db))
+}
+
+func countFrags(batch []*qotp.Txn) int {
+	n := 0
+	for _, t := range batch {
+		n += len(t.Frags)
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+// Package bench is the experiment harness: it builds a workload generator, a
+// store (or a simulated cluster), and an engine from a declarative Spec,
+// drives a fixed number of batches, and reports a metrics snapshot. The
+// named experiments in experiments.go regenerate every table and figure of
+// the paper's evaluation (see DESIGN.md §6 for the index).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/calvin"
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/dist"
+	"github.com/exploratory-systems/qotp/internal/engine"
+	"github.com/exploratory-systems/qotp/internal/hstore"
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/mvto"
+	"github.com/exploratory-systems/qotp/internal/silo"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/tictoc"
+	"github.com/exploratory-systems/qotp/internal/twopl"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/bank"
+	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// Spec declares one benchmark run.
+type Spec struct {
+	// Engine selects the protocol: quecc, quecc-cons, quecc-rc, hstore,
+	// calvin, 2pl-nowait, 2pl-waitdie, silo, tictoc, mvto, quecc-d,
+	// calvin-d, hstore-d.
+	Engine string
+	// Workload selects the generator: ycsb, tpcc, bank.
+	Workload string
+	// YCSB / TPCC / Bank hold the workload parameters (the one matching
+	// Workload is used; Partitions fields are filled in by Run).
+	YCSB ycsb.Config
+	TPCC tpcc.Config
+	Bank bank.Config
+	// Partitions is the store partition count (defaults: 2x Threads for
+	// YCSB/bank; TPC-C forces Partitions = Warehouses).
+	Partitions int
+	// Threads is the executor/worker count (default 4); Planners the
+	// planner count for queue engines (default 2).
+	Threads  int
+	Planners int
+	// Batches and BatchSize size the measured run (defaults 10 x 2000).
+	Batches   int
+	BatchSize int
+	// WarmupBatches run before measurement (default 2).
+	WarmupBatches int
+	// Nodes > 0 runs the distributed engines on a simulated cluster with
+	// PerHopLatency injected per message.
+	Nodes         int
+	PerHopLatency time.Duration
+}
+
+func (s *Spec) normalize() error {
+	if s.Threads == 0 {
+		s.Threads = 4
+	}
+	if s.Planners == 0 {
+		s.Planners = 2
+	}
+	if s.Batches == 0 {
+		s.Batches = 10
+	}
+	if s.BatchSize == 0 {
+		s.BatchSize = 2000
+	}
+	if s.WarmupBatches == 0 {
+		s.WarmupBatches = 2
+	}
+	if s.Workload == "tpcc" {
+		if s.TPCC.Warehouses == 0 {
+			s.TPCC.Warehouses = 4
+		}
+		s.Partitions = s.TPCC.Warehouses
+		s.TPCC.Partitions = s.TPCC.Warehouses
+	}
+	if s.Partitions == 0 {
+		s.Partitions = 2 * s.Threads
+	}
+	return nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec     Spec
+	Engine   string
+	Snapshot metrics.Snapshot
+}
+
+// buildGenerator constructs the generator for the spec.
+func buildGenerator(s *Spec) (workload.Generator, error) {
+	switch s.Workload {
+	case "ycsb":
+		cfg := s.YCSB
+		cfg.Partitions = s.Partitions
+		return ycsb.New(cfg)
+	case "tpcc":
+		cfg := s.TPCC
+		return tpcc.New(cfg)
+	case "bank":
+		cfg := s.Bank
+		cfg.Partitions = s.Partitions
+		return bank.New(cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown workload %q", s.Workload)
+	}
+}
+
+// buildCentral constructs a centralized engine over the loaded store.
+func buildCentral(s *Spec, store *storage.Store) (engine.Engine, error) {
+	switch s.Engine {
+	case "quecc":
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative})
+	case "quecc-cons":
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Conservative})
+	case "quecc-rc":
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Isolation: core.ReadCommitted})
+	case "hstore":
+		return hstore.New(store, s.Threads)
+	case "calvin":
+		return calvin.New(store, s.Threads)
+	case "2pl-nowait":
+		return twopl.New(store, twopl.NoWait, s.Threads)
+	case "2pl-waitdie":
+		return twopl.New(store, twopl.WaitDie, s.Threads)
+	case "silo":
+		return silo.New(store, s.Threads)
+	case "tictoc":
+		return tictoc.New(store, s.Threads)
+	case "mvto":
+		return mvto.New(store, s.Threads)
+	default:
+		return nil, fmt.Errorf("bench: unknown centralized engine %q", s.Engine)
+	}
+}
+
+// Run executes one spec and returns its result.
+func Run(s Spec) (Result, error) {
+	if err := s.normalize(); err != nil {
+		return Result{}, err
+	}
+	gen, err := buildGenerator(&s)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var eng engine.Engine
+	var tr cluster.Transport
+	if s.Nodes > 0 {
+		tr = cluster.NewChanTransport(s.Nodes, s.PerHopLatency)
+		defer tr.Close()
+		switch s.Engine {
+		case "quecc-d":
+			eng, err = dist.NewQueCCD(tr, gen, s.Partitions, s.Threads)
+		case "calvin-d":
+			eng, err = dist.NewCalvinD(tr, gen, s.Partitions, s.Threads, dist.ArgAbortEval)
+		case "hstore-d":
+			eng, err = dist.NewHStoreD(tr, gen, s.Partitions, s.Threads)
+		default:
+			return Result{}, fmt.Errorf("bench: engine %q is not distributed (set Nodes=0 or pick quecc-d/calvin-d/hstore-d)", s.Engine)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		store, serr := storage.Open(gen.StoreConfig(s.Partitions))
+		if serr != nil {
+			return Result{}, serr
+		}
+		if lerr := gen.Load(store); lerr != nil {
+			return Result{}, lerr
+		}
+		eng, err = buildCentral(&s, store)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	defer eng.Close()
+
+	for b := 0; b < s.WarmupBatches; b++ {
+		if err := eng.ExecBatch(gen.NextBatch(s.BatchSize)); err != nil {
+			return Result{}, fmt.Errorf("bench: warmup batch %d: %w", b, err)
+		}
+	}
+	eng.Stats().Reset()
+	var preMsgs uint64
+	if tr != nil {
+		preMsgs = tr.Messages()
+	}
+	start := time.Now()
+	for b := 0; b < s.Batches; b++ {
+		if err := eng.ExecBatch(gen.NextBatch(s.BatchSize)); err != nil {
+			return Result{}, fmt.Errorf("bench: batch %d: %w", b, err)
+		}
+	}
+	elapsed := time.Since(start)
+	snap := eng.Stats().Snap(elapsed)
+	if tr != nil {
+		// The engines publish cumulative transport counts; report only the
+		// measured window.
+		snap.Messages = tr.Messages() - preMsgs
+	}
+	return Result{Spec: s, Engine: eng.Name(), Snapshot: snap}, nil
+}
+
+// RunAll executes a list of named specs and returns results in order.
+func RunAll(specs []NamedSpec) ([]Result, error) {
+	out := make([]Result, 0, len(specs))
+	for _, ns := range specs {
+		r, err := Run(ns.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ns.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// NamedSpec pairs a display name with a spec.
+type NamedSpec struct {
+	Name string
+	Spec Spec
+}
+
+// Report renders results as an aligned table (metrics.Table).
+func Report(results []Result) string {
+	names := make([]string, 0, len(results))
+	snaps := make([]metrics.Snapshot, 0, len(results))
+	for _, r := range results {
+		names = append(names, r.Engine)
+		snaps = append(snaps, r.Snapshot)
+	}
+	return metrics.Table(names, snaps)
+}

@@ -1,0 +1,299 @@
+// Package calvin implements a Calvin-style deterministic baseline (Thomson
+// et al., SIGMOD'12): a sequencer fixes the batch order, a deterministic
+// lock-manager thread grants per-record read/write locks strictly in that
+// order, and a pool of workers executes each transaction once all its locks
+// are granted (thread-to-transaction assignment). Conflicting transactions
+// serialize on record locks in batch order, so the history equals the batch
+// serial order and final state is hash-comparable with the queue-oriented
+// engine — which is exactly the comparison the paper draws: Calvin
+// per-record lock management and thread-to-transaction scheduling versus
+// QueCC's thread-to-queue, lock-free execution (Table 2 row 2).
+package calvin
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// Engine implements the Calvin-style deterministic baseline.
+type Engine struct {
+	store   *storage.Store
+	workers int
+	stats   metrics.Stats
+
+	mu    sync.Mutex // guards the lock table across scheduler and releases
+	locks map[*storage.Record]*recLock
+}
+
+// waiter is one queued lock request.
+type waiter struct {
+	t         *txnState
+	exclusive bool
+}
+
+// recLock is the state of one record's lock.
+type recLock struct {
+	exclusive bool // current holders' mode
+	holders   int
+	queue     []waiter
+}
+
+// txnState tracks lock acquisition progress for one transaction.
+type txnState struct {
+	t        *txn.Txn
+	reqs     []lockReq
+	inserted []insertedKey
+	pending  atomic.Int32
+}
+
+// insertedKey identifies a record pre-created at scheduling time, removed
+// again if the transaction aborts.
+type insertedKey struct {
+	table storage.TableID
+	key   storage.Key
+}
+
+// lockReq is one deduplicated lock request (strongest mode wins).
+type lockReq struct {
+	rec       *storage.Record
+	exclusive bool
+}
+
+// New creates a Calvin engine with the given worker count.
+func New(store *storage.Store, workers int) (*Engine, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("calvin: workers must be >= 1, got %d", workers)
+	}
+	return &Engine{store: store, workers: workers, locks: make(map[*storage.Record]*recLock)}, nil
+}
+
+// Name implements the engine interface.
+func (e *Engine) Name() string { return "calvin" }
+
+// Stats implements the engine interface.
+func (e *Engine) Stats() *metrics.Stats { return &e.stats }
+
+// Close implements the engine interface.
+func (e *Engine) Close() {}
+
+// ExecBatch implements the engine interface: sequence, schedule (grant locks
+// in batch order), execute with a worker pool, release as transactions
+// complete.
+func (e *Engine) ExecBatch(txns []*txn.Txn) error {
+	if len(txns) == 0 {
+		return nil
+	}
+	start := time.Now()
+
+	// Sequencing + lock analysis (Calvin requires the full read/write set
+	// up front, the same determinism contract as the paper's §2.3).
+	states := make([]*txnState, len(txns))
+	for i, t := range txns {
+		t.BatchPos = uint32(i)
+		st := &txnState{t: t}
+		mode := make(map[*storage.Record]bool, len(t.Frags)) // rec -> exclusive
+		order := make([]*storage.Record, 0, len(t.Frags))
+		for fi := range t.Frags {
+			f := &t.Frags[fi]
+			table := e.store.Table(f.Table)
+			var rec *storage.Record
+			if f.Access == txn.Insert {
+				// Calvin creates the record at scheduling time and locks it
+				// exclusively (deterministic systems pre-declare inserts).
+				var fresh bool
+				rec, fresh = table.Insert(f.Key, nil)
+				if fresh {
+					st.inserted = append(st.inserted, insertedKey{table: f.Table, key: f.Key})
+				}
+			} else {
+				rec = table.Get(f.Key)
+			}
+			if rec == nil {
+				return fmt.Errorf("calvin: missing record table=%d key=%d", f.Table, f.Key)
+			}
+			if x, seen := mode[rec]; seen {
+				mode[rec] = x || f.Access.IsWrite()
+			} else {
+				mode[rec] = f.Access.IsWrite()
+				order = append(order, rec)
+			}
+		}
+		st.reqs = make([]lockReq, 0, len(order))
+		for _, rec := range order {
+			st.reqs = append(st.reqs, lockReq{rec: rec, exclusive: mode[rec]})
+		}
+		st.pending.Store(int32(len(st.reqs)))
+		states[i] = st
+	}
+
+	ready := make(chan *txnState, len(txns))
+
+	// Scheduler: the deterministic lock manager grants in batch order.
+	// This runs inline (single-threaded, as in Calvin's scheduler layer).
+	e.mu.Lock()
+	for _, st := range states {
+		if len(st.reqs) == 0 {
+			ready <- st
+			continue
+		}
+		for _, rq := range st.reqs {
+			l := e.locks[rq.rec]
+			if l == nil {
+				l = &recLock{}
+				e.locks[rq.rec] = l
+			}
+			if e.grantableLocked(l, rq.exclusive) {
+				l.holders++
+				l.exclusive = rq.exclusive
+				if st.pending.Add(-1) == 0 {
+					ready <- st
+				}
+			} else {
+				l.queue = append(l.queue, waiter{t: st, exclusive: rq.exclusive})
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	// Execution: worker pool consumes ready transactions.
+	var done atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if int(done.Load()) >= len(txns) {
+					return
+				}
+				select {
+				case st := <-ready:
+					if err := e.execute(st, ready); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						done.Store(int64(len(txns)))
+						return
+					}
+					done.Add(1)
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+
+	committed := 0
+	for _, t := range txns {
+		if !t.Aborted() {
+			committed++
+		}
+	}
+	e.stats.Committed.Add(uint64(committed))
+	e.stats.UserAborts.Add(uint64(len(txns) - committed))
+	e.stats.ExecNs.Add(uint64(time.Since(start).Nanoseconds()))
+	e.stats.Latency.ObserveN(time.Since(start), committed)
+	return nil
+}
+
+// grantableLocked reports whether a request is compatible with the current
+// holders and queue (FIFO fairness: nothing is granted past a waiter).
+func (e *Engine) grantableLocked(l *recLock, exclusive bool) bool {
+	if len(l.queue) > 0 {
+		return false
+	}
+	if l.holders == 0 {
+		return true
+	}
+	return !l.exclusive && !exclusive
+}
+
+// execute runs one transaction and releases its locks, forwarding newly
+// runnable transactions to the ready channel.
+func (e *Engine) execute(st *txnState, ready chan<- *txnState) error {
+	if err := e.runSerial(st.t); err != nil {
+		return err
+	}
+	if st.t.Aborted() {
+		// Un-create records pre-inserted at scheduling time. Safe while the
+		// exclusive locks are still held: within this batch only this
+		// transaction references the new keys (workload generators only let
+		// later batches read freshly inserted records).
+		for _, ik := range st.inserted {
+			e.store.Table(ik.table).Remove(ik.key)
+		}
+	}
+	if len(st.reqs) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	for _, rq := range st.reqs {
+		l := e.locks[rq.rec]
+		l.holders--
+		// Grant a FIFO-compatible prefix of the queue.
+		for len(l.queue) > 0 {
+			head := l.queue[0]
+			if l.holders > 0 && (l.exclusive || head.exclusive) {
+				break
+			}
+			l.queue = l.queue[1:]
+			l.holders++
+			l.exclusive = head.exclusive
+			if head.t.pending.Add(-1) == 0 {
+				ready <- head.t
+			}
+		}
+		if l.holders == 0 && len(l.queue) == 0 {
+			delete(e.locks, rq.rec)
+		}
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// undoEnt is a before-image for logic-abort rollback.
+type undoEnt struct {
+	rec    *storage.Record
+	before []byte
+}
+
+// runSerial executes the transaction's fragments in order; all locks held.
+func (e *Engine) runSerial(t *txn.Txn) error {
+	var undo []undoEnt
+	var ctx txn.FragCtx
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		rec := e.store.Table(f.Table).Get(f.Key)
+		if rec == nil {
+			return fmt.Errorf("calvin: missing record table=%d key=%d", f.Table, f.Key)
+		}
+		if f.Access.IsWrite() && f.Access != txn.Insert {
+			undo = append(undo, undoEnt{rec: rec, before: append([]byte(nil), rec.Val...)})
+		}
+		ctx = txn.FragCtx{T: t, F: f, Val: rec.Val}
+		err := f.Logic(&ctx)
+		if f.Abortable && err == txn.ErrAbort {
+			t.MarkAborted()
+			for j := len(undo) - 1; j >= 0; j-- {
+				copy(undo[j].rec.Val, undo[j].before)
+			}
+			// Pre-created inserts are removed by the caller (execute),
+			// which still holds their exclusive locks.
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("calvin: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package cluster provides the multi-node substrate for the distributed
+// engines: a message transport abstraction with two implementations — an
+// in-process channel transport with configurable per-hop latency (the
+// simulation substrate for the benchmark suite, where what matters is the
+// number and sequencing of message rounds) and a TCP transport over stdlib
+// net (proving the same code paths run over a real network).
+//
+// Every Send is counted, so experiments report messages per committed
+// transaction — the paper's core argument against 2PC is exactly this
+// number.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MsgType tags cluster messages.
+type MsgType uint8
+
+// Message types used by the distributed engines.
+const (
+	// MsgBatch carries a full encoded batch (Calvin-style broadcast).
+	MsgBatch MsgType = iota + 1
+	// MsgQueues carries planned fragment queues for the receiving node's
+	// partitions (queue-oriented engine's queue shipping).
+	MsgQueues
+	// MsgBatchDone signals a node finished draining its queues; payload
+	// carries locally aborted transaction positions.
+	MsgBatchDone
+	// MsgTaintSet broadcasts the global abort/taint set for a repair round.
+	MsgTaintSet
+	// MsgTaintReport carries a node's newly tainted positions.
+	MsgTaintReport
+	// MsgBatchCommit commits the batch on all nodes.
+	MsgBatchCommit
+	// MsgTxnExec asks a participant to execute transaction fragments and
+	// prepare (H-Store/2PC path).
+	MsgTxnExec
+	// MsgVote is a participant's 2PC vote.
+	MsgVote
+	// MsgDecision is the coordinator's 2PC decision.
+	MsgDecision
+	// MsgAck is a generic acknowledgement.
+	MsgAck
+)
+
+// Msg is the unit of cluster communication. Payload layouts are owned by the
+// protocols; Vals carries small numeric lists without serialization overhead
+// (the TCP transport gob-encodes the whole Msg).
+type Msg struct {
+	Type    MsgType
+	From    int
+	To      int
+	Batch   uint64
+	TxnID   uint64
+	Flag    uint64
+	Vals    []uint64
+	Payload []byte
+}
+
+// Transport moves messages between nodes. Implementations must deliver
+// messages from A to B in send order (per-pair FIFO) and be safe for
+// concurrent use.
+type Transport interface {
+	// Nodes returns the cluster size.
+	Nodes() int
+	// Send delivers m to node m.To. It must not block indefinitely.
+	Send(m Msg) error
+	// Recv returns the next message addressed to node id, blocking until
+	// one arrives or the transport closes (ok=false).
+	Recv(id int) (Msg, bool)
+	// Messages returns the total count of messages sent so far.
+	Messages() uint64
+	// Close shuts the transport down, unblocking receivers.
+	Close()
+}
+
+// ChanTransport is the in-process Transport with optional per-hop latency.
+type ChanTransport struct {
+	n       int
+	latency time.Duration
+	inboxes []chan Msg
+	// pairs serializes delivery per (from,to) pair to preserve FIFO order
+	// under latency injection.
+	pairs  []chan Msg
+	wg     sync.WaitGroup
+	count  atomic.Uint64
+	closed atomic.Bool
+}
+
+var _ Transport = (*ChanTransport)(nil)
+
+// NewChanTransport creates an in-process transport for n nodes. latency is
+// added to every message delivery (0 = immediate handoff).
+func NewChanTransport(n int, latency time.Duration) *ChanTransport {
+	t := &ChanTransport{
+		n:       n,
+		latency: latency,
+		inboxes: make([]chan Msg, n),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Msg, 65536)
+	}
+	if latency > 0 {
+		t.pairs = make([]chan Msg, n*n)
+		for i := range t.pairs {
+			t.pairs[i] = make(chan Msg, 65536)
+			t.wg.Add(1)
+			go func(ch chan Msg) {
+				defer t.wg.Done()
+				for m := range ch {
+					time.Sleep(t.latency)
+					t.inboxes[m.To] <- m
+				}
+			}(t.pairs[i])
+		}
+	}
+	return t
+}
+
+// Nodes implements Transport.
+func (t *ChanTransport) Nodes() int { return t.n }
+
+// Send implements Transport.
+func (t *ChanTransport) Send(m Msg) error {
+	if m.To < 0 || m.To >= t.n {
+		return fmt.Errorf("cluster: send to invalid node %d", m.To)
+	}
+	if t.closed.Load() {
+		return fmt.Errorf("cluster: transport closed")
+	}
+	t.count.Add(1)
+	if t.latency > 0 {
+		t.pairs[m.From*t.n+m.To] <- m
+		return nil
+	}
+	t.inboxes[m.To] <- m
+	return nil
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(id int) (Msg, bool) {
+	m, ok := <-t.inboxes[id]
+	return m, ok
+}
+
+// Messages implements Transport.
+func (t *ChanTransport) Messages() uint64 { return t.count.Load() }
+
+// Close implements Transport.
+func (t *ChanTransport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, ch := range t.pairs {
+		close(ch)
+	}
+	t.wg.Wait()
+	for _, ch := range t.inboxes {
+		close(ch)
+	}
+}
+
+// PartitionOwner maps a partition to its owning node under the standard
+// round-robin placement used by all distributed engines.
+func PartitionOwner(part, nodes int) int { return part % nodes }

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChanTransportFIFOPerPair(t *testing.T) {
+	tr := NewChanTransport(2, 0)
+	defer tr.Close()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := tr.Send(Msg{Type: MsgAck, From: 0, To: 1, TxnID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, ok := tr.Recv(1)
+		if !ok || m.TxnID != uint64(i) {
+			t.Fatalf("message %d: got %d (ok=%v)", i, m.TxnID, ok)
+		}
+	}
+	if tr.Messages() != n {
+		t.Errorf("count = %d, want %d", tr.Messages(), n)
+	}
+}
+
+func TestChanTransportLatency(t *testing.T) {
+	const lat = 2 * time.Millisecond
+	tr := NewChanTransport(2, lat)
+	defer tr.Close()
+	start := time.Now()
+	if err := tr.Send(Msg{Type: MsgAck, From: 0, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Recv(1); !ok {
+		t.Fatal("recv failed")
+	}
+	if d := time.Since(start); d < lat {
+		t.Errorf("delivery took %v, want >= %v", d, lat)
+	}
+}
+
+func TestChanTransportLatencyPreservesPairOrder(t *testing.T) {
+	tr := NewChanTransport(2, 100*time.Microsecond)
+	defer tr.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := tr.Send(Msg{Type: MsgAck, From: 0, To: 1, TxnID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, ok := tr.Recv(1)
+		if !ok || m.TxnID != uint64(i) {
+			t.Fatalf("latency transport reordered: pos %d got %d", i, m.TxnID)
+		}
+	}
+}
+
+func TestChanTransportConcurrentSenders(t *testing.T) {
+	tr := NewChanTransport(4, 0)
+	defer tr.Close()
+	var wg sync.WaitGroup
+	const per = 500
+	for from := 0; from < 4; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := tr.Send(Msg{Type: MsgAck, From: from, To: 3}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	for i := 0; i < 4*per; i++ {
+		if _, ok := tr.Recv(3); !ok {
+			t.Fatalf("lost message %d", i)
+		}
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	tr := NewChanTransport(2, 0)
+	defer tr.Close()
+	if err := tr.Send(Msg{To: 5}); err == nil {
+		t.Error("send to invalid node accepted")
+	}
+	if err := tr.Send(Msg{To: -1}); err == nil {
+		t.Error("send to negative node accepted")
+	}
+}
+
+func TestPartitionOwner(t *testing.T) {
+	for p := 0; p < 16; p++ {
+		if got := PartitionOwner(p, 4); got != p%4 {
+			t.Fatalf("owner(%d,4) = %d", p, got)
+		}
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	tr := NewChanTransport(2, 0)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := tr.Recv(0)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	tr.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("recv returned ok=true after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver not unblocked by Close")
+	}
+	tr.Close() // double close must be safe
+}

@@ -1,0 +1,97 @@
+// Package commit implements the two-phase commit protocol used by the
+// H-Store-style distributed baseline — and deliberately by nothing else:
+// the paper's point (§2.2) is that deterministic engines perform agreement
+// ahead of time and can skip this machinery entirely, so the message rounds
+// counted here are the overhead the queue-oriented paradigm eliminates.
+package commit
+
+import "fmt"
+
+// Vote is a participant's 2PC phase-one response.
+type Vote uint8
+
+// Votes.
+const (
+	VoteCommit Vote = iota + 1
+	VoteAbort
+)
+
+// Decision is the coordinator's phase-two outcome.
+type Decision uint8
+
+// Decisions.
+const (
+	DecisionCommit Decision = iota + 1
+	DecisionAbort
+)
+
+// Coordinator collects votes for one distributed transaction and derives the
+// decision. Zero value is not ready: use NewCoordinator.
+type Coordinator struct {
+	expected int
+	votes    int
+	aborted  bool
+	decided  bool
+}
+
+// NewCoordinator creates a coordinator awaiting votes from n participants.
+func NewCoordinator(n int) *Coordinator {
+	return &Coordinator{expected: n}
+}
+
+// RecordVote registers one participant vote, returning (decision, true) once
+// all votes arrived. A single abort vote decides abort immediately (early
+// decision is safe: phase one cannot un-abort).
+func (c *Coordinator) RecordVote(v Vote) (Decision, bool) {
+	if c.decided {
+		return 0, false
+	}
+	c.votes++
+	if v == VoteAbort {
+		c.aborted = true
+	}
+	if c.aborted || c.votes == c.expected {
+		c.decided = true
+		if c.aborted {
+			return DecisionAbort, true
+		}
+		return DecisionCommit, true
+	}
+	return 0, false
+}
+
+// Decided reports whether the decision has been reached.
+func (c *Coordinator) Decided() bool { return c.decided }
+
+// Participant tracks one participant's 2PC state for one transaction:
+// prepared work is held (locks retained) until the decision arrives.
+type Participant struct {
+	prepared bool
+	done     bool
+}
+
+// Prepare marks the participant prepared (work executed, locks held, vote
+// sent). Preparing twice is a protocol bug.
+func (p *Participant) Prepare() error {
+	if p.prepared {
+		return fmt.Errorf("commit: participant prepared twice")
+	}
+	p.prepared = true
+	return nil
+}
+
+// Decide applies the coordinator's decision; returns whether the local work
+// must be rolled back.
+func (p *Participant) Decide(d Decision) (rollback bool, err error) {
+	if !p.prepared {
+		return false, fmt.Errorf("commit: decision before prepare")
+	}
+	if p.done {
+		return false, fmt.Errorf("commit: decision delivered twice")
+	}
+	p.done = true
+	return d == DecisionAbort, nil
+}
+
+// Done reports whether the participant finished the protocol.
+func (p *Participant) Done() bool { return p.done }

@@ -1,0 +1,75 @@
+package commit
+
+import "testing"
+
+func TestUnanimousCommit(t *testing.T) {
+	c := NewCoordinator(3)
+	if _, done := c.RecordVote(VoteCommit); done {
+		t.Fatal("decided after 1/3 votes")
+	}
+	if _, done := c.RecordVote(VoteCommit); done {
+		t.Fatal("decided after 2/3 votes")
+	}
+	d, done := c.RecordVote(VoteCommit)
+	if !done || d != DecisionCommit {
+		t.Fatalf("got (%v,%v), want commit", d, done)
+	}
+	if !c.Decided() {
+		t.Error("Decided() false after decision")
+	}
+}
+
+func TestEarlyAbort(t *testing.T) {
+	c := NewCoordinator(3)
+	d, done := c.RecordVote(VoteAbort)
+	if !done || d != DecisionAbort {
+		t.Fatalf("single abort vote must decide abort immediately, got (%v,%v)", d, done)
+	}
+	// Late votes are ignored.
+	if _, done := c.RecordVote(VoteCommit); done {
+		t.Error("vote after decision re-decided")
+	}
+}
+
+func TestAbortAmongCommits(t *testing.T) {
+	c := NewCoordinator(2)
+	c.RecordVote(VoteCommit)
+	d, done := c.RecordVote(VoteAbort)
+	if !done || d != DecisionAbort {
+		t.Fatalf("got (%v,%v), want abort", d, done)
+	}
+}
+
+func TestParticipantLifecycle(t *testing.T) {
+	var p Participant
+	if _, err := p.Decide(DecisionCommit); err == nil {
+		t.Error("decision before prepare accepted")
+	}
+	if err := p.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Prepare(); err == nil {
+		t.Error("double prepare accepted")
+	}
+	rollback, err := p.Decide(DecisionAbort)
+	if err != nil || !rollback {
+		t.Errorf("abort decision: rollback=%v err=%v", rollback, err)
+	}
+	if !p.Done() {
+		t.Error("not done after decision")
+	}
+	if _, err := p.Decide(DecisionAbort); err == nil {
+		t.Error("double decision accepted")
+	}
+}
+
+func TestCommitNoRollback(t *testing.T) {
+	var p Participant
+	if err := p.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	rollback, err := p.Decide(DecisionCommit)
+	if err != nil || rollback {
+		t.Errorf("commit decision: rollback=%v err=%v", rollback, err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package core implements the paper's contribution: the queue-oriented
+// deterministic transaction processing engine (QueCC-style).
+//
+// Processing is batched and two-phase (paper Figure 1):
+//
+//  1. Planning phase: P planner goroutines deterministically split the batch
+//     into transaction fragments and distribute them into priority-tagged,
+//     per-partition execution queues. The priority of a fragment is
+//     (transaction batch position, fragment sequence), so ascending priority
+//     order equals the deterministic serial order of the batch.
+//  2. Execution phase: E executor goroutines each own a set of partitions
+//     and drain the queues of those partitions in ascending priority order
+//     (a k-way merge over the planner queues). Because a record lives in
+//     exactly one partition and a partition is drained by exactly one
+//     executor in priority order, conflict dependencies (Table 1) are
+//     enforced purely by queue FIFO — no locks, no validation, no aborts
+//     from concurrency control.
+//
+// Data dependencies are resolved through publish-once transaction variables;
+// commit dependencies through the transaction's abortable-fragment counter;
+// speculation dependencies through per-record speculative-writer marks that
+// feed the deterministic cascading-abort repair pass. A batch commits
+// atomically by advancing the engine epoch once every queue is drained —
+// the "commitment ahead of time" that lets deterministic systems drop 2PC.
+//
+// Both execution mechanisms from §3.2 of the paper are implemented
+// (speculative and conservative), as are both isolation levels
+// (serializable and read-committed).
+package core
+
+import (
+	"fmt"
+
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// Mechanism selects the queue execution mechanism (paper §3.2).
+type Mechanism uint8
+
+// Execution mechanisms.
+const (
+	// Speculative executes fragments as soon as their queue position allows,
+	// even if earlier abortable fragments of the writing transaction have
+	// not resolved; dirty reads create speculation dependencies and logic
+	// aborts trigger deterministic cascading-abort repair.
+	Speculative Mechanism = iota + 1
+	// Conservative delays every database update until all abortable
+	// fragments of its transaction have completed without aborting, so
+	// uncommitted values are never visible and no cascades can occur, at
+	// the cost of extra intra-transaction synchronization.
+	Conservative
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case Speculative:
+		return "speculative"
+	case Conservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", uint8(m))
+	}
+}
+
+// Isolation selects the isolation level (paper §3.2).
+type Isolation uint8
+
+// Isolation levels.
+const (
+	// Serializable: all fragments flow through the ordered queues; the batch
+	// executes as-if serially in batch order.
+	Serializable Isolation = iota + 1
+	// ReadCommitted: pure read fragments are planned into separate read
+	// queues that executors may drain without conflict ordering, served from
+	// the committed version of each record; writes go to a speculative
+	// version that is flipped in at batch commit.
+	ReadCommitted
+)
+
+// String implements fmt.Stringer.
+func (i Isolation) String() string {
+	switch i {
+	case Serializable:
+		return "serializable"
+	case ReadCommitted:
+		return "read-committed"
+	default:
+		return fmt.Sprintf("Isolation(%d)", uint8(i))
+	}
+}
+
+// BatchLogger is the hook the engine uses for command logging (see the wal
+// package). Deterministic engines only need the batch input logged to
+// recover: replaying batches in order reproduces the exact state.
+type BatchLogger interface {
+	LogBatch(epoch uint64, txns []*txn.Txn) error
+}
+
+// Config configures the queue-oriented engine.
+type Config struct {
+	// Planners is the number of planning-phase goroutines (paper: planner
+	// threads). Must be >= 1.
+	Planners int
+	// Executors is the number of execution-phase goroutines (paper:
+	// execution threads). Must be >= 1.
+	Executors int
+	// Mechanism selects speculative or conservative queue execution.
+	// Defaults to Speculative.
+	Mechanism Mechanism
+	// Isolation selects the isolation level. Defaults to Serializable.
+	Isolation Isolation
+	// Logger, when non-nil, receives every batch before it commits.
+	Logger BatchLogger
+}
+
+func (c *Config) normalize() error {
+	if c.Planners <= 0 {
+		return fmt.Errorf("core: Planners must be >= 1, got %d", c.Planners)
+	}
+	if c.Executors <= 0 {
+		return fmt.Errorf("core: Executors must be >= 1, got %d", c.Executors)
+	}
+	if c.Mechanism == 0 {
+		c.Mechanism = Speculative
+	}
+	if c.Isolation == 0 {
+		c.Isolation = Serializable
+	}
+	switch c.Mechanism {
+	case Speculative, Conservative:
+	default:
+		return fmt.Errorf("core: unknown mechanism %d", c.Mechanism)
+	}
+	switch c.Isolation {
+	case Serializable, ReadCommitted:
+	default:
+		return fmt.Errorf("core: unknown isolation %d", c.Isolation)
+	}
+	return nil
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// Engine is the queue-oriented deterministic transaction engine. It is not
+// safe for concurrent ExecBatch calls: batches are the unit of concurrency
+// inside the engine (planner and executor goroutines), exactly as in the
+// paper's two-phase design.
+type Engine struct {
+	store *storage.Store
+	cfg   Config
+	stats metrics.Stats
+	epoch uint64
+
+	// queues[planner][partition] holds the ordered (conflict-dependency
+	// bearing) fragments; rcQueues holds read-committed read fragments that
+	// may execute unordered against committed versions. Backing arrays are
+	// reused across batches.
+	queues   [][][]*txn.Fragment
+	rcQueues [][][]*txn.Fragment
+
+	execs []*executor
+
+	// repairFlips collects speculative versions created by the repair pass
+	// under read-committed isolation (single-threaded appends only).
+	repairFlips []*storage.Record
+
+	// failure is the first fragment-execution error of the current batch
+	// (workload bugs, missing records); checked after every phase.
+	failure atomic.Value // error
+}
+
+// New creates an engine over the given store.
+func New(store *storage.Store, cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	e := &Engine{store: store, cfg: cfg}
+	nPart := store.Partitions()
+	e.queues = make([][][]*txn.Fragment, cfg.Planners)
+	e.rcQueues = make([][][]*txn.Fragment, cfg.Planners)
+	for p := 0; p < cfg.Planners; p++ {
+		e.queues[p] = make([][]*txn.Fragment, nPart)
+		e.rcQueues[p] = make([][]*txn.Fragment, nPart)
+	}
+	e.execs = make([]*executor, cfg.Executors)
+	for i := range e.execs {
+		e.execs[i] = newExecutor(e, i)
+	}
+	return e, nil
+}
+
+// Name implements the engine interface.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("quecc/%s/%s", e.cfg.Mechanism, e.cfg.Isolation)
+}
+
+// Stats returns the engine's accumulated metrics.
+func (e *Engine) Stats() *metrics.Stats { return &e.stats }
+
+// Epoch returns the number of committed batches.
+func (e *Engine) Epoch() uint64 { return atomic.LoadUint64(&e.epoch) }
+
+// Close implements the engine interface; the engine holds no background
+// resources between batches.
+func (e *Engine) Close() {}
+
+// Mechanism returns the configured execution mechanism.
+func (e *Engine) Mechanism() Mechanism { return e.cfg.Mechanism }
+
+// Isolation returns the configured isolation level.
+func (e *Engine) Isolation() Isolation { return e.cfg.Isolation }
+
+func (e *Engine) fail(err error) {
+	e.failure.CompareAndSwap(nil, err) // keep the first failure
+}
+
+// ExecBatch plans, executes and commits one batch of transactions. On return
+// every transaction in the batch is either committed or (deterministically)
+// aborted by its own logic; Stats reflect the outcome.
+func (e *Engine) ExecBatch(txns []*txn.Txn) error {
+	if len(txns) == 0 {
+		return nil
+	}
+	e.failure = atomic.Value{}
+	start := time.Now()
+
+	// ---- Planning phase -------------------------------------------------
+	hasAbortable := e.plan(txns)
+	planDone := time.Now()
+	e.stats.PlanNs.Add(uint64(planDone.Sub(start).Nanoseconds()))
+	if err, _ := e.failure.Load().(error); err != nil {
+		return err
+	}
+
+	// ---- Execution phase -------------------------------------------------
+	trackSpec := e.cfg.Mechanism == Speculative && hasAbortable
+	var wg sync.WaitGroup
+	for _, ex := range e.execs {
+		wg.Add(1)
+		go func(ex *executor) {
+			defer wg.Done()
+			ex.run(trackSpec)
+		}(ex)
+	}
+	wg.Wait()
+	if err, _ := e.failure.Load().(error); err != nil {
+		return err
+	}
+
+	// ---- Deterministic abort repair --------------------------------------
+	anyAborted := false
+	for _, t := range txns {
+		if t.Aborted() {
+			anyAborted = true
+			break
+		}
+	}
+	if anyAborted && trackSpec {
+		if err := e.repair(txns); err != nil {
+			return err
+		}
+	}
+	logicAborted := 0
+	for _, t := range txns {
+		if t.Aborted() {
+			logicAborted++
+		}
+	}
+
+	// ---- Commit ----------------------------------------------------------
+	if e.cfg.Logger != nil {
+		if err := e.cfg.Logger.LogBatch(e.epoch, txns); err != nil {
+			return fmt.Errorf("core: command log: %w", err)
+		}
+	}
+	if e.cfg.Isolation == ReadCommitted {
+		e.flipSpeculativeVersions()
+	}
+	atomic.AddUint64(&e.epoch, 1)
+
+	execDur := time.Since(planDone)
+	e.stats.ExecNs.Add(uint64(execDur.Nanoseconds()))
+	committed := len(txns) - logicAborted
+	e.stats.Committed.Add(uint64(committed))
+	e.stats.UserAborts.Add(uint64(logicAborted))
+	e.stats.Latency.ObserveN(time.Since(start), committed)
+	return nil
+}
+
+// plan runs the planning phase: planner p owns the contiguous slice p of the
+// batch (slices are contiguous in batch order, so draining planner queues in
+// planner order preserves the global priority order). Returns whether any
+// transaction in the batch has abortable fragments.
+func (e *Engine) plan(txns []*txn.Txn) bool {
+	nPlan := e.cfg.Planners
+	// Reset queue lengths, keep capacity.
+	for p := 0; p < nPlan; p++ {
+		for part := range e.queues[p] {
+			e.queues[p][part] = e.queues[p][part][:0]
+			e.rcQueues[p][part] = e.rcQueues[p][part][:0]
+		}
+	}
+	chunk := (len(txns) + nPlan - 1) / nPlan
+	hasAbortablePer := make([]bool, nPlan)
+	var wg sync.WaitGroup
+	for p := 0; p < nPlan; p++ {
+		lo := p * chunk
+		if lo >= len(txns) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(txns) {
+			hi = len(txns)
+		}
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			hasAbortablePer[p] = e.planSlice(p, txns[lo:hi], uint32(lo))
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	for _, h := range hasAbortablePer {
+		if h {
+			return true
+		}
+	}
+	return false
+}
+
+// planSlice plans one planner's contiguous share of the batch.
+func (e *Engine) planSlice(planner int, txns []*txn.Txn, base uint32) (hasAbortable bool) {
+	ordered := e.queues[planner]
+	rc := e.rcQueues[planner]
+	rcMode := e.cfg.Isolation == ReadCommitted
+	conservative := e.cfg.Mechanism == Conservative
+	for i, t := range txns {
+		t.BatchPos = base + uint32(i)
+		if t.HasAbortable() {
+			hasAbortable = true
+			if conservative {
+				if err := checkConservativeOrder(t); err != nil {
+					e.fail(err)
+					return hasAbortable
+				}
+			}
+		}
+		for fi := range t.Frags {
+			f := &t.Frags[fi]
+			part := e.store.PartitionOf(f.Key)
+			// Pure reads (no abort, no data-dependency consumers relying on
+			// ordering) are eligible for the unordered read-committed
+			// queues; everything else carries conflict dependencies and
+			// must flow through the ordered queues.
+			if rcMode && f.Access == txn.Read && !f.Abortable && len(f.NeedVars) == 0 {
+				rc[part] = append(rc[part], f)
+				continue
+			}
+			ordered[part] = append(ordered[part], f)
+		}
+	}
+	return hasAbortable
+}
+
+// checkConservativeOrder verifies the structural requirement of conservative
+// execution: every abortable fragment must precede every writing fragment in
+// sequence order, otherwise an executor could wait on an abortable check that
+// sits behind the waiter in its own queues.
+func checkConservativeOrder(t *txn.Txn) error {
+	lastAbortable := -1
+	firstWrite := len(t.Frags)
+	for i := range t.Frags {
+		if t.Frags[i].Abortable && i > lastAbortable {
+			lastAbortable = i
+		}
+		if t.Frags[i].Access.IsWrite() && i < firstWrite {
+			firstWrite = i
+		}
+	}
+	if lastAbortable > firstWrite {
+		return fmt.Errorf("core: txn %d: conservative execution requires abortable fragments (last at %d) to precede writes (first at %d)",
+			t.ID, lastAbortable, firstWrite)
+	}
+	return nil
+}
+
+// flipSpeculativeVersions installs the speculative versions written under
+// read-committed isolation into the committed slots. Each executor flips the
+// records of its own partitions, in parallel.
+func (e *Engine) flipSpeculativeVersions() {
+	var wg sync.WaitGroup
+	for _, ex := range e.execs {
+		if len(ex.flips) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ex *executor) {
+			defer wg.Done()
+			for _, r := range ex.flips {
+				if r.HasSpec && r.SpecEpoch == e.epoch {
+					copy(r.Val, r.Spec)
+					r.HasSpec = false
+				}
+			}
+			ex.flips = ex.flips[:0]
+		}(ex)
+	}
+	wg.Wait()
+	for _, r := range e.repairFlips {
+		if r.HasSpec && r.SpecEpoch == e.epoch {
+			copy(r.Val, r.Spec)
+			r.HasSpec = false
+		}
+	}
+	e.repairFlips = e.repairFlips[:0]
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+// accessEntry records one record access for speculative dependency tracking
+// and rollback. Entries for a given record appear in execution (= priority)
+// order because a record is only ever touched by its owning executor.
+type accessEntry struct {
+	rec      *storage.Record
+	t        *txn.Txn
+	frag     *txn.Fragment
+	write    bool
+	inserted bool   // write created the record (rollback removes it)
+	hadSpec  bool   // RC mode: record had a speculative version before this write
+	before   []byte // before-image of the written buffer (arena-backed)
+}
+
+// executor drains the queues of its owned partitions in priority order.
+type executor struct {
+	eng   *Engine
+	id    int
+	parts []int // owned partitions
+
+	// cursors: one per (owned partition, planner) ordered queue.
+	heads []queueCursor
+
+	log   []accessEntry // speculative access log (reset per batch)
+	arena []byte        // before-image arena (reset per batch)
+	flips []*storage.Record
+
+	ctx txn.FragCtx // reusable fragment context
+}
+
+type queueCursor struct {
+	frags []*txn.Fragment
+	pos   int
+}
+
+func newExecutor(e *Engine, id int) *executor {
+	ex := &executor{eng: e, id: id}
+	for p := 0; p < e.store.Partitions(); p++ {
+		if p%e.cfg.Executors == id {
+			ex.parts = append(ex.parts, p)
+		}
+	}
+	return ex
+}
+
+// run drains the executor's queues for the current batch.
+func (ex *executor) run(trackSpec bool) {
+	e := ex.eng
+	// Read-committed read queues first: they see the pre-batch committed
+	// state, which is a valid read-committed snapshot, and they need no
+	// ordering or waiting at all — this is the isolation-level win the
+	// paper describes.
+	if e.cfg.Isolation == ReadCommitted {
+		for _, part := range ex.parts {
+			for p := 0; p < e.cfg.Planners; p++ {
+				for _, f := range e.rcQueues[p][part] {
+					if err := ex.runRCRead(f); err != nil {
+						e.fail(err)
+						return
+					}
+				}
+			}
+		}
+	}
+
+	// Ordered queues: k-way merge by priority across owned partitions and
+	// planners. Merging across the executor's own partitions (not just
+	// FIFO per queue) guarantees that an intra-transaction dependency can
+	// never point forward within a single executor's processing order,
+	// which makes the cross-executor waits below deadlock-free.
+	ex.heads = ex.heads[:0]
+	for _, part := range ex.parts {
+		for p := 0; p < e.cfg.Planners; p++ {
+			if q := e.queues[p][part]; len(q) > 0 {
+				ex.heads = append(ex.heads, queueCursor{frags: q})
+			}
+		}
+	}
+	ex.log = ex.log[:0]
+	ex.arena = ex.arena[:0]
+	for {
+		best := -1
+		var bestPrio uint64 = ^uint64(0)
+		for i := range ex.heads {
+			h := &ex.heads[i]
+			if h.pos < len(h.frags) {
+				if pr := h.frags[h.pos].Priority(); pr < bestPrio {
+					bestPrio, best = pr, i
+				}
+			}
+		}
+		if best < 0 {
+			return
+		}
+		f := ex.heads[best].frags[ex.heads[best].pos]
+		ex.heads[best].pos++
+		if err := ex.runFragment(f, trackSpec); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+}
+
+// runRCRead executes an unordered read-committed read fragment against the
+// committed version of its record.
+func (ex *executor) runRCRead(f *txn.Fragment) error {
+	rec := ex.eng.store.Table(f.Table).Get(f.Key)
+	if rec == nil {
+		return fmt.Errorf("core: executor %d: read of missing record table=%d key=%d", ex.id, f.Table, f.Key)
+	}
+	ex.ctx = txn.FragCtx{T: f.Txn, F: f, Val: rec.Val}
+	if err := f.Logic(&ex.ctx); err != nil {
+		return fmt.Errorf("core: rc read fragment failed: %w", err)
+	}
+	return nil
+}
+
+// runFragment executes one ordered fragment, resolving the paper's
+// dependencies as described in the package comment.
+func (ex *executor) runFragment(f *txn.Fragment, trackSpec bool) error {
+	e := ex.eng
+	t := f.Txn
+
+	// A transaction aborted by logic skips its remaining fragments. The
+	// abortable counter is still resolved so waiters observe progress.
+	if t.Aborted() {
+		if f.Abortable {
+			t.ResolveAbortable()
+		}
+		return nil
+	}
+
+	// Data dependencies (Table 1): wait for required variable slots. The
+	// publisher is a fragment of the same transaction with a smaller
+	// sequence number, hence strictly lower priority: the wait graph is a
+	// DAG over priorities and some executor can always progress.
+	for _, v := range f.NeedVars {
+		for !t.VarReady(v) {
+			if t.Aborted() {
+				if f.Abortable {
+					t.ResolveAbortable()
+				}
+				return nil
+			}
+			runtime.Gosched()
+		}
+	}
+
+	// Commit dependencies (Table 1): conservative execution holds back
+	// database updates until every abortable fragment of the transaction
+	// has resolved without aborting.
+	if e.cfg.Mechanism == Conservative && f.Access.IsWrite() && t.HasAbortable() {
+		for t.AbortablesPending() > 0 {
+			if t.Aborted() {
+				return nil
+			}
+			runtime.Gosched()
+		}
+		if t.Aborted() {
+			return nil
+		}
+	}
+
+	table := e.store.Table(f.Table)
+	var rec *storage.Record
+	inserted := false
+	if f.Access == txn.Insert {
+		rec, inserted = table.Insert(f.Key, nil)
+	} else {
+		rec = table.Get(f.Key)
+	}
+	if rec == nil {
+		return fmt.Errorf("core: executor %d: missing record table=%d key=%d (txn %d frag %d)", ex.id, f.Table, f.Key, t.ID, f.Seq)
+	}
+
+	rcMode := e.cfg.Isolation == ReadCommitted
+	// Choose the buffer the fragment logic sees.
+	buf := rec.Val
+	hadSpec := false
+	if rcMode && f.Access != txn.Insert {
+		if f.Access.IsWrite() {
+			// Copy-on-write into the speculative slot (paper §3.2:
+			// read-committed keeps a committed and a speculative version).
+			if rec.SpecEpoch != e.epoch || !rec.HasSpec {
+				if cap(rec.Spec) < len(rec.Val) {
+					rec.Spec = make([]byte, len(rec.Val))
+				}
+				rec.Spec = rec.Spec[:len(rec.Val)]
+				copy(rec.Spec, rec.Val)
+				rec.HasSpec = true
+				rec.SpecEpoch = e.epoch
+				ex.flips = append(ex.flips, rec)
+			} else {
+				hadSpec = true
+			}
+			buf = rec.Spec
+		} else if rec.HasSpec && rec.SpecEpoch == e.epoch {
+			// Ordered reads (data-dependency publishers, abortable checks)
+			// must observe in-batch writes to preserve serial-order
+			// semantics for the transactions that need them.
+			buf = rec.Spec
+		}
+	}
+
+	// Speculation dependencies (Table 1): under speculative execution with
+	// abortable fragments in flight, log every access (with before-images
+	// of writes) to feed the deterministic cascading-abort repair pass.
+	if trackSpec {
+		if f.Access.IsWrite() {
+			var before []byte
+			if !inserted {
+				off := len(ex.arena)
+				ex.arena = append(ex.arena, buf...)
+				before = ex.arena[off : off+len(buf) : off+len(buf)]
+			}
+			ex.log = append(ex.log, accessEntry{
+				rec: rec, t: t, frag: f, write: true,
+				inserted: inserted, hadSpec: hadSpec, before: before,
+			})
+		} else {
+			ex.log = append(ex.log, accessEntry{rec: rec, t: t, frag: f})
+		}
+	}
+
+	ex.ctx = txn.FragCtx{T: t, F: f, Val: buf}
+	err := f.Logic(&ex.ctx)
+	if f.Abortable {
+		if err == txn.ErrAbort {
+			t.MarkAborted()
+			err = nil
+		}
+		t.ResolveAbortable()
+	} else if err == txn.ErrAbort {
+		return fmt.Errorf("core: txn %d frag %d returned ErrAbort but is not marked abortable", t.ID, f.Seq)
+	}
+	if err != nil {
+		return fmt.Errorf("core: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/bank"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// runWorkload loads a fresh store, executes nBatches of batchSize from a
+// fresh generator built by mkGen, and returns the final state hash plus the
+// engine for stats inspection.
+func runWorkload(t *testing.T, mkGen func() workload.Generator, cfg Config, partitions, nBatches, batchSize int) (uint64, *Engine) {
+	t.Helper()
+	gen := mkGen()
+	store, err := storage.Open(gen.StoreConfig(partitions))
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	if err := gen.Load(store); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	eng, err := New(store, cfg)
+	if err != nil {
+		t.Fatalf("new engine: %v", err)
+	}
+	for b := 0; b < nBatches; b++ {
+		if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	return store.StateHash(), eng
+}
+
+func ycsbGen(parts int, cfg ycsb.Config) func() workload.Generator {
+	cfg.Partitions = parts
+	return func() workload.Generator { return ycsb.MustNew(cfg) }
+}
+
+func bankGen(parts int, cfg bank.Config) func() workload.Generator {
+	cfg.Partitions = parts
+	return func() workload.Generator { return bank.MustNew(cfg) }
+}
+
+// TestSerialEquivalence verifies the core paradigm claim: for every
+// mechanism, isolation level and thread configuration, the final database
+// state is identical to single-threaded serial execution in batch order.
+func TestSerialEquivalence(t *testing.T) {
+	workloads := map[string]func() workload.Generator{
+		"ycsb-skewed": ycsbGen(8, ycsb.Config{
+			Records: 4096, OpsPerTxn: 8, ReadRatio: 0.3, RMWRatio: 0.3,
+			Theta: 0.9, MultiPartitionRatio: 0.5, Seed: 7,
+		}),
+		"ycsb-aborts": ycsbGen(8, ycsb.Config{
+			Records: 2048, OpsPerTxn: 6, ReadRatio: 0.2, RMWRatio: 0.5,
+			Theta: 0.99, AbortRatio: 0.2, Seed: 11,
+		}),
+		"bank": bankGen(8, bank.Config{
+			Accounts: 256, InitialBalance: 120, MaxTransfer: 100, Seed: 3,
+		}),
+	}
+	const parts, nBatches, batchSize = 8, 6, 200
+
+	for wname, mk := range workloads {
+		t.Run(wname, func(t *testing.T) {
+			serialHash, _ := runWorkload(t, mk, Config{Planners: 1, Executors: 1, Mechanism: Speculative}, parts, nBatches, batchSize)
+			for _, mech := range []Mechanism{Speculative, Conservative} {
+				for _, iso := range []Isolation{Serializable, ReadCommitted} {
+					for _, pe := range [][2]int{{1, 2}, {2, 1}, {2, 2}, {4, 4}, {3, 5}} {
+						name := fmt.Sprintf("%s/%s/p%de%d", mech, iso, pe[0], pe[1])
+						t.Run(name, func(t *testing.T) {
+							h, _ := runWorkload(t, mk, Config{
+								Planners: pe[0], Executors: pe[1],
+								Mechanism: mech, Isolation: iso,
+							}, parts, nBatches, batchSize)
+							if h != serialHash {
+								t.Errorf("state hash %x != serial %x", h, serialHash)
+							}
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismAcrossRuns verifies that repeated runs with the same seed
+// and config produce identical state (the defining property of deterministic
+// transaction processing, paper §2.3).
+func TestDeterminismAcrossRuns(t *testing.T) {
+	mk := ycsbGen(4, ycsb.Config{
+		Records: 1024, OpsPerTxn: 10, ReadRatio: 0.4, RMWRatio: 0.4,
+		Theta: 0.99, AbortRatio: 0.1, MultiPartitionRatio: 1.0, Seed: 42,
+	})
+	cfg := Config{Planners: 3, Executors: 3, Mechanism: Speculative}
+	h1, _ := runWorkload(t, mk, cfg, 4, 5, 128)
+	for run := 0; run < 4; run++ {
+		h2, _ := runWorkload(t, mk, cfg, 4, 5, 128)
+		if h2 != h1 {
+			t.Fatalf("run %d: hash %x != first run %x", run, h2, h1)
+		}
+	}
+}
+
+// TestBankInvariants checks conservation of money and non-negative balances
+// under heavy contention and aborts, for all four mode combinations.
+func TestBankInvariants(t *testing.T) {
+	const parts, accounts, initial = 4, 64, 150
+	for _, mech := range []Mechanism{Speculative, Conservative} {
+		for _, iso := range []Isolation{Serializable, ReadCommitted} {
+			t.Run(fmt.Sprintf("%s/%s", mech, iso), func(t *testing.T) {
+				gen := bank.MustNew(bank.Config{
+					Accounts: accounts, InitialBalance: initial, MaxTransfer: 120,
+					Partitions: parts, Seed: 99,
+				})
+				store := storage.MustOpen(gen.StoreConfig(parts))
+				if err := gen.Load(store); err != nil {
+					t.Fatal(err)
+				}
+				eng, err := New(store, Config{Planners: 2, Executors: 4, Mechanism: mech, Isolation: iso})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for b := 0; b < 10; b++ {
+					if err := eng.ExecBatch(gen.NextBatch(300)); err != nil {
+						t.Fatalf("batch %d: %v", b, err)
+					}
+					if got, want := bank.TotalBalance(store), uint64(accounts*initial); got != want {
+						t.Fatalf("batch %d: total balance %d, want %d", b, got, want)
+					}
+					if minv := bank.MinBalance(store); minv < 0 {
+						t.Fatalf("batch %d: negative balance %d", b, minv)
+					}
+				}
+				snap := eng.Stats().Snap(1)
+				if snap.UserAborts == 0 {
+					t.Error("expected some insufficient-balance aborts, got none")
+				}
+				if snap.Committed+snap.UserAborts != 3000 {
+					t.Errorf("committed(%d)+aborts(%d) != 3000", snap.Committed, snap.UserAborts)
+				}
+			})
+		}
+	}
+}
+
+// TestAbortsRollBack verifies that a transaction aborted by logic leaves no
+// trace in the database, in both mechanisms.
+func TestAbortsRollBack(t *testing.T) {
+	for _, mech := range []Mechanism{Speculative, Conservative} {
+		t.Run(mech.String(), func(t *testing.T) {
+			gen := ycsb.MustNew(ycsb.Config{
+				Records: 256, OpsPerTxn: 4, ReadRatio: 0, RMWRatio: 0,
+				AbortRatio: 1.0, Partitions: 2, Seed: 5,
+			})
+			store := storage.MustOpen(gen.StoreConfig(2))
+			if err := gen.Load(store); err != nil {
+				t.Fatal(err)
+			}
+			before := store.StateHash()
+			eng, err := New(store, Config{Planners: 2, Executors: 2, Mechanism: mech})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.ExecBatch(gen.NextBatch(100)); err != nil {
+				t.Fatal(err)
+			}
+			if after := store.StateHash(); after != before {
+				t.Errorf("aborted batch changed state: %x -> %x", before, after)
+			}
+			snap := eng.Stats().Snap(1)
+			if snap.UserAborts != 100 || snap.Committed != 0 {
+				t.Errorf("got committed=%d aborts=%d, want 0/100", snap.Committed, snap.UserAborts)
+			}
+		})
+	}
+}
+
+// TestReadCommittedSeesCommittedData checks the RC read path: a pure read in
+// the same batch as a write observes the pre-batch committed value, while
+// serializable ordered reads observe in-batch writes. We build the scenario
+// by hand with a probe op that records what it saw.
+func TestReadCommittedSeesCommittedData(t *testing.T) {
+	const probeOp = workload.OpBaseTest + 1
+	const bumpOp = workload.OpBaseTest + 2
+	var seen []uint64
+	reg := txn.Registry{
+		probeOp: func(ctx *txn.FragCtx) error {
+			seen = append(seen, binary.LittleEndian.Uint64(ctx.Val))
+			return nil
+		},
+		bumpOp: func(ctx *txn.FragCtx) error {
+			binary.LittleEndian.PutUint64(ctx.Val, ctx.Arg(0))
+			return nil
+		},
+	}
+	mkBatch := func() []*txn.Txn {
+		// txn0 writes 77 to key 0; txn1 reads key 0 (pure read).
+		t0 := &txn.Txn{ID: 0, Frags: []txn.Fragment{
+			{Table: 1, Key: 0, Access: txn.Update, Op: bumpOp, Args: []uint64{77}},
+		}}
+		t0.Finish()
+		t1 := &txn.Txn{ID: 1, Frags: []txn.Fragment{
+			{Table: 1, Key: 0, Access: txn.Read, Op: probeOp},
+		}}
+		t1.Finish()
+		if err := reg.Resolve(t0); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Resolve(t1); err != nil {
+			t.Fatal(err)
+		}
+		return []*txn.Txn{t0, t1}
+	}
+	newStore := func() *storage.Store {
+		s := storage.MustOpen(storage.Config{Partitions: 1, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], 11)
+		s.Table(1).Insert(0, v[:])
+		return s
+	}
+
+	// Read-committed: the pure read sees the committed value 11.
+	seen = nil
+	store := newStore()
+	eng, err := New(store, Config{Planners: 1, Executors: 1, Isolation: ReadCommitted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ExecBatch(mkBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != 11 {
+		t.Errorf("read-committed read saw %v, want [11]", seen)
+	}
+	if got := binary.LittleEndian.Uint64(store.Table(1).Get(0).Val); got != 77 {
+		t.Errorf("after commit value = %d, want 77", got)
+	}
+
+	// Serializable: the ordered read sees the in-batch write 77.
+	seen = nil
+	store = newStore()
+	eng, err = New(store, Config{Planners: 1, Executors: 1, Isolation: Serializable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ExecBatch(mkBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != 77 {
+		t.Errorf("serializable read saw %v, want [77]", seen)
+	}
+}
+
+// TestDataDependencies exercises Table 1's data dependency: a fragment
+// publishes a value a later fragment (in another partition) consumes.
+func TestDataDependencies(t *testing.T) {
+	const readOp = workload.OpBaseTest + 3
+	const writeOp = workload.OpBaseTest + 4
+	reg := txn.Registry{
+		readOp: func(ctx *txn.FragCtx) error {
+			ctx.T.Publish(0, binary.LittleEndian.Uint64(ctx.Val))
+			return nil
+		},
+		writeOp: func(ctx *txn.FragCtx) error {
+			binary.LittleEndian.PutUint64(ctx.Val, ctx.T.Var(0)*2)
+			return nil
+		},
+	}
+	store := storage.MustOpen(storage.Config{Partitions: 4, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+	var v [8]byte
+	for k := storage.Key(0); k < 8; k++ {
+		binary.LittleEndian.PutUint64(v[:], uint64(k+100))
+		store.Table(1).Insert(k, v[:])
+	}
+	// Each txn reads key k (partition k%4) and writes 2*value to key k+1
+	// (partition (k+1)%4) — the consumer is planned into a different queue.
+	var txns []*txn.Txn
+	for k := storage.Key(0); k < 7; k++ {
+		tx := &txn.Txn{ID: uint64(k), Frags: []txn.Fragment{
+			{Table: 1, Key: k, Access: txn.Read, Op: readOp},
+			{Table: 1, Key: k + 1, Access: txn.Update, Op: writeOp, NeedVars: []uint8{0}},
+		}}
+		tx.Finish()
+		if err := reg.Resolve(tx); err != nil {
+			t.Fatal(err)
+		}
+		txns = append(txns, tx)
+	}
+	eng, err := New(store, Config{Planners: 2, Executors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ExecBatch(txns); err != nil {
+		t.Fatal(err)
+	}
+	// Serial semantics: txn k reads the value txn k-1 wrote to key k.
+	// key0=100 -> key1=200 -> key2=400 ... key k = 100*2^k.
+	want := uint64(100)
+	for k := storage.Key(1); k < 8; k++ {
+		want *= 2
+		got := binary.LittleEndian.Uint64(store.Table(1).Get(k).Val)
+		if got != want {
+			t.Errorf("key %d = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestConservativeOrderValidation checks that conservative mode rejects
+// transactions whose abortable fragments follow writes.
+func TestConservativeOrderValidation(t *testing.T) {
+	reg := txn.Registry{
+		workload.OpBaseTest + 5: func(*txn.FragCtx) error { return nil },
+	}
+	bad := &txn.Txn{ID: 1, Frags: []txn.Fragment{
+		{Table: 1, Key: 0, Access: txn.Update, Op: workload.OpBaseTest + 5},
+		{Table: 1, Key: 1, Access: txn.Read, Abortable: true, Op: workload.OpBaseTest + 5},
+	}}
+	bad.Finish()
+	if err := reg.Resolve(bad); err != nil {
+		t.Fatal(err)
+	}
+	store := storage.MustOpen(storage.Config{Partitions: 1, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+	store.Table(1).Insert(0, nil)
+	store.Table(1).Insert(1, nil)
+	eng, err := New(store, Config{Planners: 1, Executors: 1, Mechanism: Conservative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ExecBatch([]*txn.Txn{bad}); err == nil {
+		t.Fatal("expected conservative-order validation error, got nil")
+	}
+}
+
+// TestEmptyBatch ensures a zero-length batch is a no-op.
+func TestEmptyBatch(t *testing.T) {
+	store := storage.MustOpen(storage.Config{Partitions: 1, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+	eng, err := New(store, Config{Planners: 1, Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ExecBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != 0 {
+		t.Errorf("empty batch advanced epoch to %d", eng.Epoch())
+	}
+}
+
+// TestConfigValidation covers Config error paths.
+func TestConfigValidation(t *testing.T) {
+	store := storage.MustOpen(storage.Config{Partitions: 1, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+	cases := []Config{
+		{Planners: 0, Executors: 1},
+		{Planners: 1, Executors: 0},
+		{Planners: 1, Executors: 1, Mechanism: Mechanism(9)},
+		{Planners: 1, Executors: 1, Isolation: Isolation(9)},
+	}
+	for i, cfg := range cases {
+		if _, err := New(store, cfg); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// repair implements deterministic cascading-abort resolution for speculative
+// execution (paper §3.2: "Resolving [speculation dependencies] may cause
+// cascading aborts").
+//
+// Inputs: the per-executor access logs, which contain — in per-record
+// priority order — every read and write performed while abortable fragments
+// were in flight, plus before-images of all writes.
+//
+// The abort set A is the closure of the logic-aborted transactions under:
+//
+//  1. If T∈A wrote record Z, every transaction accessing Z later joins A
+//     (they observed or overwrote speculative state that is being revoked).
+//  2. If T∈A read record Z, every transaction writing Z later joins A (its
+//     write must be replayed after T's re-executed read), and rule 1 then
+//     applies to that write.
+//
+// Every record is rolled back to the before-image of its first write by an
+// A-member (inserts are removed), and the *tainted* members of A — those
+// whose inputs included speculative state, including logic-aborted
+// transactions whose abort verdict may have been reached on dirty reads —
+// are re-executed serially in ascending priority order. The result is
+// exactly the serial-order state of the batch.
+func (e *Engine) repair(txns []*txn.Txn) error {
+	// Gather per-record access sequences. A record is only ever accessed by
+	// its owning executor, so per-record order is preserved when walking
+	// each executor's log in append order.
+	byRec := make(map[*storage.Record][]*accessEntry)
+	for _, ex := range e.execs {
+		for i := range ex.log {
+			en := &ex.log[i]
+			byRec[en.rec] = append(byRec[en.rec], en)
+		}
+	}
+
+	// inA marks the abort set; taintedBy marks members added (or re-marked)
+	// by dependency rules rather than by their own clean-state logic abort.
+	// Tainted transactions are re-executed — including logic-aborted ones,
+	// whose abort verdict may have been based on speculative (dirty) reads
+	// and must be re-evaluated against clean state.
+	inA := make([]bool, len(txns))
+	tainted := make([]bool, len(txns))
+	for _, t := range txns {
+		if t.Aborted() {
+			inA[t.BatchPos] = true
+		}
+	}
+
+	// Fixpoint taint propagation.
+	for changed := true; changed; {
+		changed = false
+		for _, seq := range byRec {
+			writeTaint := false // a write by an A-member has occurred
+			readTaint := false  // a read by an A-member has occurred
+			for _, en := range seq {
+				pos := en.t.BatchPos
+				if writeTaint || (readTaint && en.write) {
+					if !inA[pos] {
+						inA[pos] = true
+						changed = true
+					}
+					if !tainted[pos] {
+						tainted[pos] = true
+						changed = true
+					}
+				}
+				if inA[pos] {
+					if en.write {
+						writeTaint = true
+					} else {
+						readTaint = true
+					}
+				}
+			}
+		}
+	}
+
+	// Rollback: restore each record to the before-image of its first write
+	// by an A-member.
+	for _, seq := range byRec {
+		for _, en := range seq {
+			if !en.write || !inA[en.t.BatchPos] {
+				continue
+			}
+			if en.inserted {
+				e.store.Table(en.frag.Table).Remove(en.frag.Key)
+			} else if e.cfg.Isolation == ReadCommitted {
+				if en.hadSpec {
+					copy(en.rec.Spec, en.before)
+				} else {
+					en.rec.HasSpec = false
+				}
+			} else {
+				copy(en.rec.Val, en.before)
+				en.rec.HasSpec = false
+			}
+			break
+		}
+	}
+
+	// Re-execute tainted members serially in priority order. Untainted
+	// logic aborts stay aborted: their verdicts were reached on clean state.
+	var victims []*txn.Txn
+	for _, t := range txns {
+		if tainted[t.BatchPos] {
+			victims = append(victims, t)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].BatchPos < victims[j].BatchPos })
+	for _, t := range victims {
+		e.stats.Retries.Add(1)
+		if err := e.runTxnSerial(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serialUndo is a rollback entry for the serial (repair / recovery) executor.
+type serialUndo struct {
+	rec      *storage.Record
+	table    storage.TableID
+	key      storage.Key
+	before   []byte
+	inserted bool
+	hadSpec  bool
+}
+
+// runTxnSerial executes one transaction to completion on the calling
+// goroutine, with no speculation: a fresh logic abort rolls back the
+// transaction's own writes immediately. Used for cascade repair and for WAL
+// replay. Fragments run in sequence order, which satisfies all
+// intra-transaction dependencies by construction.
+func (e *Engine) runTxnSerial(t *txn.Txn) error {
+	t.Reset()
+	rcMode := e.cfg.Isolation == ReadCommitted
+	var undo []serialUndo
+	var ctx txn.FragCtx
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		table := e.store.Table(f.Table)
+		var rec *storage.Record
+		inserted := false
+		if f.Access == txn.Insert {
+			rec, inserted = table.Insert(f.Key, nil)
+		} else {
+			rec = table.Get(f.Key)
+		}
+		if rec == nil {
+			return fmt.Errorf("core: serial exec: missing record table=%d key=%d (txn %d frag %d)", f.Table, f.Key, t.ID, f.Seq)
+		}
+
+		buf := rec.Val
+		hadSpec := false
+		if rcMode && f.Access != txn.Insert {
+			if f.Access.IsWrite() {
+				if rec.SpecEpoch != e.epoch || !rec.HasSpec {
+					if cap(rec.Spec) < len(rec.Val) {
+						rec.Spec = make([]byte, len(rec.Val))
+					}
+					rec.Spec = rec.Spec[:len(rec.Val)]
+					copy(rec.Spec, rec.Val)
+					rec.HasSpec = true
+					rec.SpecEpoch = e.epoch
+					e.repairFlips = append(e.repairFlips, rec)
+				} else {
+					hadSpec = true
+				}
+				buf = rec.Spec
+			} else if rec.HasSpec && rec.SpecEpoch == e.epoch {
+				buf = rec.Spec
+			}
+		}
+
+		if f.Access.IsWrite() {
+			var before []byte
+			if !inserted {
+				before = append([]byte(nil), buf...)
+			}
+			undo = append(undo, serialUndo{
+				rec: rec, table: f.Table, key: f.Key,
+				before: before, inserted: inserted, hadSpec: hadSpec,
+			})
+		}
+
+		ctx = txn.FragCtx{T: t, F: f, Val: buf}
+		err := f.Logic(&ctx)
+		if f.Abortable {
+			if err == txn.ErrAbort {
+				t.MarkAborted()
+				err = nil
+			}
+			t.ResolveAbortable()
+		} else if err == txn.ErrAbort {
+			return fmt.Errorf("core: txn %d frag %d returned ErrAbort but is not marked abortable", t.ID, f.Seq)
+		}
+		if err != nil {
+			return fmt.Errorf("core: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+		if t.Aborted() {
+			// Roll back this transaction's own writes, newest first.
+			for j := len(undo) - 1; j >= 0; j-- {
+				u := undo[j]
+				switch {
+				case u.inserted:
+					e.store.Table(u.table).Remove(u.key)
+				case rcMode:
+					if u.hadSpec {
+						copy(u.rec.Spec, u.before)
+					} else {
+						u.rec.HasSpec = false
+					}
+				default:
+					copy(u.rec.Val, u.before)
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package engine defines the common interface every transaction-processing
+// protocol in this repository implements, deterministic or not, so the
+// benchmark harness, examples and tests can drive them interchangeably
+// (the "apple-to-apple comparison" the paper performs inside ExpoDB).
+package engine
+
+import (
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// Engine executes batches of transactions. Implementations are not required
+// to support concurrent ExecBatch calls; the harness issues batches
+// sequentially (internal concurrency is the engine's own business).
+type Engine interface {
+	// Name identifies the protocol and configuration.
+	Name() string
+	// ExecBatch executes all transactions of the batch to completion
+	// (commit or deterministic/user abort). A non-nil error denotes an
+	// internal failure, not a transaction abort.
+	ExecBatch(txns []*txn.Txn) error
+	// Stats exposes the engine's accumulated counters and latency histogram.
+	Stats() *metrics.Stats
+	// Close releases engine resources (background goroutines, sockets).
+	Close()
+}

@@ -1,0 +1,198 @@
+// Package hstore implements an H-Store-style deterministic baseline (Kallman
+// et al., VLDB'08): partition-level locking with serial execution inside each
+// partition. Single-partition transactions run in parallel across
+// partitions; a multi-partition transaction must own every partition it
+// touches, stalling them all for its duration — the design property that
+// makes H-Store collapse on multi-partition workloads (paper Table 2 row 1).
+//
+// Scheduling is deterministic: during a planning pass each transaction is
+// assigned a per-partition sequence number in batch order, and execution
+// admits a transaction only when every partition it touches has reached its
+// sequence number (a ticket lock per partition). The resulting history is
+// exactly the batch serial order, so final state is hash-comparable with the
+// queue-oriented engine.
+package hstore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// Engine implements the partition-locking deterministic baseline.
+type Engine struct {
+	store   *storage.Store
+	workers int
+	stats   metrics.Stats
+	tickets []atomic.Uint64 // per-partition next-admission counter
+}
+
+// New creates an H-Store engine with the given worker count.
+func New(store *storage.Store, workers int) (*Engine, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("hstore: workers must be >= 1, got %d", workers)
+	}
+	return &Engine{
+		store:   store,
+		workers: workers,
+		tickets: make([]atomic.Uint64, store.Partitions()),
+	}, nil
+}
+
+// Name implements the engine interface.
+func (e *Engine) Name() string { return "hstore" }
+
+// Stats implements the engine interface.
+func (e *Engine) Stats() *metrics.Stats { return &e.stats }
+
+// Close implements the engine interface.
+func (e *Engine) Close() {}
+
+// claim is one transaction's admission requirement on one partition.
+type claim struct {
+	part int
+	seq  uint64
+}
+
+// ExecBatch implements the engine interface.
+func (e *Engine) ExecBatch(txns []*txn.Txn) error {
+	if len(txns) == 0 {
+		return nil
+	}
+	start := time.Now()
+
+	// Deterministic planning pass: per-partition sequence numbers in batch
+	// order. Ticket counters restart at zero each batch.
+	for p := range e.tickets {
+		e.tickets[p].Store(0)
+	}
+	claims := make([][]claim, len(txns))
+	perPart := make([]uint64, e.store.Partitions())
+	for i, t := range txns {
+		t.BatchPos = uint32(i)
+		parts := t.Partitions(e.store)
+		cs := make([]claim, 0, len(parts))
+		for _, p := range parts {
+			cs = append(cs, claim{part: p, seq: perPart[p]})
+			perPart[p]++
+		}
+		claims[i] = cs
+	}
+
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(txns) {
+					return
+				}
+				if err := e.execOne(txns[i], claims[i]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+
+	committed := 0
+	for _, t := range txns {
+		if !t.Aborted() {
+			committed++
+		}
+	}
+	e.stats.Committed.Add(uint64(committed))
+	e.stats.UserAborts.Add(uint64(len(txns) - committed))
+	e.stats.ExecNs.Add(uint64(time.Since(start).Nanoseconds()))
+	e.stats.Latency.ObserveN(time.Since(start), committed)
+	return nil
+}
+
+// execOne admits the transaction on all its partitions (ticket waits), runs
+// it serially, then releases the partitions by advancing their tickets.
+func (e *Engine) execOne(t *txn.Txn, cs []claim) error {
+	// Admission: wait until every touched partition reaches this
+	// transaction's sequence number. Predecessors are strictly earlier in
+	// batch order on every shared partition, so waits cannot cycle.
+	for _, c := range cs {
+		for e.tickets[c.part].Load() != c.seq {
+			runtime.Gosched()
+		}
+	}
+
+	err := e.runSerial(t)
+
+	for _, c := range cs {
+		e.tickets[c.part].Add(1)
+	}
+	return err
+}
+
+// undoEnt is a before-image for logic-abort rollback.
+type undoEnt struct {
+	rec      *storage.Record
+	table    storage.TableID
+	key      storage.Key
+	before   []byte
+	inserted bool
+}
+
+// runSerial executes the transaction in place; all its partitions are
+// exclusively owned.
+func (e *Engine) runSerial(t *txn.Txn) error {
+	var undo []undoEnt
+	var ctx txn.FragCtx
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		table := e.store.Table(f.Table)
+		var rec *storage.Record
+		inserted := false
+		if f.Access == txn.Insert {
+			rec, inserted = table.Insert(f.Key, nil)
+		} else {
+			rec = table.Get(f.Key)
+		}
+		if rec == nil {
+			return fmt.Errorf("hstore: missing record table=%d key=%d", f.Table, f.Key)
+		}
+		if f.Access.IsWrite() {
+			var before []byte
+			if !inserted {
+				before = append([]byte(nil), rec.Val...)
+			}
+			undo = append(undo, undoEnt{rec: rec, table: f.Table, key: f.Key, before: before, inserted: inserted})
+		}
+		ctx = txn.FragCtx{T: t, F: f, Val: rec.Val}
+		err := f.Logic(&ctx)
+		if f.Abortable && err == txn.ErrAbort {
+			t.MarkAborted()
+			for j := len(undo) - 1; j >= 0; j-- {
+				u := undo[j]
+				if u.inserted {
+					e.store.Table(u.table).Remove(u.key)
+				} else {
+					copy(u.rec.Val, u.before)
+				}
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("hstore: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+	}
+	return nil
+}

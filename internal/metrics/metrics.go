@@ -1,0 +1,275 @@
+// Package metrics provides low-overhead performance instrumentation for the
+// transaction engines: log-bucketed latency histograms, throughput meters and
+// counter sets. All types are safe for concurrent use unless stated otherwise.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers latencies from 1ns to ~17minutes in power-of-two buckets.
+const numBuckets = 40
+
+// Histogram is a fixed-size, lock-free latency histogram with power-of-two
+// nanosecond buckets. The zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// bucketOf returns the bucket index for a duration in nanoseconds.
+func bucketOf(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	b := 64 - leadingZeros(ns)
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x <= 0x00000000FFFFFFFF {
+		n += 32
+		x <<= 32
+	}
+	if x <= 0x0000FFFFFFFFFFFF {
+		n += 16
+		x <<= 16
+	}
+	if x <= 0x00FFFFFFFFFFFFFF {
+		n += 8
+		x <<= 8
+	}
+	if x <= 0x0FFFFFFFFFFFFFFF {
+		n += 4
+		x <<= 4
+	}
+	if x <= 0x3FFFFFFFFFFFFFFF {
+		n += 2
+		x <<= 2
+	}
+	if x <= 0x7FFFFFFFFFFFFFFF {
+		n++
+	}
+	return n
+}
+
+// Observe records a single latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ObserveN records n samples of the same latency. Used when a whole batch of
+// transactions shares one commit point (deterministic engines commit batches
+// atomically, so every transaction in the batch has the same commit latency).
+func (h *Histogram) ObserveN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	ns := uint64(d.Nanoseconds())
+	h.buckets[bucketOf(ns)].Add(uint64(n))
+	h.count.Add(uint64(n))
+	h.sum.Add(ns * uint64(n))
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency, or zero if no samples were recorded.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile returns an upper-bound estimate of the p-th percentile
+// (0 < p <= 100). The estimate is the upper edge of the bucket containing the
+// percentile rank, so it is accurate to within 2x (one power-of-two bucket).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(float64(c) * p / 100.0))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return time.Duration(1)
+			}
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds all samples of other into h. Not atomic with respect to
+// concurrent Observe calls on other; intended for post-run aggregation.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < numBuckets; i++ {
+		if v := other.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		cur := h.max.Load()
+		om := other.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Reset clears all samples. Not safe concurrently with Observe.
+func (h *Histogram) Reset() {
+	for i := 0; i < numBuckets; i++ {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// String renders a compact latency summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Stats aggregates the standard metrics every engine run reports.
+type Stats struct {
+	Committed  atomic.Uint64 // transactions committed
+	UserAborts atomic.Uint64 // transactions aborted by transaction logic (permanent)
+	Retries    atomic.Uint64 // aborts followed by re-execution (non-deterministic CC, or cascades)
+	Messages   atomic.Uint64 // network messages sent (distributed engines)
+	PlanNs     atomic.Uint64 // time spent in the planning phase (deterministic engines)
+	ExecNs     atomic.Uint64 // time spent in the execution phase
+	Latency    Histogram     // commit latency per transaction
+}
+
+// Snapshot is an immutable copy of Stats counters plus derived rates.
+type Snapshot struct {
+	Committed  uint64
+	UserAborts uint64
+	Retries    uint64
+	Messages   uint64
+	PlanNs     uint64
+	ExecNs     uint64
+	Elapsed    time.Duration
+	Throughput float64 // committed txns per second
+	MeanLat    time.Duration
+	P50        time.Duration
+	P99        time.Duration
+}
+
+// Snap computes a snapshot given the wall-clock duration of the run.
+func (s *Stats) Snap(elapsed time.Duration) Snapshot {
+	snap := Snapshot{
+		Committed:  s.Committed.Load(),
+		UserAborts: s.UserAborts.Load(),
+		Retries:    s.Retries.Load(),
+		Messages:   s.Messages.Load(),
+		PlanNs:     s.PlanNs.Load(),
+		ExecNs:     s.ExecNs.Load(),
+		Elapsed:    elapsed,
+		MeanLat:    s.Latency.Mean(),
+		P50:        s.Latency.Percentile(50),
+		P99:        s.Latency.Percentile(99),
+	}
+	if elapsed > 0 {
+		snap.Throughput = float64(snap.Committed) / elapsed.Seconds()
+	}
+	return snap
+}
+
+// Reset clears all counters and the histogram.
+func (s *Stats) Reset() {
+	s.Committed.Store(0)
+	s.UserAborts.Store(0)
+	s.Retries.Store(0)
+	s.Messages.Store(0)
+	s.PlanNs.Store(0)
+	s.ExecNs.Store(0)
+	s.Latency.Reset()
+}
+
+// Table renders rows of [name, snapshot] pairs as an aligned text table,
+// mirroring the presentation style of the paper's Table 2.
+func Table(names []string, snaps []Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %14s %10s %10s %10s %12s %12s %10s\n",
+		"engine", "txn/s", "committed", "aborts", "retries", "p50", "p99", "msgs/txn")
+	for i, n := range names {
+		s := snaps[i]
+		msgsPerTxn := 0.0
+		if s.Committed > 0 {
+			msgsPerTxn = float64(s.Messages) / float64(s.Committed)
+		}
+		fmt.Fprintf(&b, "%-24s %14.0f %10d %10d %10d %12v %12v %10.2f\n",
+			n, s.Throughput, s.Committed, s.UserAborts, s.Retries, s.P50, s.P99, msgsPerTxn)
+	}
+	return b.String()
+}
+
+// Speedup returns how many times faster a is than b by committed throughput.
+func Speedup(a, b Snapshot) float64 {
+	if b.Throughput == 0 {
+		return math.Inf(1)
+	}
+	return a.Throughput / b.Throughput
+}
+
+// SortedSpeedups returns "name=speedup" fragments of every entry relative to
+// the baseline snapshot, sorted descending — convenience for experiment logs.
+func SortedSpeedups(names []string, snaps []Snapshot, baseline Snapshot) []string {
+	type pair struct {
+		name string
+		s    float64
+	}
+	pairs := make([]pair, 0, len(names))
+	for i := range names {
+		pairs = append(pairs, pair{names[i], Speedup(snaps[i], baseline)})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+	out := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, fmt.Sprintf("%s=%.2fx", p.name, p.s))
+	}
+	return out
+}

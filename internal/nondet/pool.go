@@ -1,0 +1,150 @@
+// Package nondet provides the shared scaffolding for the classical
+// (non-deterministic) concurrency-control baselines: a worker pool that
+// executes the transactions of a batch concurrently, retrying each
+// transaction after concurrency-control aborts with bounded randomized
+// backoff until it commits or its own logic aborts it.
+//
+// This is the execution model the paper contrasts with: transactions are
+// assigned to threads (thread-to-transaction), isolation is enforced by
+// locks/validation, and under contention the abort-retry loop burns the
+// throughput that deterministic queue-oriented execution keeps.
+package nondet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// Outcome reports how one execution attempt of a transaction ended.
+type Outcome uint8
+
+// Attempt outcomes.
+const (
+	// Committed: the attempt committed.
+	Committed Outcome = iota + 1
+	// CCAbort: concurrency control aborted the attempt (deadlock avoidance,
+	// validation failure, write conflict); the pool retries.
+	CCAbort
+	// UserAbort: transaction logic aborted; permanent, no retry.
+	UserAbort
+)
+
+// Runner executes one attempt of a transaction under a specific
+// concurrency-control protocol. Implementations must be safe for concurrent
+// calls from multiple workers.
+type Runner interface {
+	// Name identifies the protocol (e.g. "silo", "2pl-nowait").
+	Name() string
+	// RunTxn performs one attempt. A non-nil error denotes an internal
+	// failure (workload bug), not an abort.
+	RunTxn(worker int, t *txn.Txn) (Outcome, error)
+}
+
+// Pool drives a Runner with a fixed number of worker goroutines.
+type Pool struct {
+	runner  Runner
+	workers int
+	stats   metrics.Stats
+	// maxRetries bounds the retry loop to surface livelocks as errors
+	// instead of hangs.
+	maxRetries int
+}
+
+// NewPool creates a pool with the given worker count.
+func NewPool(runner Runner, workers int) (*Pool, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("nondet: workers must be >= 1, got %d", workers)
+	}
+	return &Pool{runner: runner, workers: workers, maxRetries: 1_000_000}, nil
+}
+
+// Name implements the engine interface.
+func (p *Pool) Name() string { return p.runner.Name() }
+
+// Stats returns the pool's accumulated metrics.
+func (p *Pool) Stats() *metrics.Stats { return &p.stats }
+
+// Close implements the engine interface.
+func (p *Pool) Close() {}
+
+// ExecBatch executes all transactions of the batch concurrently, returning
+// when every transaction has committed or user-aborted. The batch boundary
+// exists only for apples-to-apples comparison with the deterministic
+// engines; within a batch execution order is arbitrary.
+func (p *Pool) ExecBatch(txns []*txn.Txn) error {
+	if len(txns) == 0 {
+		return nil
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(txns) {
+					return
+				}
+				if err := p.execOne(worker, txns[i]); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	return nil
+}
+
+// execOne drives one transaction through the attempt/retry loop.
+func (p *Pool) execOne(worker int, t *txn.Txn) error {
+	start := time.Now()
+	backoff := 1
+	for attempt := 0; ; attempt++ {
+		if attempt > p.maxRetries {
+			return fmt.Errorf("nondet: txn %d exceeded %d retries under %s", t.ID, p.maxRetries, p.runner.Name())
+		}
+		t.Reset()
+		out, err := p.runner.RunTxn(worker, t)
+		if err != nil {
+			return err
+		}
+		switch out {
+		case Committed:
+			p.stats.Committed.Add(1)
+			p.stats.Latency.Observe(time.Since(start))
+			return nil
+		case UserAbort:
+			p.stats.UserAborts.Add(1)
+			p.stats.Latency.Observe(time.Since(start))
+			return nil
+		case CCAbort:
+			p.stats.Retries.Add(1)
+			// Bounded randomized-ish backoff: yield a growing number of
+			// times. Real time.Sleep at microsecond scale oversleeps by
+			// orders of magnitude on most schedulers and would flatten all
+			// protocols equally; cooperative yields keep the contention
+			// signal intact.
+			spins := backoff + int(t.ID%7)
+			for s := 0; s < spins; s++ {
+				runtime.Gosched()
+			}
+			if backoff < 1024 {
+				backoff *= 2
+			}
+		default:
+			return fmt.Errorf("nondet: runner %s returned invalid outcome %d", p.runner.Name(), out)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package silo implements a Silo-style optimistic concurrency control engine
+// (Tu et al., SOSP'13): transactions execute against stable copies of the
+// records they read, buffer their writes locally, and at commit lock the
+// write set in address order, validate the read set against per-record TID
+// words, and install. The TID word's top bit is the write lock; stable reads
+// use the seqlock pattern (read TID, copy value, re-read TID).
+package silo
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"unsafe"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/nondet"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+const lockBit = uint64(1) << 63
+
+// lockSpinLimit bounds commit-phase lock acquisition before giving up and
+// aborting; avoids deadlock with concurrent committers despite sorted
+// acquisition when mixed with readers.
+const lockSpinLimit = 4096
+
+// Engine implements Silo OCC over the shared store.
+type Engine struct {
+	store *storage.Store
+	pool  *nondet.Pool
+	state []workerState
+}
+
+type readEntry struct {
+	rec *storage.Record
+	tid uint64
+}
+
+type writeEntry struct {
+	rec      *storage.Record // nil for pending inserts
+	buf      []byte
+	table    storage.TableID
+	key      storage.Key
+	isInsert bool
+}
+
+// workerState is per-worker scratch, reused across transactions.
+type workerState struct {
+	reads  []readEntry
+	writes []writeEntry
+	wIdx   map[*storage.Record]int
+	arena  []byte
+	_      [32]byte // pad to keep worker states off shared cache lines
+}
+
+// New creates a Silo engine with the given worker count.
+func New(store *storage.Store, workers int) (*Engine, error) {
+	e := &Engine{store: store, state: make([]workerState, workers)}
+	for i := range e.state {
+		e.state[i].wIdx = make(map[*storage.Record]int, 16)
+	}
+	pool, err := nondet.NewPool(e, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.pool = pool
+	return e, nil
+}
+
+var _ nondet.Runner = (*Engine)(nil)
+
+// Name implements nondet.Runner.
+func (e *Engine) Name() string { return "silo" }
+
+// ExecBatch implements the engine interface.
+func (e *Engine) ExecBatch(txns []*txn.Txn) error { return e.pool.ExecBatch(txns) }
+
+// Stats implements the engine interface.
+func (e *Engine) Stats() *metrics.Stats { return e.pool.Stats() }
+
+// Close implements the engine interface.
+func (e *Engine) Close() {}
+
+// stableRead copies the committed snapshot into buf and returns the TID it
+// is consistent with. Installers publish snapshots only while holding the
+// lock bit, so observing the same unlocked TID on both sides of the snapshot
+// load guarantees the association.
+func stableRead(rec *storage.Record, buf []byte) uint64 {
+	for {
+		t1 := rec.TID.Load()
+		if t1&lockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		copy(buf, rec.CommittedValue())
+		if rec.TID.Load() == t1 {
+			return t1
+		}
+	}
+}
+
+// alloc carves a value buffer out of the worker arena.
+func (ws *workerState) alloc(n int) []byte {
+	if len(ws.arena)+n > cap(ws.arena) {
+		ws.arena = make([]byte, 0, 1<<16)
+	}
+	off := len(ws.arena)
+	ws.arena = ws.arena[:off+n]
+	return ws.arena[off : off+n : off+n]
+}
+
+// RunTxn implements nondet.Runner.
+func (e *Engine) RunTxn(worker int, t *txn.Txn) (nondet.Outcome, error) {
+	ws := &e.state[worker]
+	ws.reads = ws.reads[:0]
+	ws.writes = ws.writes[:0]
+	ws.arena = ws.arena[:0]
+	clear(ws.wIdx)
+
+	var ctx txn.FragCtx
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		table := e.store.Table(f.Table)
+		size := table.Spec().ValueSize
+
+		var buf []byte
+		switch f.Access {
+		case txn.Insert:
+			buf = ws.alloc(size)
+			for j := range buf {
+				buf[j] = 0
+			}
+			ws.writes = append(ws.writes, writeEntry{buf: buf, table: f.Table, key: f.Key, isInsert: true})
+		case txn.Read, txn.ReadModifyWrite, txn.Update:
+			rec := table.Get(f.Key)
+			if rec == nil {
+				return 0, fmt.Errorf("silo: missing record table=%d key=%d", f.Table, f.Key)
+			}
+			if wi, ok := ws.wIdx[rec]; ok {
+				// Own-write visibility: reads and further writes see the
+				// buffered copy.
+				buf = ws.writes[wi].buf
+			} else {
+				buf = ws.alloc(size)
+				tid := stableRead(rec, buf)
+				if f.Access == txn.Read || f.Access == txn.ReadModifyWrite {
+					ws.reads = append(ws.reads, readEntry{rec: rec, tid: tid})
+				}
+				if f.Access.IsWrite() {
+					ws.wIdx[rec] = len(ws.writes)
+					ws.writes = append(ws.writes, writeEntry{rec: rec, buf: buf, table: f.Table, key: f.Key})
+				}
+			}
+		default:
+			return 0, fmt.Errorf("silo: unknown access type %v", f.Access)
+		}
+
+		ctx = txn.FragCtx{T: t, F: f, Val: buf}
+		err := f.Logic(&ctx)
+		if f.Abortable && err == txn.ErrAbort {
+			return nondet.UserAbort, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("silo: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+	}
+	return e.commit(ws)
+}
+
+// commit runs Silo's three commit phases: lock write set, validate read set,
+// install.
+func (e *Engine) commit(ws *workerState) (nondet.Outcome, error) {
+	writes := ws.writes
+	// Phase 1: lock the write set in a global order (record address;
+	// inserts last, ordered by table/key — they cannot deadlock since the
+	// records do not exist yet).
+	sort.Slice(writes, func(i, j int) bool {
+		a, b := &writes[i], &writes[j]
+		if (a.rec == nil) != (b.rec == nil) {
+			return b.rec == nil
+		}
+		if a.rec != nil {
+			return recLess(a.rec, b.rec)
+		}
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		return a.key < b.key
+	})
+	locked := 0
+	for i := range writes {
+		if writes[i].rec == nil {
+			continue
+		}
+		if !lockRecord(writes[i].rec) {
+			for j := 0; j < locked; j++ {
+				if writes[j].rec != nil {
+					unlockRecord(writes[j].rec)
+				}
+			}
+			return nondet.CCAbort, nil
+		}
+		locked = i + 1
+	}
+
+	releaseAll := func() {
+		for i := range writes {
+			if writes[i].rec != nil {
+				unlockRecord(writes[i].rec)
+			}
+		}
+	}
+
+	// Phase 2: validate the read set.
+	for _, r := range ws.reads {
+		cur := r.rec.TID.Load()
+		if cur&^lockBit != r.tid {
+			releaseAll()
+			return nondet.CCAbort, nil
+		}
+		if cur&lockBit != 0 {
+			if _, own := ws.wIdx[r.rec]; !own {
+				releaseAll()
+				return nondet.CCAbort, nil
+			}
+		}
+	}
+
+	// Phase 3: install writes and inserts as immutable snapshots, bumping
+	// per-record TIDs. The snapshot is published while the lock bit is
+	// held, then the TID store releases.
+	for i := range writes {
+		w := &writes[i]
+		if w.isInsert {
+			rec, ok := e.store.Table(w.table).Insert(w.key, nil)
+			if !ok {
+				// Duplicate key: a concurrent transaction inserted it
+				// first. Workloads assign unique keys, so treat as a
+				// conflict and retry.
+				releaseAll()
+				return nondet.CCAbort, nil
+			}
+			rec.TID.Store(lockBit)
+			rec.PublishSnapshot(append([]byte(nil), w.buf...))
+			rec.TID.Store(2)
+			continue
+		}
+		old := w.rec.TID.Load() &^ lockBit
+		w.rec.PublishSnapshot(append([]byte(nil), w.buf...))
+		w.rec.TID.Store(old + 2) // +2 keeps parity clear of the lock bit path
+	}
+	return nondet.Committed, nil
+}
+
+func lockRecord(rec *storage.Record) bool {
+	for spin := 0; spin < lockSpinLimit; spin++ {
+		cur := rec.TID.Load()
+		if cur&lockBit == 0 && rec.TID.CompareAndSwap(cur, cur|lockBit) {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+func unlockRecord(rec *storage.Record) {
+	rec.TID.Store(rec.TID.Load() &^ lockBit)
+}
+
+// recLess orders records by address for deadlock-free lock acquisition; the
+// order only needs to be consistent within a run, which pointer identity
+// provides (records never move — they are heap-allocated once).
+func recLess(a, b *storage.Record) bool {
+	return uintptr(unsafe.Pointer(a)) < uintptr(unsafe.Pointer(b))
+}

@@ -1,0 +1,321 @@
+// Package storage implements the shared in-memory, partitioned storage engine
+// every transaction-processing protocol in this repository runs on. A Store
+// holds a set of fixed-schema tables; each table's records are hash-
+// partitioned by key across a configurable number of partitions.
+//
+// Records carry two kinds of state:
+//
+//   - The committed value buffer (Val) plus an optional speculative buffer
+//     (used by the queue-oriented engine for read-committed isolation, where
+//     the paper requires "maintaining a speculative version and a committed
+//     version of records").
+//   - Concurrency-control metadata words used by the non-deterministic
+//     baselines: a TID/lock word (Silo-style OCC and 2PL), wts/rts timestamp
+//     words (TicToc) and a latched version chain (MVTO). Deterministic
+//     engines leave these untouched — that is the point of the paper.
+//
+// The Store itself only synchronizes the partition hash maps (record lookup
+// and insert); synchronization of record *contents* is the job of each
+// concurrency-control protocol.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies a record within a table. Composite benchmark keys (e.g.
+// TPC-C warehouse/district/customer ids) are encoded into the 64 bits such
+// that key%partitions recovers the home partition.
+type Key uint64
+
+// TableID identifies a table within a Store.
+type TableID uint8
+
+// TableSpec declares one table of the schema.
+type TableSpec struct {
+	ID        TableID
+	Name      string
+	ValueSize int // fixed record payload size in bytes
+}
+
+// Config configures a Store.
+type Config struct {
+	Partitions int
+	Tables     []TableSpec
+}
+
+// Version is one entry in a record's multi-version chain (used by MVTO).
+// Next points to the next-older version. Owner identifies the writing
+// transaction while Committed is false; access is guarded by the record
+// latch.
+type Version struct {
+	WTS       uint64
+	RTS       uint64
+	Owner     uint64
+	Committed bool
+	Val       []byte
+	Next      *Version
+}
+
+// Record is a single database record. Val is the committed single-version
+// payload. The exported atomic words are protocol scratch space; exactly one
+// protocol instance uses them at a time (engines never share a live Store).
+type Record struct {
+	// TID is the Silo-style word: bit 63 = write-lock bit, low bits = the
+	// transaction id / version counter. 2PL reuses it as its lock word
+	// (see twopl package for the encoding).
+	TID atomic.Uint64
+	// WTS and RTS are the TicToc write/read timestamps.
+	WTS atomic.Uint64
+	RTS atomic.Uint64
+	// LatchWord is a test-and-set spinlock guarding Versions.
+	LatchWord atomic.Uint32
+	// Versions is the MVTO version chain head (newest first), guarded by
+	// Latch/Unlatch.
+	Versions *Version
+
+	// Val is the committed value. Deterministic engines mutate it in place
+	// (the owning executor is the only writer); lock-based engines mutate it
+	// under the record lock.
+	Val []byte
+
+	// snap is the immutable published value snapshot used by the OCC
+	// engines (Silo, TicToc): installers publish a fresh immutable slice
+	// while holding the TID/word lock bit, and readers pair a snapshot
+	// pointer load with word re-checks. Copy-on-write keeps reads free of
+	// torn bytes without relying on C-style seqlock reads, which are data
+	// races under the Go memory model.
+	snap atomic.Pointer[[]byte]
+
+	// Spec is the speculative value slot used by the queue-oriented engine
+	// under read-committed isolation: writes within the in-flight batch land
+	// here (copy-on-write from Val) and are flipped into Val at batch commit.
+	// Only the owning executor touches these fields.
+	Spec    []byte
+	HasSpec bool
+	// SpecWriter is the id of the last in-batch transaction that wrote this
+	// record speculatively; the queue-oriented engine uses it to track the
+	// paper's speculation dependencies for cascading-abort repair.
+	SpecWriter uint64
+	// SpecEpoch stamps SpecWriter/HasSpec with the batch they belong to, so
+	// stale marks from previous batches are ignored without a clearing pass.
+	SpecEpoch uint64
+}
+
+// PublishSnapshot publishes an immutable committed-value snapshot. The
+// caller must hold the record's protocol lock (TID/word lock bit) and must
+// never mutate v afterwards.
+func (r *Record) PublishSnapshot(v []byte) { r.snap.Store(&v) }
+
+// CommittedValue returns the current committed value: the published snapshot
+// when one exists (OCC engines), otherwise Val. The returned slice must be
+// treated as read-only.
+func (r *Record) CommittedValue() []byte {
+	if p := r.snap.Load(); p != nil {
+		return *p
+	}
+	return r.Val
+}
+
+// Latch acquires the record's version-chain spinlock.
+func (r *Record) Latch() {
+	for !r.LatchWord.CompareAndSwap(0, 1) {
+		// Spin; critical sections are a handful of instructions.
+	}
+}
+
+// TryLatch attempts to acquire the latch without spinning.
+func (r *Record) TryLatch() bool { return r.LatchWord.CompareAndSwap(0, 1) }
+
+// Unlatch releases the version-chain spinlock.
+func (r *Record) Unlatch() { r.LatchWord.Store(0) }
+
+// partition is one hash partition of a table.
+type partition struct {
+	mu   sync.RWMutex
+	recs map[Key]*Record
+}
+
+// Table is a fixed-schema table partitioned by key.
+type Table struct {
+	spec  TableSpec
+	parts []*partition
+	nPart uint64
+}
+
+// Spec returns the table's schema declaration.
+func (t *Table) Spec() TableSpec { return t.spec }
+
+// Store is the top-level storage engine instance.
+type Store struct {
+	cfg    Config
+	tables map[TableID]*Table
+	order  []TableID // table ids in declaration order, for deterministic iteration
+}
+
+// Open creates a Store with the given configuration.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Partitions <= 0 {
+		return nil, fmt.Errorf("storage: partitions must be positive, got %d", cfg.Partitions)
+	}
+	s := &Store{cfg: cfg, tables: make(map[TableID]*Table, len(cfg.Tables))}
+	for _, ts := range cfg.Tables {
+		if _, dup := s.tables[ts.ID]; dup {
+			return nil, fmt.Errorf("storage: duplicate table id %d (%s)", ts.ID, ts.Name)
+		}
+		if ts.ValueSize <= 0 {
+			return nil, fmt.Errorf("storage: table %s: value size must be positive", ts.Name)
+		}
+		t := &Table{spec: ts, parts: make([]*partition, cfg.Partitions), nPart: uint64(cfg.Partitions)}
+		for i := range t.parts {
+			t.parts[i] = &partition{recs: make(map[Key]*Record)}
+		}
+		s.tables[ts.ID] = t
+		s.order = append(s.order, ts.ID)
+	}
+	return s, nil
+}
+
+// MustOpen is Open but panics on configuration errors; intended for tests and
+// benchmarks with static configs.
+func MustOpen(cfg Config) *Store {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Partitions returns the partition count.
+func (s *Store) Partitions() int { return s.cfg.Partitions }
+
+// Table returns the table with the given id, or nil if not declared.
+func (s *Store) Table(id TableID) *Table { return s.tables[id] }
+
+// PartitionOf returns the home partition of a key.
+func (s *Store) PartitionOf(k Key) int { return int(uint64(k) % uint64(s.cfg.Partitions)) }
+
+// PartitionOf returns the home partition of a key within this table.
+func (t *Table) PartitionOf(k Key) int { return int(uint64(k) % t.nPart) }
+
+// Get returns the record for key, or nil if absent.
+func (t *Table) Get(k Key) *Record {
+	p := t.parts[uint64(k)%t.nPart]
+	p.mu.RLock()
+	r := p.recs[k]
+	p.mu.RUnlock()
+	return r
+}
+
+// Insert creates a record for key with a copy of val (padded or truncated to
+// the table's value size) and returns it. If the key already exists the
+// existing record is returned unchanged and ok is false.
+func (t *Table) Insert(k Key, val []byte) (r *Record, ok bool) {
+	p := t.parts[uint64(k)%t.nPart]
+	p.mu.Lock()
+	if exist, found := p.recs[k]; found {
+		p.mu.Unlock()
+		return exist, false
+	}
+	r = &Record{Val: make([]byte, t.spec.ValueSize)}
+	copy(r.Val, val)
+	p.recs[k] = r
+	p.mu.Unlock()
+	return r, true
+}
+
+// Remove deletes the record for key, returning whether it was present. It is
+// used to undo inserts of aborted transactions.
+func (t *Table) Remove(k Key) bool {
+	p := t.parts[uint64(k)%t.nPart]
+	p.mu.Lock()
+	_, found := p.recs[k]
+	if found {
+		delete(p.recs, k)
+	}
+	p.mu.Unlock()
+	return found
+}
+
+// Len returns the total number of records in the table.
+func (t *Table) Len() int {
+	n := 0
+	for _, p := range t.parts {
+		p.mu.RLock()
+		n += len(p.recs)
+		p.mu.RUnlock()
+	}
+	return n
+}
+
+// ForEachInPartition calls fn for every (key, record) in one partition, in
+// unspecified order. fn must not insert or remove records of this table.
+func (t *Table) ForEachInPartition(part int, fn func(Key, *Record)) {
+	p := t.parts[part]
+	p.mu.RLock()
+	for k, r := range p.recs {
+		fn(k, r)
+	}
+	p.mu.RUnlock()
+}
+
+// Keys returns all keys of the table in sorted order. Intended for state
+// hashing and consistency checks, not hot paths.
+func (t *Table) Keys() []Key {
+	keys := make([]Key, 0, t.Len())
+	for _, p := range t.parts {
+		p.mu.RLock()
+		for k := range p.recs {
+			keys = append(keys, k)
+		}
+		p.mu.RUnlock()
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// StateHash returns an FNV-1a hash over every table's sorted keys and
+// committed values. Two stores with identical logical content hash equally;
+// used by the determinism and serial-equivalence tests, and by recovery
+// verification.
+func (s *Store) StateHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v))
+			v >>= 8
+		}
+	}
+	for _, id := range s.order {
+		t := s.tables[id]
+		mix(byte(id))
+		for _, k := range t.Keys() {
+			mix64(uint64(k))
+			r := t.Get(k)
+			for _, b := range r.CommittedValue() {
+				mix(b)
+			}
+		}
+	}
+	return h
+}
+
+// TotalRecords returns the number of records across all tables.
+func (s *Store) TotalRecords() int {
+	n := 0
+	for _, id := range s.order {
+		n += s.tables[id].Len()
+	}
+	return n
+}

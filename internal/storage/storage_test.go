@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTest(t *testing.T, parts int) *Store {
+	t.Helper()
+	s, err := Open(Config{Partitions: parts, Tables: []TableSpec{
+		{ID: 1, Name: "a", ValueSize: 16},
+		{ID: 2, Name: "b", ValueSize: 8},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{Partitions: 0}); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, err := Open(Config{Partitions: 1, Tables: []TableSpec{{ID: 1, ValueSize: 0}}}); err == nil {
+		t.Error("zero value size accepted")
+	}
+	if _, err := Open(Config{Partitions: 1, Tables: []TableSpec{
+		{ID: 1, Name: "x", ValueSize: 8}, {ID: 1, Name: "y", ValueSize: 8},
+	}}); err == nil {
+		t.Error("duplicate table id accepted")
+	}
+}
+
+func TestInsertGetRemove(t *testing.T) {
+	s := openTest(t, 4)
+	tab := s.Table(1)
+	r, fresh := tab.Insert(42, []byte("hello"))
+	if !fresh || r == nil {
+		t.Fatal("insert failed")
+	}
+	if string(r.Val[:5]) != "hello" {
+		t.Errorf("value = %q", r.Val[:5])
+	}
+	if len(r.Val) != 16 {
+		t.Errorf("value not padded to table size: %d", len(r.Val))
+	}
+	if _, fresh := tab.Insert(42, nil); fresh {
+		t.Error("duplicate insert reported fresh")
+	}
+	if got := tab.Get(42); got != r {
+		t.Error("get returned different record")
+	}
+	if !tab.Remove(42) {
+		t.Error("remove failed")
+	}
+	if tab.Get(42) != nil {
+		t.Error("record survived removal")
+	}
+	if tab.Remove(42) {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestPartitionRouting(t *testing.T) {
+	s := openTest(t, 4)
+	for k := Key(0); k < 100; k++ {
+		if got, want := s.PartitionOf(k), int(k%4); got != want {
+			t.Fatalf("PartitionOf(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestStateHashSensitivity(t *testing.T) {
+	s1 := openTest(t, 2)
+	s2 := openTest(t, 2)
+	s1.Table(1).Insert(1, []byte{1})
+	s2.Table(1).Insert(1, []byte{1})
+	if s1.StateHash() != s2.StateHash() {
+		t.Error("identical stores hash differently")
+	}
+	s2.Table(1).Get(1).Val[0] = 2
+	if s1.StateHash() == s2.StateHash() {
+		t.Error("different values hash equal")
+	}
+	s2.Table(1).Get(1).Val[0] = 1
+	s2.Table(2).Insert(9, nil)
+	if s1.StateHash() == s2.StateHash() {
+		t.Error("extra record not detected")
+	}
+}
+
+func TestSnapshotOverridesVal(t *testing.T) {
+	s := openTest(t, 1)
+	r, _ := s.Table(1).Insert(5, []byte{1, 1, 1})
+	h1 := s.StateHash()
+	r.PublishSnapshot([]byte{2, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if got := r.CommittedValue()[0]; got != 2 {
+		t.Errorf("committed value = %d, want snapshot", got)
+	}
+	if s.StateHash() == h1 {
+		t.Error("hash ignores snapshot")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := openTest(t, 3)
+	tab := s.Table(1)
+	for _, k := range []Key{9, 3, 7, 1, 100, 50} {
+		tab.Insert(k, nil)
+	}
+	keys := tab.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+	if tab.Len() != 6 || s.TotalRecords() != 6 {
+		t.Errorf("len mismatch: %d/%d", tab.Len(), s.TotalRecords())
+	}
+}
+
+func TestConcurrentInsertGet(t *testing.T) {
+	s := openTest(t, 8)
+	tab := s.Table(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key(g*1000 + i)
+				tab.Insert(k, nil)
+				if tab.Get(k) == nil {
+					t.Errorf("lost insert %d", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != 4000 {
+		t.Errorf("len = %d, want 4000", tab.Len())
+	}
+}
+
+// Property: insert/get round-trips for arbitrary keys and values.
+func TestInsertGetRoundTrip(t *testing.T) {
+	s := openTest(t, 5)
+	tab := s.Table(2)
+	seen := map[Key]bool{}
+	f := func(k Key, val [8]byte) bool {
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		if _, fresh := tab.Insert(k, val[:]); !fresh {
+			return false
+		}
+		r := tab.Get(k)
+		if r == nil {
+			return false
+		}
+		for i, b := range val {
+			if r.Val[i] != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatch(t *testing.T) {
+	var r Record
+	r.Latch()
+	if r.TryLatch() {
+		t.Error("TryLatch acquired a held latch")
+	}
+	r.Unlatch()
+	if !r.TryLatch() {
+		t.Error("TryLatch failed on free latch")
+	}
+	r.Unlatch()
+}

@@ -1,0 +1,305 @@
+// Package tictoc implements the TicToc timestamp-ordering OCC protocol (Yu
+// et al., SIGMOD'16). Each record carries a single 64-bit word encoding
+// [lock(1) | delta(15) | wts(48)], where rts = wts + delta. Transactions
+// record (wts, rts) for reads, buffer writes, and at commit compute the
+// smallest timestamp consistent with their read/write sets, extending read
+// timestamps (the "time traveling" trick) instead of aborting whenever
+// possible.
+package tictoc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"unsafe"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/nondet"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+const (
+	lockBit    = uint64(1) << 63
+	deltaShift = 48
+	deltaMask  = uint64(1<<15-1) << deltaShift
+	wtsMask    = uint64(1)<<48 - 1
+
+	lockSpinLimit = 4096
+)
+
+func wordWTS(w uint64) uint64 { return w & wtsMask }
+func wordRTS(w uint64) uint64 { return (w & wtsMask) + (w&deltaMask)>>deltaShift }
+func makeWord(wts, rts uint64) (uint64, bool) {
+	delta := rts - wts
+	if delta >= 1<<15 {
+		return 0, false
+	}
+	return wts | delta<<deltaShift, true
+}
+
+// Engine implements TicToc over the shared store, using each record's WTS
+// atomic as the encoded timestamp word.
+type Engine struct {
+	store *storage.Store
+	pool  *nondet.Pool
+	state []workerState
+}
+
+type readEntry struct {
+	rec *storage.Record
+	wts uint64
+	rts uint64
+}
+
+type writeEntry struct {
+	rec      *storage.Record // nil for pending inserts
+	buf      []byte
+	table    storage.TableID
+	key      storage.Key
+	isInsert bool
+}
+
+type workerState struct {
+	reads  []readEntry
+	writes []writeEntry
+	wIdx   map[*storage.Record]int
+	arena  []byte
+	_      [32]byte
+}
+
+func (ws *workerState) alloc(n int) []byte {
+	if len(ws.arena)+n > cap(ws.arena) {
+		ws.arena = make([]byte, 0, 1<<16)
+	}
+	off := len(ws.arena)
+	ws.arena = ws.arena[:off+n]
+	return ws.arena[off : off+n : off+n]
+}
+
+// New creates a TicToc engine with the given worker count.
+func New(store *storage.Store, workers int) (*Engine, error) {
+	e := &Engine{store: store, state: make([]workerState, workers)}
+	for i := range e.state {
+		e.state[i].wIdx = make(map[*storage.Record]int, 16)
+	}
+	pool, err := nondet.NewPool(e, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.pool = pool
+	return e, nil
+}
+
+var _ nondet.Runner = (*Engine)(nil)
+
+// Name implements nondet.Runner.
+func (e *Engine) Name() string { return "tictoc" }
+
+// ExecBatch implements the engine interface.
+func (e *Engine) ExecBatch(txns []*txn.Txn) error { return e.pool.ExecBatch(txns) }
+
+// Stats implements the engine interface.
+func (e *Engine) Stats() *metrics.Stats { return e.pool.Stats() }
+
+// Close implements the engine interface.
+func (e *Engine) Close() {}
+
+// stableRead copies the committed snapshot and returns the consistent
+// timestamp word (snapshots are only published under the lock bit, so equal
+// unlocked words on both sides of the load pin the association).
+func stableRead(rec *storage.Record, buf []byte) uint64 {
+	for {
+		w1 := rec.WTS.Load()
+		if w1&lockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		copy(buf, rec.CommittedValue())
+		if rec.WTS.Load() == w1 {
+			return w1
+		}
+	}
+}
+
+// RunTxn implements nondet.Runner.
+func (e *Engine) RunTxn(worker int, t *txn.Txn) (nondet.Outcome, error) {
+	ws := &e.state[worker]
+	ws.reads = ws.reads[:0]
+	ws.writes = ws.writes[:0]
+	ws.arena = ws.arena[:0]
+	clear(ws.wIdx)
+
+	var ctx txn.FragCtx
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		table := e.store.Table(f.Table)
+		size := table.Spec().ValueSize
+
+		var buf []byte
+		switch f.Access {
+		case txn.Insert:
+			buf = ws.alloc(size)
+			for j := range buf {
+				buf[j] = 0
+			}
+			ws.writes = append(ws.writes, writeEntry{buf: buf, table: f.Table, key: f.Key, isInsert: true})
+		case txn.Read, txn.ReadModifyWrite, txn.Update:
+			rec := table.Get(f.Key)
+			if rec == nil {
+				return 0, fmt.Errorf("tictoc: missing record table=%d key=%d", f.Table, f.Key)
+			}
+			if wi, ok := ws.wIdx[rec]; ok {
+				buf = ws.writes[wi].buf
+			} else {
+				buf = ws.alloc(size)
+				w := stableRead(rec, buf)
+				if f.Access == txn.Read || f.Access == txn.ReadModifyWrite {
+					ws.reads = append(ws.reads, readEntry{rec: rec, wts: wordWTS(w), rts: wordRTS(w)})
+				}
+				if f.Access.IsWrite() {
+					ws.wIdx[rec] = len(ws.writes)
+					ws.writes = append(ws.writes, writeEntry{rec: rec, buf: buf, table: f.Table, key: f.Key})
+				}
+			}
+		default:
+			return 0, fmt.Errorf("tictoc: unknown access type %v", f.Access)
+		}
+
+		ctx = txn.FragCtx{T: t, F: f, Val: buf}
+		err := f.Logic(&ctx)
+		if f.Abortable && err == txn.ErrAbort {
+			return nondet.UserAbort, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("tictoc: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+	}
+	return e.commit(ws)
+}
+
+func (e *Engine) commit(ws *workerState) (nondet.Outcome, error) {
+	writes := ws.writes
+	sort.Slice(writes, func(i, j int) bool {
+		a, b := &writes[i], &writes[j]
+		if (a.rec == nil) != (b.rec == nil) {
+			return b.rec == nil
+		}
+		if a.rec != nil {
+			return uintptr(unsafe.Pointer(a.rec)) < uintptr(unsafe.Pointer(b.rec))
+		}
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		return a.key < b.key
+	})
+
+	// Phase 1: lock the write set.
+	locked := make([]uint64, len(writes)) // locked word (pre-lock) per entry
+	for i := range writes {
+		if writes[i].rec == nil {
+			continue
+		}
+		w, ok := lockRecord(writes[i].rec)
+		if !ok {
+			for j := 0; j < i; j++ {
+				if writes[j].rec != nil {
+					unlockRecord(writes[j].rec)
+				}
+			}
+			return nondet.CCAbort, nil
+		}
+		locked[i] = w
+	}
+	releaseAll := func() {
+		for i := range writes {
+			if writes[i].rec != nil {
+				unlockRecord(writes[i].rec)
+			}
+		}
+	}
+
+	// Phase 2: compute the commit timestamp.
+	var commitTS uint64
+	for _, r := range ws.reads {
+		if r.wts > commitTS {
+			commitTS = r.wts
+		}
+	}
+	for i := range writes {
+		if writes[i].rec == nil {
+			continue
+		}
+		if rts := wordRTS(locked[i]) + 1; rts > commitTS {
+			commitTS = rts
+		}
+	}
+
+	// Phase 3: validate the read set, extending rts where possible.
+	for _, r := range ws.reads {
+		if r.rts >= commitTS {
+			continue
+		}
+		for {
+			cur := r.rec.WTS.Load()
+			if wordWTS(cur) != r.wts {
+				releaseAll()
+				return nondet.CCAbort, nil
+			}
+			if cur&lockBit != 0 {
+				if _, own := ws.wIdx[r.rec]; !own {
+					releaseAll()
+					return nondet.CCAbort, nil
+				}
+				// Own lock: extension below happens via install.
+				break
+			}
+			if wordRTS(cur) >= commitTS {
+				break
+			}
+			next, ok := makeWord(r.wts, commitTS)
+			if !ok {
+				// Delta overflow: rare; abort conservatively.
+				releaseAll()
+				return nondet.CCAbort, nil
+			}
+			if r.rec.WTS.CompareAndSwap(cur, next) {
+				break
+			}
+		}
+	}
+
+	// Phase 4: install immutable snapshots under the lock bit.
+	for i := range writes {
+		w := &writes[i]
+		if w.isInsert {
+			rec, ok := e.store.Table(w.table).Insert(w.key, nil)
+			if !ok {
+				releaseAll()
+				return nondet.CCAbort, nil
+			}
+			rec.WTS.Store(lockBit)
+			rec.PublishSnapshot(append([]byte(nil), w.buf...))
+			rec.WTS.Store(commitTS) // wts = rts = commitTS, unlocked
+			continue
+		}
+		w.rec.PublishSnapshot(append([]byte(nil), w.buf...))
+		w.rec.WTS.Store(commitTS) // wts = rts = commitTS, delta 0, unlocked
+	}
+	return nondet.Committed, nil
+}
+
+func lockRecord(rec *storage.Record) (uint64, bool) {
+	for spin := 0; spin < lockSpinLimit; spin++ {
+		cur := rec.WTS.Load()
+		if cur&lockBit == 0 && rec.WTS.CompareAndSwap(cur, cur|lockBit) {
+			return cur, true
+		}
+		runtime.Gosched()
+	}
+	return 0, false
+}
+
+func unlockRecord(rec *storage.Record) {
+	rec.WTS.Store(rec.WTS.Load() &^ lockBit)
+}

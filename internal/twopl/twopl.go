@@ -1,0 +1,333 @@
+// Package twopl implements strict two-phase locking baselines: 2PL-NoWait
+// (abort immediately on lock conflict — the variant in the paper's Table 2)
+// and 2PL-WaitDie (older transactions wait, younger abort; deadlock-free by
+// timestamp ordering).
+//
+// NoWait keeps its shared/exclusive lock state in the record's TID word via
+// compare-and-swap, with zero allocations on the hot path:
+//
+//	bit 63        = exclusive
+//	bits 0..62    = shared-reader count (when not exclusive)
+//
+// WaitDie needs holder timestamps, so it keeps a compact holder list in a
+// lazily allocated side entry guarded by the record latch.
+package twopl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/nondet"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// Variant selects the conflict-resolution policy.
+type Variant uint8
+
+// Variants.
+const (
+	// NoWait aborts the requester on any lock conflict.
+	NoWait Variant = iota + 1
+	// WaitDie lets older (smaller-timestamp) transactions wait and aborts
+	// younger ones, which prevents deadlock.
+	WaitDie
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case NoWait:
+		return "2pl-nowait"
+	case WaitDie:
+		return "2pl-waitdie"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+const exclusiveBit = uint64(1) << 63
+
+// Engine implements strict 2PL over the shared store.
+type Engine struct {
+	store   *storage.Store
+	variant Variant
+	pool    *nondet.Pool
+	tsSeq   atomic.Uint64 // wait-die timestamps
+
+	// waitDie holds per-record lock entries for the WaitDie variant,
+	// sharded to keep map contention off the critical path.
+	waitDie [64]struct {
+		mu sync.Mutex
+		m  map[*storage.Record]*wdLock
+	}
+}
+
+// wdLock is the WaitDie lock state for one record.
+type wdLock struct {
+	writer  uint64   // holder timestamp, 0 = none
+	readers []uint64 // holder timestamps
+}
+
+// New creates a 2PL engine with the given worker count.
+func New(store *storage.Store, variant Variant, workers int) (*Engine, error) {
+	e := &Engine{store: store, variant: variant}
+	if variant == WaitDie {
+		for i := range e.waitDie {
+			e.waitDie[i].m = make(map[*storage.Record]*wdLock)
+		}
+	}
+	pool, err := nondet.NewPool(e, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.pool = pool
+	return e, nil
+}
+
+var _ nondet.Runner = (*Engine)(nil)
+
+// Name implements nondet.Runner.
+func (e *Engine) Name() string { return e.variant.String() }
+
+// ExecBatch implements the engine interface.
+func (e *Engine) ExecBatch(txns []*txn.Txn) error { return e.pool.ExecBatch(txns) }
+
+// Stats implements the engine interface.
+func (e *Engine) Stats() *metrics.Stats { return e.pool.Stats() }
+
+// Close implements the engine interface.
+func (e *Engine) Close() {}
+
+// lockRef remembers one acquired lock for release/rollback.
+type lockRef struct {
+	rec       *storage.Record
+	exclusive bool
+	// before is the value snapshot taken before the first write under this
+	// lock (nil when the lock never wrote).
+	before []byte
+	// insertedKey/insertedTable identify a record created by this txn.
+	inserted bool
+	table    storage.TableID
+	key      storage.Key
+}
+
+// RunTxn implements nondet.Runner: strict 2PL with in-place writes and
+// rollback on abort.
+func (e *Engine) RunTxn(worker int, t *txn.Txn) (nondet.Outcome, error) {
+	ts := e.tsSeq.Add(1)
+	locks := make([]lockRef, 0, len(t.Frags))
+	held := make(map[*storage.Record]int, len(t.Frags)) // rec -> index in locks
+
+	release := func(rollback bool) {
+		// Strict 2PL: everything releases at the end, writes first undone.
+		if rollback {
+			for i := len(locks) - 1; i >= 0; i-- {
+				l := &locks[i]
+				if l.inserted {
+					e.store.Table(l.table).Remove(l.key)
+				} else if l.before != nil {
+					copy(l.rec.Val, l.before)
+				}
+			}
+		}
+		for i := range locks {
+			e.unlock(locks[i].rec, locks[i].exclusive, ts)
+		}
+	}
+
+	var ctx txn.FragCtx
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		table := e.store.Table(f.Table)
+		var rec *storage.Record
+		inserted := false
+		if f.Access == txn.Insert {
+			rec, inserted = table.Insert(f.Key, nil)
+		} else {
+			rec = table.Get(f.Key)
+		}
+		if rec == nil {
+			release(true)
+			return 0, fmt.Errorf("twopl: missing record table=%d key=%d", f.Table, f.Key)
+		}
+
+		needX := f.Access.IsWrite()
+		if li, ok := held[rec]; ok {
+			// Already locked; upgrade shared -> exclusive if needed.
+			if needX && !locks[li].exclusive {
+				if !e.upgrade(rec, ts) {
+					release(true)
+					return nondet.CCAbort, nil
+				}
+				locks[li].exclusive = true
+			}
+		} else {
+			if !e.lock(rec, needX, ts) {
+				release(true)
+				return nondet.CCAbort, nil
+			}
+			locks = append(locks, lockRef{rec: rec, exclusive: needX, inserted: inserted, table: f.Table, key: f.Key})
+			held[rec] = len(locks) - 1
+		}
+		if needX && !inserted {
+			li := held[rec]
+			if locks[li].before == nil {
+				locks[li].before = append([]byte(nil), rec.Val...)
+			}
+		}
+
+		ctx = txn.FragCtx{T: t, F: f, Val: rec.Val}
+		err := f.Logic(&ctx)
+		if f.Abortable && err == txn.ErrAbort {
+			release(true)
+			return nondet.UserAbort, nil
+		}
+		if err != nil {
+			release(true)
+			return 0, fmt.Errorf("twopl: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+	}
+	release(false)
+	return nondet.Committed, nil
+}
+
+// lock acquires a shared or exclusive lock, returning false on abort.
+func (e *Engine) lock(rec *storage.Record, exclusive bool, ts uint64) bool {
+	if e.variant == NoWait {
+		for {
+			cur := rec.TID.Load()
+			if exclusive {
+				if cur != 0 {
+					return false
+				}
+				if rec.TID.CompareAndSwap(0, exclusiveBit) {
+					return true
+				}
+			} else {
+				if cur&exclusiveBit != 0 {
+					return false
+				}
+				if rec.TID.CompareAndSwap(cur, cur+1) {
+					return true
+				}
+			}
+		}
+	}
+	return e.lockWaitDie(rec, exclusive, ts)
+}
+
+// upgrade promotes a shared lock to exclusive; succeeds only when the caller
+// is the sole reader (otherwise abort — upgrades are a classic deadlock
+// source and both variants resolve them by aborting).
+func (e *Engine) upgrade(rec *storage.Record, ts uint64) bool {
+	if e.variant == NoWait {
+		return rec.TID.CompareAndSwap(1, exclusiveBit)
+	}
+	sh := e.wdShard(rec)
+	sh.mu.Lock()
+	l := sh.m[rec]
+	ok := l != nil && l.writer == 0 && len(l.readers) == 1 && l.readers[0] == ts
+	if ok {
+		l.readers = l.readers[:0]
+		l.writer = ts
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// unlock releases one lock.
+func (e *Engine) unlock(rec *storage.Record, exclusive bool, ts uint64) {
+	if e.variant == NoWait {
+		if exclusive {
+			rec.TID.Store(0)
+			return
+		}
+		rec.TID.Add(^uint64(0)) // decrement reader count
+		return
+	}
+	sh := e.wdShard(rec)
+	sh.mu.Lock()
+	l := sh.m[rec]
+	if exclusive {
+		l.writer = 0
+	} else {
+		for i := range l.readers {
+			if l.readers[i] == ts {
+				l.readers[i] = l.readers[len(l.readers)-1]
+				l.readers = l.readers[:len(l.readers)-1]
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+}
+
+func (e *Engine) wdShard(rec *storage.Record) *struct {
+	mu sync.Mutex
+	m  map[*storage.Record]*wdLock
+} {
+	// Pointer-derived shard index; the shift drops allocator alignment bits.
+	h := uintptr(unsafe.Pointer(rec)) >> 6
+	return &e.waitDie[h%64]
+}
+
+// lockWaitDie implements the wait-die policy: wait if ts is older than every
+// conflicting holder, abort ("die") otherwise.
+func (e *Engine) lockWaitDie(rec *storage.Record, exclusive bool, ts uint64) bool {
+	sh := e.wdShard(rec)
+	for {
+		sh.mu.Lock()
+		l := sh.m[rec]
+		if l == nil {
+			l = &wdLock{}
+			sh.m[rec] = l
+		}
+		// oldestConflict is the smallest (oldest) conflicting holder
+		// timestamp; the requester may wait only if it is older than every
+		// conflicting holder, i.e. ts < oldestConflict. Waiting while
+		// younger than any holder could close a wait cycle.
+		oldestConflict := ^uint64(0)
+		conflict := false
+		if exclusive {
+			if l.writer != 0 {
+				conflict, oldestConflict = true, l.writer
+			}
+			for _, r := range l.readers {
+				conflict = true
+				if r < oldestConflict {
+					oldestConflict = r
+				}
+			}
+		} else if l.writer != 0 {
+			conflict, oldestConflict = true, l.writer
+		}
+		if !conflict {
+			if exclusive {
+				l.writer = ts
+			} else {
+				l.readers = append(l.readers, ts)
+			}
+			sh.mu.Unlock()
+			return true
+		}
+		// Wait-die: older (smaller ts) waits, younger dies.
+		if ts > oldestConflict {
+			sh.mu.Unlock()
+			return false
+		}
+		sh.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+// ReadCounter returns the record's leading uint64, a test helper shared by
+// the protocol test-suites.
+func ReadCounter(rec *storage.Record) uint64 {
+	return binary.LittleEndian.Uint64(rec.Val)
+}

@@ -1,0 +1,133 @@
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+)
+
+// The binary codec serializes transactions for the command-log WAL and for
+// shipping between cluster nodes. Layout (little endian):
+//
+//	txn:  id u64 | batchPos u32 | profile u8 | nFrags u16 | frags...
+//	frag: table u8 | key u64 | access u8 | abortable u8 | op u16 |
+//	      nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each)
+//
+// Fragment logic is not serialized; receivers resolve opcodes through their
+// local Registry (Registry.Resolve).
+
+// AppendTxn appends the wire encoding of t to buf and returns the result.
+func AppendTxn(buf []byte, t *Txn) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, t.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, t.BatchPos)
+	buf = append(buf, t.Profile)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Frags)))
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		buf = append(buf, byte(f.Table))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Key))
+		buf = append(buf, byte(f.Access), boolByte(f.Abortable))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(f.Op))
+		buf = append(buf, byte(len(f.Args)))
+		for _, a := range f.Args {
+			buf = binary.LittleEndian.AppendUint64(buf, a)
+		}
+		buf = append(buf, byte(len(f.NeedVars)))
+		buf = append(buf, f.NeedVars...)
+	}
+	return buf
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DecodeTxn decodes one transaction from buf, returning the transaction and
+// the number of bytes consumed. The caller resolves logic via a Registry.
+func DecodeTxn(buf []byte) (*Txn, int, error) {
+	const hdr = 8 + 4 + 1 + 2
+	if len(buf) < hdr {
+		return nil, 0, fmt.Errorf("txn: short buffer (%d bytes) decoding header", len(buf))
+	}
+	t := &Txn{
+		ID:       binary.LittleEndian.Uint64(buf),
+		BatchPos: binary.LittleEndian.Uint32(buf[8:]),
+		Profile:  buf[12],
+	}
+	n := int(binary.LittleEndian.Uint16(buf[13:]))
+	off := hdr
+	t.Frags = make([]Fragment, n)
+	for i := 0; i < n; i++ {
+		f := &t.Frags[i]
+		if len(buf[off:]) < 1+8+1+1+2+1 {
+			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d header", i)
+		}
+		f.Table = storage.TableID(buf[off])
+		off++
+		f.Key = storage.Key(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		f.Access = AccessType(buf[off])
+		off++
+		f.Abortable = buf[off] == 1
+		off++
+		f.Op = OpCode(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		nArgs := int(buf[off])
+		off++
+		if len(buf[off:]) < nArgs*8+1 {
+			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d args", i)
+		}
+		if nArgs > 0 {
+			f.Args = make([]uint64, nArgs)
+			for j := 0; j < nArgs; j++ {
+				f.Args[j] = binary.LittleEndian.Uint64(buf[off:])
+				off += 8
+			}
+		}
+		nNeed := int(buf[off])
+		off++
+		if len(buf[off:]) < nNeed {
+			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d needvars", i)
+		}
+		if nNeed > 0 {
+			f.NeedVars = make([]uint8, nNeed)
+			copy(f.NeedVars, buf[off:off+nNeed])
+			off += nNeed
+		}
+	}
+	t.Finish()
+	return t, off, nil
+}
+
+// AppendBatch appends the wire encoding of a whole batch (count-prefixed).
+func AppendBatch(buf []byte, txns []*Txn) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(txns)))
+	for _, t := range txns {
+		buf = AppendTxn(buf, t)
+	}
+	return buf
+}
+
+// DecodeBatch decodes a count-prefixed batch, returning the transactions and
+// bytes consumed.
+func DecodeBatch(buf []byte) ([]*Txn, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("txn: short buffer decoding batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	txns := make([]*Txn, 0, n)
+	for i := 0; i < n; i++ {
+		t, used, err := DecodeTxn(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("txn %d/%d: %w", i, n, err)
+		}
+		txns = append(txns, t)
+		off += used
+	}
+	return txns, off, nil
+}

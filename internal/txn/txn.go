@@ -1,0 +1,343 @@
+// Package txn implements the paper's transaction fragmentation model
+// (§3.1 and Table 1 of "A Queue-oriented Transaction Processing Paradigm").
+//
+// A transaction is broken into fragments; each fragment performs one or more
+// operations (read, modify, write) on a single record and may be abortable
+// (its logic can decide to abort the whole transaction). Four kinds of
+// dependencies relate fragments:
+//
+//   - Data dependency (same transaction): the dependent fragment requires
+//     values read/computed by the dependee. Modeled by variable slots on the
+//     transaction: a fragment publishes values with Publish and declares the
+//     slots it consumes in NeedVars.
+//   - Conflict dependency (different transactions): two fragments access the
+//     same record. The queue-oriented engine enforces these by queue FIFO
+//     order alone; lock- and validation-based engines enforce them with
+//     their own machinery.
+//   - Commit dependency (same transaction): the dependee may abort while the
+//     dependent updates the database. Tracked by the transaction's
+//     abortable-fragment counter; conservative execution makes writers wait
+//     on it.
+//   - Speculation dependency (different transactions): the dependent reads
+//     data written by an abortable fragment that has not resolved. Tracked
+//     by the engine's per-record speculative-writer marks.
+//
+// Fragment logic is expressed as registered operations (OpCode plus packed
+// uint64 arguments) so that fragments are serializable: the distributed
+// engines ship them between nodes and the WAL logs them for deterministic
+// replay. The resolved Go function is cached on the fragment for hot-path
+// execution.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+)
+
+// AccessType declares how a fragment touches its record.
+type AccessType uint8
+
+// Access types. Read never modifies the record; Update overwrites it blindly;
+// ReadModifyWrite reads then writes; Insert creates the record.
+const (
+	Read AccessType = iota + 1
+	Update
+	ReadModifyWrite
+	Insert
+)
+
+// IsWrite reports whether the access mutates the database.
+func (a AccessType) IsWrite() bool { return a != Read }
+
+// String implements fmt.Stringer.
+func (a AccessType) String() string {
+	switch a {
+	case Read:
+		return "R"
+	case Update:
+		return "W"
+	case ReadModifyWrite:
+		return "RMW"
+	case Insert:
+		return "INS"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(a))
+	}
+}
+
+// DepKind enumerates the dependency taxonomy of the paper's Table 1.
+type DepKind uint8
+
+// Dependency kinds (paper Table 1).
+const (
+	DepData DepKind = iota + 1
+	DepConflict
+	DepCommit
+	DepSpeculation
+)
+
+// String implements fmt.Stringer.
+func (d DepKind) String() string {
+	switch d {
+	case DepData:
+		return "data"
+	case DepConflict:
+		return "conflict"
+	case DepCommit:
+		return "commit"
+	case DepSpeculation:
+		return "speculation"
+	default:
+		return fmt.Sprintf("DepKind(%d)", uint8(d))
+	}
+}
+
+// ErrAbort is returned by fragment logic to abort the enclosing transaction
+// (a "logic abort" — e.g. TPC-C NewOrder's 1% invalid item). Engines treat it
+// as a permanent, deterministic abort, not a retryable conflict.
+var ErrAbort = errors.New("txn: aborted by fragment logic")
+
+// OpCode names a registered fragment operation. Workloads own disjoint
+// opcode ranges (see the workload packages).
+type OpCode uint16
+
+// FragmentFunc is the executable logic of a fragment. It may read and mutate
+// ctx.Val in place according to the fragment's AccessType, read transaction
+// variables that its NeedVars declare, and publish variables for dependent
+// fragments. Returning ErrAbort aborts the transaction; any other non-nil
+// error is a programming bug and is reported as a run failure.
+type FragmentFunc func(ctx *FragCtx) error
+
+// Registry maps opcodes to executable logic. Engines resolve fragment logic
+// through the registry when fragments arrive without a cached function (e.g.
+// after network transfer or WAL replay).
+type Registry map[OpCode]FragmentFunc
+
+// Resolve fills in the cached logic pointers of every fragment of t.
+func (reg Registry) Resolve(t *Txn) error {
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		fn, ok := reg[f.Op]
+		if !ok {
+			return fmt.Errorf("txn: opcode %d not registered", f.Op)
+		}
+		f.Logic = fn
+	}
+	return nil
+}
+
+// MaxVars is the number of data-dependency variable slots per transaction.
+// TPC-C NewOrder needs the most: w_tax, d_tax, c_discount plus one item
+// price per order line (up to 15).
+const MaxVars = 24
+
+// Fragment is one unit of transaction logic bound to a single record.
+type Fragment struct {
+	// Txn points back to the owning transaction (set by Txn.Finish).
+	Txn *Txn
+	// Seq is the fragment's index within the transaction.
+	Seq uint8
+	// Table and Key identify the record the fragment operates on.
+	Table storage.TableID
+	Key   storage.Key
+	// Access declares the record access type.
+	Access AccessType
+	// Abortable marks fragments whose logic may return ErrAbort. The
+	// fragmentation model requires abortable fragments to be read-only so
+	// that conservative execution can run them ahead of all writers.
+	Abortable bool
+	// Op and Args are the serializable form of the logic.
+	Op   OpCode
+	Args []uint64
+	// NeedVars lists transaction variable slots that must be published
+	// before this fragment can run (data dependencies, Table 1).
+	NeedVars []uint8
+	// Logic is the resolved function for Op (cached; not serialized).
+	Logic FragmentFunc `json:"-"`
+}
+
+// Priority returns the fragment's global deterministic priority within its
+// batch: batch position of the transaction, then fragment sequence. Queue
+// order is ascending priority.
+func (f *Fragment) Priority() uint64 {
+	return uint64(f.Txn.BatchPos)<<16 | uint64(f.Seq)
+}
+
+// varSlot is a publish-once cell for data-dependency values.
+type varSlot struct {
+	val   atomic.Uint64
+	ready atomic.Uint32
+}
+
+// Txn is a transaction instance: its fragments plus the runtime state shared
+// between the threads executing them.
+type Txn struct {
+	// ID is the globally unique transaction id.
+	ID uint64
+	// BatchPos is the transaction's position within its batch; it defines
+	// the deterministic serial order.
+	BatchPos uint32
+	// Profile tags the workload transaction type (for per-type stats).
+	Profile uint8
+	// Frags are the transaction's fragments in sequence order.
+	Frags []Fragment
+
+	vars    [MaxVars]varSlot
+	aborted atomic.Bool
+	// abortablePending counts abortable fragments that have not yet resolved;
+	// commit dependencies (Table 1) wait for it to reach zero.
+	abortablePending atomic.Int32
+	numAbortable     int32
+}
+
+// Finish wires back-pointers and dependency counters after the fragment list
+// is fully built. Generators must call it once per transaction.
+func (t *Txn) Finish() {
+	t.numAbortable = 0
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		f.Txn = t
+		f.Seq = uint8(i)
+		if f.Abortable {
+			t.numAbortable++
+		}
+	}
+	t.abortablePending.Store(t.numAbortable)
+}
+
+// FinishShadow wires back-pointers and dependency counters for a *shadow*
+// transaction holding a subset of another transaction's fragments (the
+// distributed engines materialize these for shipped queue fragments).
+// Unlike Finish it preserves the fragments' original sequence numbers,
+// which carry the global priority.
+func (t *Txn) FinishShadow() {
+	t.numAbortable = 0
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		f.Txn = t
+		if f.Abortable {
+			t.numAbortable++
+		}
+	}
+	t.abortablePending.Store(t.numAbortable)
+}
+
+// Reset clears runtime state so the transaction can be re-executed (abort
+// retry in non-deterministic engines, cascade repair in the speculative
+// queue-oriented engine).
+func (t *Txn) Reset() {
+	for i := range t.vars {
+		t.vars[i].ready.Store(0)
+		t.vars[i].val.Store(0)
+	}
+	t.aborted.Store(false)
+	t.abortablePending.Store(t.numAbortable)
+}
+
+// Publish stores v into variable slot i and marks it ready. Publishing the
+// same slot twice is a workload bug and panics in order to surface
+// non-determinism early.
+func (t *Txn) Publish(i uint8, v uint64) {
+	s := &t.vars[i]
+	s.val.Store(v)
+	if !s.ready.CompareAndSwap(0, 1) {
+		panic(fmt.Sprintf("txn %d: variable %d published twice", t.ID, i))
+	}
+}
+
+// VarReady reports whether slot i has been published.
+func (t *Txn) VarReady(i uint8) bool { return t.vars[i].ready.Load() == 1 }
+
+// Var returns the value of slot i; it must have been published.
+func (t *Txn) Var(i uint8) uint64 { return t.vars[i].val.Load() }
+
+// MarkAborted flags the transaction as aborted by logic.
+func (t *Txn) MarkAborted() { t.aborted.Store(true) }
+
+// Aborted reports whether the transaction was aborted by logic.
+func (t *Txn) Aborted() bool { return t.aborted.Load() }
+
+// ResolveAbortable records that one abortable fragment finished its check.
+func (t *Txn) ResolveAbortable() { t.abortablePending.Add(-1) }
+
+// AbortablesPending reports how many abortable fragments are unresolved.
+func (t *Txn) AbortablesPending() int32 { return t.abortablePending.Load() }
+
+// HasAbortable reports whether the transaction has any abortable fragments.
+func (t *Txn) HasAbortable() bool { return t.numAbortable > 0 }
+
+// NumAbortable returns the number of abortable fragments.
+func (t *Txn) NumAbortable() int32 { return t.numAbortable }
+
+// Partitions returns the sorted set of store partitions the transaction
+// touches. Used by partition-locking engines (H-Store) and by the
+// distributed planners for routing.
+func (t *Txn) Partitions(s *storage.Store) []int {
+	var set [64]bool
+	n := 0
+	for i := range t.Frags {
+		p := s.PartitionOf(t.Frags[i].Key)
+		if !set[p] {
+			set[p] = true
+			n++
+		}
+	}
+	out := make([]int, 0, n)
+	for p, in := range set {
+		if in {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FragCtx is the execution context handed to fragment logic.
+type FragCtx struct {
+	// T and F identify the running fragment.
+	T *Txn
+	F *Fragment
+	// Val is the record value buffer the engine chose for this access: the
+	// record's committed buffer (deterministic engines, 2PL under lock), a
+	// private copy (OCC read/write sets), a version (MVTO), or the
+	// speculative slot (read-committed queue engine). Logic treats it as the
+	// record image.
+	Val []byte
+}
+
+// Arg returns the i-th fragment argument (zero if absent), a convenience for
+// fragment logic.
+func (c *FragCtx) Arg(i int) uint64 {
+	if i >= len(c.F.Args) {
+		return 0
+	}
+	return c.F.Args[i]
+}
+
+// Validate checks structural invariants of a transaction's fragment list:
+// sequence numbers match positions, abortable fragments are read-only, data
+// dependencies reference earlier fragments' published slots only by
+// convention (NeedVars slots must be < MaxVars), and insert fragments carry
+// write access. Returns a descriptive error for workload bugs.
+func Validate(t *Txn) error {
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		if f.Txn != t {
+			return fmt.Errorf("txn %d frag %d: back-pointer not set (missing Finish?)", t.ID, i)
+		}
+		if int(f.Seq) != i {
+			return fmt.Errorf("txn %d frag %d: bad seq %d", t.ID, i, f.Seq)
+		}
+		if f.Abortable && f.Access != Read {
+			return fmt.Errorf("txn %d frag %d: abortable fragments must be read-only (got %v)", t.ID, i, f.Access)
+		}
+		for _, v := range f.NeedVars {
+			if v >= MaxVars {
+				return fmt.Errorf("txn %d frag %d: NeedVars slot %d out of range", t.ID, i, v)
+			}
+		}
+	}
+	return nil
+}

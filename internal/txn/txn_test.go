@@ -1,0 +1,213 @@
+package txn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+)
+
+func TestFinishWiresFragments(t *testing.T) {
+	tx := &Txn{ID: 9, Frags: []Fragment{
+		{Table: 1, Key: 10, Access: Read, Abortable: true},
+		{Table: 1, Key: 20, Access: Update},
+	}}
+	tx.Finish()
+	for i := range tx.Frags {
+		if tx.Frags[i].Txn != tx || int(tx.Frags[i].Seq) != i {
+			t.Fatalf("frag %d not wired", i)
+		}
+	}
+	if !tx.HasAbortable() || tx.NumAbortable() != 1 || tx.AbortablesPending() != 1 {
+		t.Error("abortable accounting wrong")
+	}
+	if err := Validate(tx); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestFinishShadowPreservesSeq(t *testing.T) {
+	tx := &Txn{ID: 1, Frags: []Fragment{
+		{Table: 1, Key: 10, Access: Read, Seq: 5},
+		{Table: 1, Key: 20, Access: Update, Seq: 9},
+	}}
+	tx.FinishShadow()
+	if tx.Frags[0].Seq != 5 || tx.Frags[1].Seq != 9 {
+		t.Error("FinishShadow renumbered sequences")
+	}
+	if tx.Frags[0].Txn != tx {
+		t.Error("back pointer not set")
+	}
+}
+
+func TestValidateRejectsAbortableWrites(t *testing.T) {
+	tx := &Txn{Frags: []Fragment{{Table: 1, Key: 1, Access: Update, Abortable: true}}}
+	tx.Finish()
+	if err := Validate(tx); err == nil {
+		t.Error("abortable writer accepted")
+	}
+}
+
+func TestPublishOnce(t *testing.T) {
+	tx := &Txn{Frags: []Fragment{{Table: 1, Key: 1, Access: Read}}}
+	tx.Finish()
+	tx.Publish(3, 77)
+	if !tx.VarReady(3) || tx.Var(3) != 77 {
+		t.Error("publish/read mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double publish did not panic")
+		}
+	}()
+	tx.Publish(3, 78)
+}
+
+func TestResetClearsState(t *testing.T) {
+	tx := &Txn{Frags: []Fragment{
+		{Table: 1, Key: 1, Access: Read, Abortable: true},
+	}}
+	tx.Finish()
+	tx.Publish(0, 5)
+	tx.MarkAborted()
+	tx.ResolveAbortable()
+	tx.Reset()
+	if tx.Aborted() || tx.VarReady(0) || tx.AbortablesPending() != 1 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	a := &Txn{BatchPos: 1, Frags: []Fragment{{}, {}}}
+	a.Finish()
+	b := &Txn{BatchPos: 2, Frags: []Fragment{{}}}
+	b.Finish()
+	if !(a.Frags[0].Priority() < a.Frags[1].Priority()) {
+		t.Error("fragment seq does not order priority")
+	}
+	if !(a.Frags[1].Priority() < b.Frags[0].Priority()) {
+		t.Error("batch position does not dominate priority")
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	s := storage.MustOpen(storage.Config{Partitions: 4, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+	tx := &Txn{Frags: []Fragment{
+		{Table: 1, Key: 0}, {Table: 1, Key: 4}, {Table: 1, Key: 1}, {Table: 1, Key: 5},
+	}}
+	tx.Finish()
+	parts := tx.Partitions(s)
+	if len(parts) != 2 || parts[0] != 0 || parts[1] != 1 {
+		t.Errorf("partitions = %v, want [0 1]", parts)
+	}
+}
+
+// TestCodecRoundTrip property: encode/decode is the identity on the wire
+// fields for arbitrary fragment shapes.
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(id uint64, pos uint32, profile uint8, key uint64, op uint16, args []uint64, need []uint8) bool {
+		if len(args) > 12 {
+			args = args[:12]
+		}
+		for i := range need {
+			need[i] %= MaxVars
+		}
+		if len(need) > 4 {
+			need = need[:4]
+		}
+		tx := &Txn{ID: id, BatchPos: pos, Profile: profile}
+		tx.Frags = []Fragment{{
+			Table: 3, Key: storage.Key(key), Access: ReadModifyWrite,
+			Op: OpCode(op), Args: args, NeedVars: need,
+		}}
+		tx.Finish()
+		buf := AppendTxn(nil, tx)
+		got, used, err := DecodeTxn(buf)
+		if err != nil || used != len(buf) {
+			return false
+		}
+		if got.ID != id || got.BatchPos != pos || got.Profile != profile {
+			return false
+		}
+		g := got.Frags[0]
+		if g.Key != storage.Key(key) || g.Op != OpCode(op) ||
+			len(g.Args) != len(args) || len(g.NeedVars) != len(need) {
+			return false
+		}
+		for i := range args {
+			if g.Args[i] != args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	var txns []*Txn
+	for i := 0; i < 10; i++ {
+		tx := &Txn{ID: uint64(i), Frags: []Fragment{
+			{Table: 1, Key: storage.Key(i), Access: Update, Op: 0x0101, Args: []uint64{uint64(i)}},
+			{Table: 2, Key: storage.Key(i * 7), Access: Read, Op: 0x0102},
+		}}
+		tx.Finish()
+		txns = append(txns, tx)
+	}
+	buf := AppendBatch(nil, txns)
+	got, used, err := DecodeBatch(buf)
+	if err != nil || used != len(buf) || len(got) != 10 {
+		t.Fatalf("decode: n=%d used=%d err=%v", len(got), used, err)
+	}
+	for i, tx := range got {
+		if tx.ID != uint64(i) || len(tx.Frags) != 2 {
+			t.Fatalf("txn %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeShortBuffers(t *testing.T) {
+	tx := &Txn{ID: 1, Frags: []Fragment{{Table: 1, Key: 2, Access: Read, Op: 7, Args: []uint64{1, 2}}}}
+	tx.Finish()
+	buf := AppendTxn(nil, tx)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeTxn(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	reg := Registry{7: func(*FragCtx) error { return nil }}
+	tx := &Txn{Frags: []Fragment{{Op: 7}}}
+	tx.Finish()
+	if err := reg.Resolve(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Frags[0].Logic == nil {
+		t.Error("logic not cached")
+	}
+	bad := &Txn{Frags: []Fragment{{Op: 8}}}
+	bad.Finish()
+	if err := reg.Resolve(bad); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+}
+
+func TestAccessAndDepStrings(t *testing.T) {
+	for _, a := range []AccessType{Read, Update, ReadModifyWrite, Insert, AccessType(99)} {
+		if a.String() == "" {
+			t.Error("empty access string")
+		}
+	}
+	if Read.IsWrite() || !Update.IsWrite() || !Insert.IsWrite() {
+		t.Error("IsWrite wrong")
+	}
+	for _, d := range []DepKind{DepData, DepConflict, DepCommit, DepSpeculation, DepKind(99)} {
+		if d.String() == "" {
+			t.Error("empty dep string")
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package bank implements a minimal money-transfer workload used by the
+// invariant test-suite and the examples: every transaction moves an amount
+// between two accounts, aborting when the source balance is insufficient.
+// Under any serializable protocol the total balance is conserved and no
+// account goes negative — violations expose isolation bugs immediately.
+// The abortable check fragment also exercises the paper's commit and
+// speculation dependencies (Table 1) on every engine.
+package bank
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+)
+
+// TableID is the accounts table.
+const TableID storage.TableID = 2
+
+// Opcodes.
+const (
+	// OpCheckBalance aborts unless the account balance >= Arg(0).
+	OpCheckBalance = workload.OpBaseBank + iota
+	// OpDebit subtracts Arg(0) from the balance.
+	OpDebit
+	// OpCredit adds Arg(0) to the balance.
+	OpCredit
+	// OpReadBalance reads the balance (audit transactions).
+	OpReadBalance
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Accounts is the number of accounts (default 1024).
+	Accounts uint64
+	// InitialBalance per account (default 1000).
+	InitialBalance uint64
+	// MaxTransfer is the largest transfer amount (default 100).
+	MaxTransfer uint64
+	// Partitions must match the store.
+	Partitions int
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.Accounts == 0 {
+		c.Accounts = 1024
+	}
+	if c.InitialBalance == 0 {
+		c.InitialBalance = 1000
+	}
+	if c.MaxTransfer == 0 {
+		c.MaxTransfer = 100
+	}
+	if c.Partitions <= 0 {
+		return fmt.Errorf("bank: Partitions must be set")
+	}
+	return nil
+}
+
+// Workload implements workload.Generator.
+type Workload struct {
+	cfg    Config
+	rng    *workload.RNG
+	reg    txn.Registry
+	nextID uint64
+}
+
+var _ workload.Generator = (*Workload)(nil)
+
+// New builds a bank generator.
+func New(cfg Config) (*Workload, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	w := &Workload{cfg: cfg, rng: workload.NewRNG(cfg.Seed)}
+	w.reg = w.Registry()
+	return w, nil
+}
+
+// MustNew is New but panics on config errors.
+func MustNew(cfg Config) *Workload {
+	w, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Name implements workload.Generator.
+func (w *Workload) Name() string { return "bank" }
+
+// StoreConfig implements workload.Generator.
+func (w *Workload) StoreConfig(partitions int) storage.Config {
+	return storage.Config{
+		Partitions: partitions,
+		Tables:     []storage.TableSpec{{ID: TableID, Name: "accounts", ValueSize: 16}},
+	}
+}
+
+// Load implements workload.Generator.
+func (w *Workload) Load(s *storage.Store) error {
+	t := s.Table(TableID)
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, w.cfg.InitialBalance)
+	for k := uint64(0); k < w.cfg.Accounts; k++ {
+		if _, ok := t.Insert(storage.Key(k), buf); !ok {
+			return fmt.Errorf("bank: duplicate account %d", k)
+		}
+	}
+	return nil
+}
+
+// Registry implements workload.Generator.
+func (w *Workload) Registry() txn.Registry {
+	return txn.Registry{
+		OpCheckBalance: func(ctx *txn.FragCtx) error {
+			if binary.LittleEndian.Uint64(ctx.Val) < ctx.Arg(0) {
+				return txn.ErrAbort
+			}
+			return nil
+		},
+		OpDebit: func(ctx *txn.FragCtx) error {
+			v := binary.LittleEndian.Uint64(ctx.Val)
+			binary.LittleEndian.PutUint64(ctx.Val, v-ctx.Arg(0))
+			return nil
+		},
+		OpCredit: func(ctx *txn.FragCtx) error {
+			v := binary.LittleEndian.Uint64(ctx.Val)
+			binary.LittleEndian.PutUint64(ctx.Val, v+ctx.Arg(0))
+			return nil
+		},
+		OpReadBalance: func(ctx *txn.FragCtx) error {
+			_ = binary.LittleEndian.Uint64(ctx.Val)
+			return nil
+		},
+	}
+}
+
+// NextBatch implements workload.Generator.
+func (w *Workload) NextBatch(n int) []*txn.Txn {
+	out := make([]*txn.Txn, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, w.Transfer())
+	}
+	return out
+}
+
+// Transfer builds one transfer transaction between two random accounts.
+func (w *Workload) Transfer() *txn.Txn {
+	src := w.rng.Uint64() % w.cfg.Accounts
+	dst := w.rng.Uint64() % w.cfg.Accounts
+	for dst == src {
+		dst = w.rng.Uint64() % w.cfg.Accounts
+	}
+	amt := 1 + w.rng.Uint64()%w.cfg.MaxTransfer
+	t := &txn.Txn{ID: w.nextID}
+	w.nextID++
+	t.Frags = []txn.Fragment{
+		{Table: TableID, Key: storage.Key(src), Access: txn.Read, Abortable: true,
+			Op: OpCheckBalance, Args: []uint64{amt}},
+		{Table: TableID, Key: storage.Key(src), Access: txn.ReadModifyWrite,
+			Op: OpDebit, Args: []uint64{amt}},
+		{Table: TableID, Key: storage.Key(dst), Access: txn.ReadModifyWrite,
+			Op: OpCredit, Args: []uint64{amt}},
+	}
+	t.Finish()
+	if err := w.reg.Resolve(t); err != nil {
+		panic(err) // unreachable: all opcodes registered
+	}
+	return t
+}
+
+// TotalBalance sums every account balance — the conservation invariant.
+func TotalBalance(s *storage.Store) uint64 {
+	t := s.Table(TableID)
+	var sum uint64
+	for part := 0; part < s.Partitions(); part++ {
+		t.ForEachInPartition(part, func(_ storage.Key, r *storage.Record) {
+			sum += binary.LittleEndian.Uint64(r.CommittedValue())
+		})
+	}
+	return sum
+}
+
+// MinBalance returns the smallest balance (as a signed value, to surface
+// underflows that wrapped around).
+func MinBalance(s *storage.Store) int64 {
+	t := s.Table(TableID)
+	minv := int64(1<<63 - 1)
+	for part := 0; part < s.Partitions(); part++ {
+		t.ForEachInPartition(part, func(_ storage.Key, r *storage.Record) {
+			if v := int64(binary.LittleEndian.Uint64(r.CommittedValue())); v < minv {
+				minv = v
+			}
+		})
+	}
+	return minv
+}

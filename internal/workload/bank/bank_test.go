@@ -1,0 +1,79 @@
+package bank
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+func TestLoadAndInvariantHelpers(t *testing.T) {
+	w := MustNew(Config{Accounts: 100, InitialBalance: 50, Partitions: 4, Seed: 1})
+	s := storage.MustOpen(w.StoreConfig(4))
+	if err := w.Load(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalBalance(s); got != 5000 {
+		t.Errorf("total = %d, want 5000", got)
+	}
+	if got := MinBalance(s); got != 50 {
+		t.Errorf("min = %d, want 50", got)
+	}
+}
+
+func TestTransferStructure(t *testing.T) {
+	w := MustNew(Config{Accounts: 10, Partitions: 2, Seed: 2})
+	tx := w.Transfer()
+	if len(tx.Frags) != 3 {
+		t.Fatalf("transfer has %d fragments, want 3", len(tx.Frags))
+	}
+	if !tx.Frags[0].Abortable || tx.Frags[0].Access != txn.Read {
+		t.Error("first fragment must be the abortable balance check")
+	}
+	if tx.Frags[0].Key != tx.Frags[1].Key {
+		t.Error("check and debit target different accounts")
+	}
+	if tx.Frags[1].Key == tx.Frags[2].Key {
+		t.Error("src == dst")
+	}
+	if err := txn.Validate(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSemantics(t *testing.T) {
+	w := MustNew(Config{Accounts: 4, Partitions: 1, Seed: 3})
+	reg := w.Registry()
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, 100)
+	tx := &txn.Txn{Frags: []txn.Fragment{{Op: OpCheckBalance, Args: []uint64{150}, Access: txn.Read, Abortable: true}}}
+	tx.Finish()
+	if err := reg.Resolve(tx); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &txn.FragCtx{T: tx, F: &tx.Frags[0], Val: buf}
+	if err := tx.Frags[0].Logic(ctx); err != txn.ErrAbort {
+		t.Errorf("check 150 > 100 returned %v, want ErrAbort", err)
+	}
+	tx.Frags[0].Args = []uint64{100}
+	if err := tx.Frags[0].Logic(ctx); err != nil {
+		t.Errorf("check 100 <= 100 returned %v", err)
+	}
+	// Debit then credit round-trips the balance.
+	debit := reg[OpDebit]
+	credit := reg[OpCredit]
+	ctx.F = &txn.Fragment{Args: []uint64{30}}
+	if err := debit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(buf); got != 70 {
+		t.Errorf("after debit: %d, want 70", got)
+	}
+	if err := credit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(buf); got != 100 {
+		t.Errorf("after credit: %d, want 100", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package workload provides the building blocks shared by all benchmark
+// workloads: a deterministic, seedable random number generator (independent
+// of math/rand internals so that batches are bit-reproducible across Go
+// releases), the key-access distributions used by YCSB (uniform, zipfian,
+// scrambled zipfian) and the Generator interface every macro-benchmark
+// implements.
+package workload
+
+import "math"
+
+// RNG is a splitmix64-seeded xoshiro256** generator. It is deterministic for
+// a given seed and is NOT safe for concurrent use; each planner/worker owns
+// its own instance.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, as recommended
+// by the xoshiro authors to avoid correlated low-entropy seeds.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int64Range returns a uniform value in [lo, hi] inclusive.
+func (r *RNG) Int64Range(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int64(r.Uint64()%uint64(hi-lo+1))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NURand implements the TPC-C non-uniform random function NURand(A, x, y)
+// with the constant C fixed at load time (we use C=0 wlog, permitted by the
+// spec for a given run as long as it is constant).
+func (r *RNG) NURand(a, x, y int64) int64 {
+	return ((r.Int64Range(0, a) | r.Int64Range(x, y)) % (y - x + 1)) + x
+}
+
+// Dist generates keys in [0, N) under some access-skew distribution.
+type Dist interface {
+	// Next returns the next key index drawn from the distribution.
+	Next(r *RNG) uint64
+	// N returns the size of the key space.
+	N() uint64
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct{ n uint64 }
+
+// NewUniform returns a uniform distribution over [0, n).
+func NewUniform(n uint64) *Uniform { return &Uniform{n: n} }
+
+// Next implements Dist.
+func (u *Uniform) Next(r *RNG) uint64 { return r.Uint64() % u.n }
+
+// N implements Dist.
+func (u *Uniform) N() uint64 { return u.n }
+
+// Zipf draws keys from [0, N) with a zipfian skew of parameter theta, using
+// the rejection-free approximation from Gray et al. ("Quickly Generating
+// Billion-Record Synthetic Databases"), the same construction YCSB uses.
+// Rank 0 is the hottest key.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf builds a zipfian distribution over [0, n) with skew theta
+// (0 <= theta < 1; theta=0 degenerates to uniform-ish, YCSB default is 0.99).
+func NewZipf(n uint64, theta float64) *Zipf {
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// For large n this O(n) sum is computed once per distribution; benchmark
+	// key spaces are <= tens of millions, which costs milliseconds.
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Dist.
+func (z *Zipf) Next(r *RNG) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+// N implements Dist.
+func (z *Zipf) N() uint64 { return z.n }
+
+// ScrambledZipf spreads zipfian ranks across the key space with a hash, as
+// YCSB's ScrambledZipfianGenerator does, so hot keys are not clustered in one
+// partition.
+type ScrambledZipf struct {
+	z *Zipf
+}
+
+// NewScrambledZipf builds a scrambled zipfian distribution over [0, n).
+func NewScrambledZipf(n uint64, theta float64) *ScrambledZipf {
+	return &ScrambledZipf{z: NewZipf(n, theta)}
+}
+
+// Next implements Dist.
+func (s *ScrambledZipf) Next(r *RNG) uint64 {
+	return fnvHash64(s.z.Next(r)) % s.z.n
+}
+
+// N implements Dist.
+func (s *ScrambledZipf) N() uint64 { return s.z.n }
+
+// fnvHash64 is the 64-bit FNV-1a hash of the 8 bytes of v, used for key
+// scrambling (matches YCSB's use of FNV for the same purpose).
+func fnvHash64(v uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		v := r.Int64Range(10, 20)
+		if v < 10 || v > 20 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	if r.Int64Range(5, 5) != 5 {
+		t.Error("degenerate range")
+	}
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("float out of [0,1): %f", f)
+		}
+	}
+}
+
+func TestNURandBounds(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 2000; i++ {
+		v := r.NURand(1023, 1, 3000)
+		if v < 1 || v > 3000 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := NewUniform(16)
+	r := NewRNG(5)
+	var hits [16]int
+	for i := 0; i < 16000; i++ {
+		hits[u.Next(r)]++
+	}
+	for i, h := range hits {
+		if h < 500 || h > 1500 {
+			t.Errorf("bucket %d count %d far from uniform 1000", i, h)
+		}
+	}
+}
+
+// TestZipfSkew checks rank-0 is hottest and higher theta concentrates more
+// mass on the head.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 50000
+	headMass := func(theta float64) float64 {
+		z := NewZipf(n, theta)
+		r := NewRNG(6)
+		head := 0
+		for i := 0; i < draws; i++ {
+			if z.Next(r) < 10 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	low, high := headMass(0.5), headMass(0.99)
+	if high <= low {
+		t.Errorf("theta=0.99 head mass %.3f not above theta=0.5 %.3f", high, low)
+	}
+	if high < 0.3 {
+		t.Errorf("theta=0.99 head mass %.3f too small for zipfian", high)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	r := NewRNG(7)
+	f := func(uint8) bool {
+		v := z.Next(r)
+		return v < 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrambledZipfSpreads(t *testing.T) {
+	s := NewScrambledZipf(1024, 0.99)
+	r := NewRNG(8)
+	// The scrambled hot keys must not all land in one small prefix.
+	inPrefix := 0
+	for i := 0; i < 10000; i++ {
+		if s.Next(r) < 64 {
+			inPrefix++
+		}
+	}
+	frac := float64(inPrefix) / 10000
+	if frac > 0.5 {
+		t.Errorf("scrambled zipf concentrated %.2f in first 64 keys", frac)
+	}
+	if s.N() != 1024 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestZetaFinite(t *testing.T) {
+	for _, theta := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if z := zeta(10000, theta); math.IsInf(z, 0) || math.IsNaN(z) || z <= 0 {
+			t.Errorf("zeta(10000, %f) = %f", theta, z)
+		}
+	}
+}
+
+func TestMergeRegistries(t *testing.T) {
+	nop := func(*txn.FragCtx) error { return nil }
+	merged := MergeRegistries(
+		txn.Registry{OpBaseYCSB: nop},
+		txn.Registry{OpBaseTPCC: nop},
+	)
+	if len(merged) != 2 {
+		t.Errorf("merged size = %d", len(merged))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate opcode merge did not panic")
+		}
+	}()
+	MergeRegistries(txn.Registry{1: nop}, txn.Registry{1: nop})
+}

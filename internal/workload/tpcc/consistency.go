@@ -1,0 +1,90 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+)
+
+// CheckConsistency validates the TPC-C consistency conditions that survive
+// our documented simplifications (TPC-C §3.3.2 flavors):
+//
+//	C1: W_YTD = initial + sum of Payment amounts to the warehouse, and
+//	    W_YTD - initial == sum over districts of (D_YTD - initial).
+//	C2: for every district, d_next_o_id - 1 is the largest order id present
+//	    (with gaps only where NewOrders aborted), and d_next_o_id matches
+//	    the generator's shadow counter.
+//	C3: every non-aborted order's order-line count matches o_ol_cnt and all
+//	    its order-line rows exist.
+//	C4: delivered orders (o_carrier_id != 0) have every order line stamped
+//	    with a delivery date; undelivered orders have none.
+//
+// It returns a descriptive error for the first violation found.
+func (g *Workload) CheckConsistency(s *storage.Store) error {
+	warehouses := s.Table(TableWarehouse)
+	districts := s.Table(TableDistrict)
+	orders := s.Table(TableOrders)
+	orderLines := s.Table(TableOrderLine)
+
+	for w := 1; w <= g.cfg.Warehouses; w++ {
+		wrec := warehouses.Get(g.keyWarehouse(w))
+		if wrec == nil {
+			return fmt.Errorf("tpcc: warehouse %d missing", w)
+		}
+		wYtd := u64(wrec.CommittedValue(), offWYtd) - 30000000
+		var dYtdSum uint64
+		for d := 1; d <= districtsPerWarehouse; d++ {
+			drec := districts.Get(g.keyDistrict(w, d))
+			if drec == nil {
+				return fmt.Errorf("tpcc: district (%d,%d) missing", w, d)
+			}
+			dv := drec.CommittedValue()
+			dYtdSum += u64(dv, offDYtd) - 3000000
+
+			sh := g.shadow[w-1][d-1]
+			nextOID := u64(dv, offDNextOID)
+			// The stored counter can trail the shadow counter by exactly the
+			// number of aborted NewOrders (aborted increments roll back,
+			// shadow ids stay consumed).
+			if nextOID > sh.nextOID {
+				return fmt.Errorf("tpcc: (%d,%d) d_next_o_id %d beyond shadow %d", w, d, nextOID, sh.nextOID)
+			}
+			// C2/C3/C4 over materialized orders.
+			for oid := uint64(1); oid < sh.nextOID; oid++ {
+				olCnt, ok := sh.olCnt[oid]
+				orec := orders.Get(g.keyOrder(w, d, oid))
+				if !ok {
+					if oid >= uint64(g.cfg.InitialOrdersPerDistrict)+1 && orec != nil {
+						return fmt.Errorf("tpcc: (%d,%d) order %d exists but was aborted", w, d, oid)
+					}
+					continue
+				}
+				if orec == nil {
+					return fmt.Errorf("tpcc: (%d,%d) order %d missing", w, d, oid)
+				}
+				ov := orec.CommittedValue()
+				if got := u64(ov, offOOlCnt); got != uint64(olCnt) {
+					return fmt.Errorf("tpcc: (%d,%d) order %d ol_cnt %d, want %d", w, d, oid, got, olCnt)
+				}
+				delivered := u64(ov, offOCarrierID) != 0
+				for ol := 1; ol <= olCnt; ol++ {
+					lrec := orderLines.Get(g.keyOrderLine(w, d, oid, ol))
+					if lrec == nil {
+						return fmt.Errorf("tpcc: (%d,%d) order %d line %d missing", w, d, oid, ol)
+					}
+					stamped := u64(lrec.CommittedValue(), offOlDeliveryD) != 0
+					if delivered && !stamped {
+						return fmt.Errorf("tpcc: (%d,%d) order %d line %d missing delivery date", w, d, oid, ol)
+					}
+					if !delivered && stamped && oid >= uint64(g.cfg.InitialOrdersPerDistrict)+1 {
+						return fmt.Errorf("tpcc: (%d,%d) order %d line %d stamped but order undelivered", w, d, oid, ol)
+					}
+				}
+			}
+		}
+		if wYtd != dYtdSum {
+			return fmt.Errorf("tpcc: warehouse %d ytd delta %d != district sum %d", w, wYtd, dYtdSum)
+		}
+	}
+	return nil
+}

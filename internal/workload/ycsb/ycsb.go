@@ -1,0 +1,287 @@
+// Package ycsb implements the YCSB core workload (Cooper et al., SoCC'10) as
+// used by the paper's evaluation: fixed-size records accessed by key under a
+// configurable skew (uniform or scrambled zipfian), transactions of a fixed
+// number of read/update/read-modify-write operations, and a configurable
+// fraction of multi-partition transactions (the knob behind Table 2 rows 1
+// and 2 and experiments E5/E6).
+package ycsb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+)
+
+// TableID is the single YCSB table.
+const TableID storage.TableID = 1
+
+// Opcodes.
+const (
+	// OpRead reads the record and folds its first bytes into a checksum.
+	OpRead = workload.OpBaseYCSB + iota
+	// OpUpdate overwrites the record payload with bytes derived from Arg(0).
+	OpUpdate
+	// OpRMW increments the record's leading counter by Arg(0).
+	OpRMW
+	// OpCheck is an abortable read: it aborts the transaction when Arg(0)
+	// is nonzero. Used to inject deterministic logic aborts for testing the
+	// speculation-dependency machinery.
+	OpCheck
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// Records is the number of records (default 65536).
+	Records uint64
+	// ValueSize is the record payload size in bytes (default 100).
+	ValueSize int
+	// OpsPerTxn is the number of operations per transaction (default 10).
+	OpsPerTxn int
+	// ReadRatio is the fraction of operations that are reads (default 0.5).
+	ReadRatio float64
+	// RMWRatio is the fraction of operations that are read-modify-writes;
+	// the remainder (1 - ReadRatio - RMWRatio) are blind updates.
+	RMWRatio float64
+	// Theta is the zipfian skew (0 = uniform; YCSB default 0.99).
+	Theta float64
+	// MultiPartitionRatio is the fraction of transactions whose operations
+	// span MultiPartitionCount partitions (default 0).
+	MultiPartitionRatio float64
+	// MultiPartitionCount is how many partitions a multi-partition
+	// transaction touches (default 2, capped at OpsPerTxn and partitions).
+	MultiPartitionCount int
+	// AbortRatio injects an abortable check fragment that aborts, into this
+	// fraction of transactions (default 0; used by tests/ablations).
+	AbortRatio float64
+	// Partitions must match the store the workload runs against.
+	Partitions int
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.Records == 0 {
+		c.Records = 65536
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 100
+	}
+	if c.ValueSize < 8 {
+		return fmt.Errorf("ycsb: ValueSize must be >= 8, got %d", c.ValueSize)
+	}
+	if c.OpsPerTxn == 0 {
+		c.OpsPerTxn = 10
+	}
+	if c.Partitions <= 0 {
+		return fmt.Errorf("ycsb: Partitions must be set")
+	}
+	if c.MultiPartitionCount == 0 {
+		c.MultiPartitionCount = 2
+	}
+	if c.MultiPartitionCount > c.OpsPerTxn {
+		c.MultiPartitionCount = c.OpsPerTxn
+	}
+	if c.MultiPartitionCount > c.Partitions {
+		c.MultiPartitionCount = c.Partitions
+	}
+	if c.Records%uint64(c.Partitions) != 0 {
+		// Round up so every partition holds the same number of records and
+		// per-partition key indexing stays uniform.
+		c.Records += uint64(c.Partitions) - c.Records%uint64(c.Partitions)
+	}
+	return nil
+}
+
+// Workload implements workload.Generator.
+type Workload struct {
+	cfg    Config
+	rng    *workload.RNG
+	dist   workload.Dist // per-partition index distribution
+	reg    txn.Registry
+	nextID uint64
+}
+
+var _ workload.Generator = (*Workload)(nil)
+
+// New builds a YCSB generator.
+func New(cfg Config) (*Workload, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	w := &Workload{cfg: cfg, rng: workload.NewRNG(cfg.Seed)}
+	w.reg = w.Registry()
+	perPart := cfg.Records / uint64(cfg.Partitions)
+	if cfg.Theta > 0 {
+		w.dist = workload.NewScrambledZipf(perPart, cfg.Theta)
+	} else {
+		w.dist = workload.NewUniform(perPart)
+	}
+	return w, nil
+}
+
+// MustNew is New but panics on config errors (static test/bench configs).
+func MustNew(cfg Config) *Workload {
+	w, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Name implements workload.Generator.
+func (w *Workload) Name() string { return "ycsb" }
+
+// Config returns the normalized configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// StoreConfig implements workload.Generator.
+func (w *Workload) StoreConfig(partitions int) storage.Config {
+	return storage.Config{
+		Partitions: partitions,
+		Tables: []storage.TableSpec{
+			{ID: TableID, Name: "usertable", ValueSize: w.cfg.ValueSize},
+		},
+	}
+}
+
+// Load implements workload.Generator: record i holds a payload derived from
+// its key so loads are verifiable.
+func (w *Workload) Load(s *storage.Store) error {
+	t := s.Table(TableID)
+	if t == nil {
+		return fmt.Errorf("ycsb: store missing table %d", TableID)
+	}
+	buf := make([]byte, w.cfg.ValueSize)
+	for k := uint64(0); k < w.cfg.Records; k++ {
+		fill(buf, k)
+		if _, ok := t.Insert(storage.Key(k), buf); !ok {
+			return fmt.Errorf("ycsb: duplicate key %d during load", k)
+		}
+	}
+	return nil
+}
+
+// fill writes a deterministic pattern derived from seed into buf.
+func fill(buf []byte, seed uint64) {
+	binary.LittleEndian.PutUint64(buf, seed)
+	for i := 8; i < len(buf); i++ {
+		buf[i] = byte(seed + uint64(i))
+	}
+}
+
+// Registry implements workload.Generator.
+func (w *Workload) Registry() txn.Registry {
+	return txn.Registry{
+		OpRead: func(ctx *txn.FragCtx) error {
+			// Fold the leading counter so the read is not dead code.
+			_ = binary.LittleEndian.Uint64(ctx.Val)
+			return nil
+		},
+		OpUpdate: func(ctx *txn.FragCtx) error {
+			fill(ctx.Val, ctx.Arg(0))
+			return nil
+		},
+		OpRMW: func(ctx *txn.FragCtx) error {
+			v := binary.LittleEndian.Uint64(ctx.Val)
+			binary.LittleEndian.PutUint64(ctx.Val, v+ctx.Arg(0))
+			return nil
+		},
+		OpCheck: func(ctx *txn.FragCtx) error {
+			if ctx.Arg(0) != 0 {
+				return txn.ErrAbort
+			}
+			return nil
+		},
+	}
+}
+
+// keyIn returns a key in partition part drawn from the skew distribution.
+func (w *Workload) keyIn(part int) storage.Key {
+	idx := w.dist.Next(w.rng)
+	return storage.Key(idx*uint64(w.cfg.Partitions) + uint64(part))
+}
+
+// NextBatch implements workload.Generator.
+func (w *Workload) NextBatch(n int) []*txn.Txn {
+	out := make([]*txn.Txn, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, w.nextTxn())
+	}
+	return out
+}
+
+func (w *Workload) nextTxn() *txn.Txn {
+	cfg := &w.cfg
+	t := &txn.Txn{ID: w.nextID}
+	w.nextID++
+
+	multi := cfg.MultiPartitionRatio > 0 && w.rng.Float64() < cfg.MultiPartitionRatio
+	nParts := 1
+	if multi {
+		nParts = cfg.MultiPartitionCount
+	}
+	// Choose the partition set: a random starting partition, then
+	// consecutive partitions (mod P) — uniform load with controlled span.
+	basePart := w.rng.Intn(cfg.Partitions)
+
+	abortAt := -1
+	if cfg.AbortRatio > 0 && w.rng.Float64() < cfg.AbortRatio {
+		abortAt = w.rng.Intn(cfg.OpsPerTxn)
+	}
+
+	frags := make([]txn.Fragment, 0, cfg.OpsPerTxn+1)
+	if abortAt >= 0 {
+		// Abortable check first (conservative execution requires abortable
+		// fragments to precede all writes).
+		part := (basePart + abortAt%nParts) % cfg.Partitions
+		frags = append(frags, txn.Fragment{
+			Table: TableID, Key: w.keyIn(part),
+			Access: txn.Read, Abortable: true,
+			Op: OpCheck, Args: []uint64{1},
+		})
+	}
+	seen := make(map[storage.Key]struct{}, cfg.OpsPerTxn)
+	for op := 0; op < cfg.OpsPerTxn; op++ {
+		part := (basePart + op%nParts) % cfg.Partitions
+		key := w.keyIn(part)
+		for tries := 0; ; tries++ {
+			if _, dup := seen[key]; !dup {
+				break
+			}
+			if tries < 64 {
+				key = w.keyIn(part)
+			} else {
+				// Tiny or extremely skewed per-partition key spaces: probe
+				// linearly within the partition to guarantee termination.
+				key = storage.Key((uint64(key) + uint64(cfg.Partitions)) % w.cfg.Records)
+			}
+		}
+		seen[key] = struct{}{}
+		r := w.rng.Float64()
+		switch {
+		case r < cfg.ReadRatio:
+			frags = append(frags, txn.Fragment{
+				Table: TableID, Key: key, Access: txn.Read, Op: OpRead,
+			})
+		case r < cfg.ReadRatio+cfg.RMWRatio:
+			frags = append(frags, txn.Fragment{
+				Table: TableID, Key: key, Access: txn.ReadModifyWrite,
+				Op: OpRMW, Args: []uint64{1},
+			})
+		default:
+			frags = append(frags, txn.Fragment{
+				Table: TableID, Key: key, Access: txn.Update,
+				Op: OpUpdate, Args: []uint64{t.ID},
+			})
+		}
+	}
+	t.Frags = frags
+	t.Finish()
+	if err := w.reg.Resolve(t); err != nil {
+		panic(err) // all opcodes are registered in Registry; unreachable
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+package ycsb
+
+import (
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing Partitions accepted")
+	}
+	if _, err := New(Config{Partitions: 2, ValueSize: 4}); err == nil {
+		t.Error("tiny ValueSize accepted")
+	}
+	w, err := New(Config{Partitions: 3, Records: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records round up to a multiple of partitions.
+	if w.cfg.Records%3 != 0 {
+		t.Errorf("records %d not multiple of partitions", w.cfg.Records)
+	}
+	if w.cfg.OpsPerTxn != 10 || w.cfg.ValueSize != 100 {
+		t.Errorf("defaults not applied: %+v", w.cfg)
+	}
+}
+
+func TestLoadAndDeterministicStream(t *testing.T) {
+	cfg := Config{Records: 256, Partitions: 4, OpsPerTxn: 6, ReadRatio: 0.5, Theta: 0.9, Seed: 3}
+	w1 := MustNew(cfg)
+	s := storage.MustOpen(w1.StoreConfig(4))
+	if err := w1.Load(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Table(TableID).Len(); got != 256 {
+		t.Errorf("loaded %d records, want 256", got)
+	}
+	w2 := MustNew(cfg)
+	b1, b2 := w1.NextBatch(100), w2.NextBatch(100)
+	for i := range b1 {
+		if string(txn.AppendTxn(nil, b1[i])) != string(txn.AppendTxn(nil, b2[i])) {
+			t.Fatalf("txn %d differs for same seed", i)
+		}
+	}
+}
+
+func TestMultiPartitionSpan(t *testing.T) {
+	w := MustNew(Config{
+		Records: 1024, Partitions: 8, OpsPerTxn: 8,
+		MultiPartitionRatio: 1.0, MultiPartitionCount: 4, Seed: 9,
+	})
+	s := storage.MustOpen(w.StoreConfig(8))
+	for _, tx := range w.NextBatch(50) {
+		parts := map[int]bool{}
+		for i := range tx.Frags {
+			parts[s.PartitionOf(tx.Frags[i].Key)] = true
+		}
+		if len(parts) != 4 {
+			t.Fatalf("txn spans %d partitions, want 4", len(parts))
+		}
+	}
+}
+
+func TestSinglePartitionTxns(t *testing.T) {
+	w := MustNew(Config{Records: 1024, Partitions: 8, OpsPerTxn: 8, Seed: 9})
+	s := storage.MustOpen(w.StoreConfig(8))
+	for _, tx := range w.NextBatch(50) {
+		parts := map[int]bool{}
+		for i := range tx.Frags {
+			parts[s.PartitionOf(tx.Frags[i].Key)] = true
+		}
+		if len(parts) != 1 {
+			t.Fatalf("single-partition txn spans %d partitions", len(parts))
+		}
+	}
+}
+
+func TestNoDuplicateKeysWithinTxn(t *testing.T) {
+	w := MustNew(Config{Records: 64, Partitions: 2, OpsPerTxn: 16, Theta: 0.99, Seed: 4})
+	for _, tx := range w.NextBatch(200) {
+		seen := map[storage.Key]bool{}
+		for i := range tx.Frags {
+			if seen[tx.Frags[i].Key] {
+				t.Fatalf("duplicate key %d within txn", tx.Frags[i].Key)
+			}
+			seen[tx.Frags[i].Key] = true
+		}
+	}
+}
+
+func TestAbortRatioInjectsAbortableChecks(t *testing.T) {
+	w := MustNew(Config{Records: 256, Partitions: 2, OpsPerTxn: 4, AbortRatio: 1.0, Seed: 5})
+	for _, tx := range w.NextBatch(20) {
+		if !tx.HasAbortable() {
+			t.Fatal("AbortRatio=1 produced txn without abortable fragment")
+		}
+		if !tx.Frags[0].Abortable {
+			t.Fatal("abortable check is not the first fragment (conservative ordering)")
+		}
+		if err := txn.Validate(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	w := MustNew(Config{Records: 4096, Partitions: 2, OpsPerTxn: 10, ReadRatio: 0.6, RMWRatio: 0.2, Seed: 6})
+	var reads, rmws, updates int
+	for _, tx := range w.NextBatch(2000) {
+		for i := range tx.Frags {
+			switch tx.Frags[i].Op {
+			case OpRead:
+				reads++
+			case OpRMW:
+				rmws++
+			case OpUpdate:
+				updates++
+			}
+		}
+	}
+	total := reads + rmws + updates
+	if f := float64(reads) / float64(total); f < 0.55 || f > 0.65 {
+		t.Errorf("read fraction %.3f, want ~0.6", f)
+	}
+	if f := float64(rmws) / float64(total); f < 0.15 || f > 0.25 {
+		t.Errorf("rmw fraction %.3f, want ~0.2", f)
+	}
+}

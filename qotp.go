@@ -1,0 +1,195 @@
+// Package qotp is the public API of the queue-oriented transaction
+// processing library, a from-scratch Go reproduction of "A Queue-oriented
+// Transaction Processing Paradigm" (Qadah, Middleware 2019).
+//
+// The primary contribution — the deterministic, two-phase, priority-queue
+// engine (QueCC) — is exposed through NewQueCC; every baseline the paper
+// compares against is constructible through New with a protocol name, so
+// applications and experiments can swap concurrency-control strategies
+// behind one interface:
+//
+//	gen := qotp.NewYCSB(qotp.YCSBConfig{Partitions: 8, Theta: 0.9})
+//	db, _ := qotp.Open(gen, 8)
+//	eng, _ := qotp.NewQueCC(db, qotp.QueCCOptions{Planners: 2, Executors: 4})
+//	err := eng.ExecBatch(gen.NextBatch(10000))
+//
+// See the examples/ directory for runnable programs and cmd/qotpbench for
+// the experiment harness that regenerates the paper's tables and figures.
+package qotp
+
+import (
+	"fmt"
+
+	"github.com/exploratory-systems/qotp/internal/calvin"
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/engine"
+	"github.com/exploratory-systems/qotp/internal/hstore"
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/mvto"
+	"github.com/exploratory-systems/qotp/internal/silo"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/tictoc"
+	"github.com/exploratory-systems/qotp/internal/twopl"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/bank"
+	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// Re-exported core types. Engine is the common protocol interface; Txn is a
+// fragmented transaction; Generator produces deterministic batches; Stats
+// and Snapshot report performance.
+type (
+	// Engine executes transaction batches under one concurrency-control
+	// protocol.
+	Engine = engine.Engine
+	// Txn is a fragmented transaction (paper §3.1).
+	Txn = txn.Txn
+	// Fragment is one unit of transaction logic bound to a single record.
+	Fragment = txn.Fragment
+	// Generator produces deterministic transaction batches.
+	Generator = workload.Generator
+	// Stats is the engine metrics accumulator.
+	Stats = metrics.Stats
+	// Snapshot is an immutable metrics snapshot.
+	Snapshot = metrics.Snapshot
+	// DB is an opened, loaded store.
+	DB = storage.Store
+	// YCSBConfig parameterizes the YCSB workload.
+	YCSBConfig = ycsb.Config
+	// TPCCConfig parameterizes the TPC-C workload.
+	TPCCConfig = tpcc.Config
+	// BankConfig parameterizes the bank transfer workload.
+	BankConfig = bank.Config
+)
+
+// ErrAbort aborts the enclosing transaction when returned by fragment logic.
+var ErrAbort = txn.ErrAbort
+
+// Open creates a store for the generator's schema and loads the initial
+// database.
+func Open(gen Generator, partitions int) (*DB, error) {
+	s, err := storage.Open(gen.StoreConfig(partitions))
+	if err != nil {
+		return nil, err
+	}
+	if err := gen.Load(s); err != nil {
+		return nil, fmt.Errorf("qotp: load: %w", err)
+	}
+	return s, nil
+}
+
+// Mechanism selects the queue-execution mechanism (paper §3.2).
+type Mechanism = core.Mechanism
+
+// Isolation selects the isolation level (paper §3.2).
+type Isolation = core.Isolation
+
+// Re-exported mechanism and isolation constants.
+const (
+	Speculative   = core.Speculative
+	Conservative  = core.Conservative
+	Serializable  = core.Serializable
+	ReadCommitted = core.ReadCommitted
+)
+
+// QueCCOptions configures the queue-oriented engine.
+type QueCCOptions struct {
+	// Planners and Executors are the two phases' thread counts (both
+	// default to 2).
+	Planners  int
+	Executors int
+	// Mechanism defaults to Speculative; Isolation to Serializable.
+	Mechanism Mechanism
+	Isolation Isolation
+	// Logger, when non-nil, receives each batch before commit (see the
+	// wal package).
+	Logger core.BatchLogger
+}
+
+// NewQueCC creates the paper's queue-oriented deterministic engine.
+func NewQueCC(db *DB, opts QueCCOptions) (Engine, error) {
+	if opts.Planners == 0 {
+		opts.Planners = 2
+	}
+	if opts.Executors == 0 {
+		opts.Executors = 2
+	}
+	return core.New(db, core.Config{
+		Planners:  opts.Planners,
+		Executors: opts.Executors,
+		Mechanism: opts.Mechanism,
+		Isolation: opts.Isolation,
+		Logger:    opts.Logger,
+	})
+}
+
+// Protocols lists the centralized protocol names accepted by New.
+func Protocols() []string {
+	return []string{
+		"quecc", "quecc-cons", "quecc-rc",
+		"hstore", "calvin",
+		"2pl-nowait", "2pl-waitdie", "silo", "tictoc", "mvto",
+	}
+}
+
+// New constructs a centralized engine by protocol name with `threads`
+// workers (for the queue engine: 2 planners and `threads` executors).
+func New(name string, db *DB, threads int) (Engine, error) {
+	switch name {
+	case "quecc":
+		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads})
+	case "quecc-cons":
+		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, Mechanism: Conservative})
+	case "quecc-rc":
+		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, Isolation: ReadCommitted})
+	case "hstore":
+		return hstore.New(db, threads)
+	case "calvin":
+		return calvin.New(db, threads)
+	case "2pl-nowait":
+		return twopl.New(db, twopl.NoWait, threads)
+	case "2pl-waitdie":
+		return twopl.New(db, twopl.WaitDie, threads)
+	case "silo":
+		return silo.New(db, threads)
+	case "tictoc":
+		return tictoc.New(db, threads)
+	case "mvto":
+		return mvto.New(db, threads)
+	default:
+		return nil, fmt.Errorf("qotp: unknown protocol %q (have %v)", name, Protocols())
+	}
+}
+
+// NewYCSB constructs the YCSB workload generator.
+func NewYCSB(cfg YCSBConfig) (Generator, error) { return ycsb.New(cfg) }
+
+// NewTPCC constructs the TPC-C workload generator.
+func NewTPCC(cfg TPCCConfig) (Generator, error) { return tpcc.New(cfg) }
+
+// NewBank constructs the bank-transfer workload generator.
+func NewBank(cfg BankConfig) (Generator, error) { return bank.New(cfg) }
+
+// StateHash fingerprints the database state (determinism checks).
+func StateHash(db *DB) uint64 { return db.StateHash() }
+
+// BankTotal sums all account balances of a bank-workload database (the
+// conservation invariant).
+func BankTotal(db *DB) uint64 { return bank.TotalBalance(db) }
+
+// BankMin returns the smallest account balance (negative values expose
+// isolation violations).
+func BankMin(db *DB) int64 { return bank.MinBalance(db) }
+
+// TPCCCheck runs the TPC-C consistency conditions against a database
+// produced by the given generator (must be the same instance that generated
+// the executed transactions).
+func TPCCCheck(gen Generator, db *DB) error {
+	tg, ok := gen.(*tpcc.Workload)
+	if !ok {
+		return fmt.Errorf("qotp: TPCCCheck requires a TPC-C generator, got %s", gen.Name())
+	}
+	return tg.CheckConsistency(db)
+}
