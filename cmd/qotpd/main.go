@@ -30,6 +30,12 @@ func main() {
 		execs     = flag.Int("executors", 2, "executors per node")
 	)
 	flag.Parse()
+	if *nodes < 1 {
+		log.Fatalf("qotpd: -nodes must be >= 1, got %d", *nodes)
+	}
+	if *batches < 1 || *batchSize < 1 || *execs < 1 {
+		log.Fatal("qotpd: -batches, -batch and -executors must be >= 1")
+	}
 
 	parts := *nodes * 2
 	mkGen := func() workload.Generator {

@@ -1,0 +1,3 @@
+module github.com/exploratory-systems/qotp
+
+go 1.24

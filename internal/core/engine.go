@@ -22,12 +22,11 @@ type Engine struct {
 	stats metrics.Stats
 	epoch uint64
 
-	// queues[planner][partition] holds the ordered (conflict-dependency
-	// bearing) fragments; rcQueues holds read-committed read fragments that
-	// may execute unordered against committed versions. Backing arrays are
-	// reused across batches.
-	queues   [][][]*txn.Fragment
-	rcQueues [][][]*txn.Fragment
+	// pb is the engine-owned PlannedBatch the planning phase writes into;
+	// its queue backing arrays are reused across batches. Plan hands out a
+	// pointer to it; external plans (e.g. reconstructed from shipped queues)
+	// flow through ExecPlanned instead.
+	pb PlannedBatch
 
 	execs []*executor
 
@@ -47,11 +46,11 @@ func New(store *storage.Store, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{store: store, cfg: cfg}
 	nPart := store.Partitions()
-	e.queues = make([][][]*txn.Fragment, cfg.Planners)
-	e.rcQueues = make([][][]*txn.Fragment, cfg.Planners)
+	e.pb.Ordered = make([][][]*txn.Fragment, cfg.Planners)
+	e.pb.RC = make([][][]*txn.Fragment, cfg.Planners)
 	for p := 0; p < cfg.Planners; p++ {
-		e.queues[p] = make([][]*txn.Fragment, nPart)
-		e.rcQueues[p] = make([][]*txn.Fragment, nPart)
+		e.pb.Ordered[p] = make([][]*txn.Fragment, nPart)
+		e.pb.RC[p] = make([][]*txn.Fragment, nPart)
 	}
 	e.execs = make([]*executor, cfg.Executors)
 	for i := range e.execs {
@@ -87,30 +86,38 @@ func (e *Engine) fail(err error) {
 
 // ExecBatch plans, executes and commits one batch of transactions. On return
 // every transaction in the batch is either committed or (deterministically)
-// aborted by its own logic; Stats reflect the outcome.
+// aborted by its own logic; Stats reflect the outcome. It is exactly
+// Plan followed by ExecPlanned on the resulting PlannedBatch.
 func (e *Engine) ExecBatch(txns []*txn.Txn) error {
 	if len(txns) == 0 {
 		return nil
 	}
-	e.failure = atomic.Value{}
 	start := time.Now()
-
-	// ---- Planning phase -------------------------------------------------
-	hasAbortable := e.plan(txns)
-	planDone := time.Now()
-	e.stats.PlanNs.Add(uint64(planDone.Sub(start).Nanoseconds()))
-	if err, _ := e.failure.Load().(error); err != nil {
+	pb, err := e.Plan(txns)
+	if err != nil {
 		return err
 	}
+	return e.execPlanned(pb, start)
+}
+
+// execPlanned runs execution, repair and commit over a planned batch.
+// Latency is observed from start (ExecBatch passes the pre-planning instant
+// so per-transaction commit latency includes the planning phase).
+func (e *Engine) execPlanned(pb *PlannedBatch, start time.Time) error {
+	txns := pb.Txns
+	if len(txns) == 0 {
+		return nil
+	}
+	execStart := time.Now()
 
 	// ---- Execution phase -------------------------------------------------
-	trackSpec := e.cfg.Mechanism == Speculative && hasAbortable
+	trackSpec := e.cfg.Mechanism == Speculative && pb.HasAbortable
 	var wg sync.WaitGroup
 	for _, ex := range e.execs {
 		wg.Add(1)
 		go func(ex *executor) {
 			defer wg.Done()
-			ex.run(trackSpec)
+			ex.run(pb, trackSpec)
 		}(ex)
 	}
 	wg.Wait()
@@ -149,8 +156,7 @@ func (e *Engine) ExecBatch(txns []*txn.Txn) error {
 	}
 	atomic.AddUint64(&e.epoch, 1)
 
-	execDur := time.Since(planDone)
-	e.stats.ExecNs.Add(uint64(execDur.Nanoseconds()))
+	e.stats.ExecNs.Add(uint64(time.Since(execStart).Nanoseconds()))
 	committed := len(txns) - logicAborted
 	e.stats.Committed.Add(uint64(committed))
 	e.stats.UserAborts.Add(uint64(logicAborted))
@@ -166,9 +172,9 @@ func (e *Engine) plan(txns []*txn.Txn) bool {
 	nPlan := e.cfg.Planners
 	// Reset queue lengths, keep capacity.
 	for p := 0; p < nPlan; p++ {
-		for part := range e.queues[p] {
-			e.queues[p][part] = e.queues[p][part][:0]
-			e.rcQueues[p][part] = e.rcQueues[p][part][:0]
+		for part := range e.pb.Ordered[p] {
+			e.pb.Ordered[p][part] = e.pb.Ordered[p][part][:0]
+			e.pb.RC[p][part] = e.pb.RC[p][part][:0]
 		}
 	}
 	chunk := (len(txns) + nPlan - 1) / nPlan
@@ -200,8 +206,8 @@ func (e *Engine) plan(txns []*txn.Txn) bool {
 
 // planSlice plans one planner's contiguous share of the batch.
 func (e *Engine) planSlice(planner int, txns []*txn.Txn, base uint32) (hasAbortable bool) {
-	ordered := e.queues[planner]
-	rc := e.rcQueues[planner]
+	ordered := e.pb.Ordered[planner]
+	rc := e.pb.RC[planner]
 	rcMode := e.cfg.Isolation == ReadCommitted
 	conservative := e.cfg.Mechanism == Conservative
 	for i, t := range txns {
@@ -333,8 +339,11 @@ func newExecutor(e *Engine, id int) *executor {
 	return ex
 }
 
-// run drains the executor's queues for the current batch.
-func (ex *executor) run(trackSpec bool) {
+// run drains the executor's share of a planned batch's queues. The plan's
+// planner dimension may differ from the engine's configured planner count
+// (externally reconstructed plans often have a single merged queue per
+// partition), so iteration is driven by the plan's own shape.
+func (ex *executor) run(pb *PlannedBatch, trackSpec bool) {
 	e := ex.eng
 	// Read-committed read queues first: they see the pre-batch committed
 	// state, which is a valid read-committed snapshot, and they need no
@@ -342,8 +351,8 @@ func (ex *executor) run(trackSpec bool) {
 	// paper describes.
 	if e.cfg.Isolation == ReadCommitted {
 		for _, part := range ex.parts {
-			for p := 0; p < e.cfg.Planners; p++ {
-				for _, f := range e.rcQueues[p][part] {
+			for p := range pb.RC {
+				for _, f := range pb.RC[p][part] {
 					if err := ex.runRCRead(f); err != nil {
 						e.fail(err)
 						return
@@ -360,8 +369,8 @@ func (ex *executor) run(trackSpec bool) {
 	// which makes the cross-executor waits below deadlock-free.
 	ex.heads = ex.heads[:0]
 	for _, part := range ex.parts {
-		for p := 0; p < e.cfg.Planners; p++ {
-			if q := e.queues[p][part]; len(q) > 0 {
+		for p := range pb.Ordered {
+			if q := pb.Ordered[p][part]; len(q) > 0 {
 				ex.heads = append(ex.heads, queueCursor{frags: q})
 			}
 		}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// PlannedBatch is the first-class output of the planning phase: the ordered
+// (conflict-dependency bearing) fragment queues and the unordered
+// read-committed read queues, indexed [planner][partition], plus the batch's
+// abortability summary. It is the unit the paper's architecture revolves
+// around — "commitment ahead of time" means the plan, not the execution, is
+// the authoritative description of the batch — and therefore the unit the
+// distributed engines ship between nodes (see NodePlan and the shadow-txn
+// codec in the txn package).
+//
+// A PlannedBatch produced by Engine.Plan aliases engine-owned backing arrays
+// that are recycled by the next Plan call; callers that need the plan to
+// outlive the next batch must extract what they need first (NodePlan copies).
+type PlannedBatch struct {
+	// Txns are the planned transactions in batch (= serial priority) order;
+	// planning assigns each transaction's BatchPos.
+	Txns []*txn.Txn
+	// Ordered holds the conflict-ordered queues: Ordered[p][part] is planner
+	// p's priority-ascending fragment queue for partition part.
+	Ordered [][][]*txn.Fragment
+	// RC holds the read-committed read queues (empty under serializable
+	// isolation): fragments that may execute unordered against committed
+	// record versions.
+	RC [][][]*txn.Fragment
+	// HasAbortable reports whether any transaction in the batch carries
+	// abortable fragments (enables speculation tracking and abort repair).
+	HasAbortable bool
+}
+
+// Partitions returns the partition count the batch was planned for.
+func (pb *PlannedBatch) Partitions() int {
+	if len(pb.Ordered) == 0 {
+		return 0
+	}
+	return len(pb.Ordered[0])
+}
+
+// NodePlan extracts the shadow transactions for the partitions selected by
+// owned: for every transaction with at least one fragment planned into an
+// owned partition (ordered or read-committed queue), a shadow transaction is
+// built holding copies of exactly those fragments, with original sequence
+// numbers and batch positions preserved so global priorities survive the
+// split. Shadows are returned in batch order and are fully independent of the
+// engine's recycled planning buffers — they are what the distributed engines
+// encode and ship (txn.AppendShadowTxn).
+func (pb *PlannedBatch) NodePlan(owned func(part int) bool) []*txn.Txn {
+	plans := pb.NodePlans(2, func(part int) int {
+		if owned(part) {
+			return 0
+		}
+		return 1
+	})
+	return plans[0]
+}
+
+// NodePlans splits the plan across n nodes in a single pass over the queues:
+// owner maps a partition to its node, and the result holds each node's
+// shadow transactions (see NodePlan) indexed by node. This is the
+// distributed leader's per-batch splitter, so it walks every planned
+// fragment exactly once regardless of cluster size.
+func (pb *PlannedBatch) NodePlans(n int, owner func(part int) int) [][]*txn.Txn {
+	picked := make([]map[*txn.Txn][]*txn.Fragment, n)
+	for i := range picked {
+		picked[i] = make(map[*txn.Txn][]*txn.Fragment)
+	}
+	collect := func(queues [][][]*txn.Fragment) {
+		for p := range queues {
+			for part := range queues[p] {
+				q := queues[p][part]
+				if len(q) == 0 {
+					continue
+				}
+				m := picked[owner(part)]
+				for _, f := range q {
+					m[f.Txn] = append(m[f.Txn], f)
+				}
+			}
+		}
+	}
+	collect(pb.Ordered)
+	collect(pb.RC)
+
+	out := make([][]*txn.Txn, n)
+	for node := range out {
+		out[node] = buildShadows(pb.Txns, picked[node])
+	}
+	return out
+}
+
+// buildShadows materializes shadow transactions (batch order, fragments in
+// sequence order) from a per-transaction fragment selection.
+func buildShadows(txns []*txn.Txn, picked map[*txn.Txn][]*txn.Fragment) []*txn.Txn {
+	shadows := make([]*txn.Txn, 0, len(picked))
+	for _, t := range txns {
+		frags, ok := picked[t]
+		if !ok {
+			continue
+		}
+		sort.Slice(frags, func(i, j int) bool { return frags[i].Seq < frags[j].Seq })
+		s := &txn.Txn{ID: t.ID, BatchPos: t.BatchPos, Profile: t.Profile}
+		s.Frags = make([]txn.Fragment, len(frags))
+		for i, f := range frags {
+			s.Frags[i] = *f
+		}
+		s.FinishShadow()
+		shadows = append(shadows, s)
+	}
+	return shadows
+}
+
+// Plan runs the planning phase only, producing the batch's PlannedBatch
+// without executing it. The returned plan aliases engine-owned buffers and is
+// valid until the next Plan or ExecBatch call. Use ExecPlanned to run it
+// locally, or NodePlan plus the txn shadow codec to ship its queues to other
+// nodes.
+func (e *Engine) Plan(txns []*txn.Txn) (*PlannedBatch, error) {
+	e.failure = atomic.Value{}
+	start := time.Now()
+	e.pb.Txns = txns
+	e.pb.HasAbortable = e.plan(txns)
+	e.stats.PlanNs.Add(uint64(time.Since(start).Nanoseconds()))
+	if err, _ := e.failure.Load().(error); err != nil {
+		return nil, err
+	}
+	return &e.pb, nil
+}
+
+// ExecPlanned runs the execution, repair and commit phases over a planned
+// batch. The plan need not come from this engine's Plan call — the
+// distributed layer reconstructs PlannedBatch values from shipped queues —
+// but its partition count must match the store and every fragment's Logic
+// must be resolved.
+func (e *Engine) ExecPlanned(pb *PlannedBatch) error {
+	if err := e.checkPlan(pb); err != nil {
+		return err
+	}
+	e.failure = atomic.Value{}
+	return e.execPlanned(pb, time.Now())
+}
+
+// checkPlan validates plan/store shape compatibility.
+func (e *Engine) checkPlan(pb *PlannedBatch) error {
+	nPart := e.store.Partitions()
+	for p := range pb.Ordered {
+		if len(pb.Ordered[p]) != nPart {
+			return fmt.Errorf("core: plan has %d partitions in planner %d, store has %d", len(pb.Ordered[p]), p, nPart)
+		}
+	}
+	for p := range pb.RC {
+		if len(pb.RC[p]) != nPart {
+			return fmt.Errorf("core: plan has %d RC partitions in planner %d, store has %d", len(pb.RC[p]), p, nPart)
+		}
+	}
+	return nil
+}

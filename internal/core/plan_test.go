@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// TestPlanExecPlannedEqualsExecBatch: the Plan / ExecPlanned split must
+// produce exactly the state ExecBatch produces (it is the same pipeline).
+func TestPlanExecPlannedEqualsExecBatch(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 4, 150
+	mk := ycsbGen(parts, ycsb.Config{
+		Records: 1024, OpsPerTxn: 8, ReadRatio: 0.3, RMWRatio: 0.4,
+		Theta: 0.9, MultiPartitionRatio: 0.5, AbortRatio: 0.05, Seed: 21,
+	})
+	wantHash, _ := runWorkload(t, mk, Config{Planners: 2, Executors: 2}, parts, nBatches, batchSize)
+
+	gen := mk()
+	store := storage.MustOpen(gen.StoreConfig(parts))
+	if err := gen.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(store, Config{Planners: 2, Executors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < nBatches; b++ {
+		pb, err := eng.Plan(gen.NextBatch(batchSize))
+		if err != nil {
+			t.Fatalf("batch %d plan: %v", b, err)
+		}
+		if err := eng.ExecPlanned(pb); err != nil {
+			t.Fatalf("batch %d exec: %v", b, err)
+		}
+	}
+	if got := store.StateHash(); got != wantHash {
+		t.Errorf("Plan+ExecPlanned state %x != ExecBatch state %x", got, wantHash)
+	}
+}
+
+// TestNodePlanPartitionsBatch: splitting a plan by partition ownership must
+// cover every fragment exactly once, preserve sequence numbers and batch
+// positions, and order shadows by batch position.
+func TestNodePlanPartitionsBatch(t *testing.T) {
+	const parts = 6
+	gen := ycsb.MustNew(ycsb.Config{
+		Records: 600, OpsPerTxn: 6, ReadRatio: 0.3, RMWRatio: 0.3,
+		MultiPartitionRatio: 0.8, MultiPartitionCount: 3,
+		Partitions: parts, Seed: 4,
+	})
+	store := storage.MustOpen(gen.StoreConfig(parts))
+	if err := gen.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(store, Config{Planners: 3, Executors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := gen.NextBatch(200)
+	pb, err := eng.Plan(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nodes = 3
+	totalFrags := 0
+	seen := make(map[[2]uint64]int) // (txn id, seq) -> count
+	for node := 0; node < nodes; node++ {
+		shadows := pb.NodePlan(func(part int) bool { return part%nodes == node })
+		lastPos := -1
+		for _, s := range shadows {
+			if int(s.BatchPos) <= lastPos {
+				t.Fatalf("node %d: shadows not in batch order (%d after %d)", node, s.BatchPos, lastPos)
+			}
+			lastPos = int(s.BatchPos)
+			for i := range s.Frags {
+				f := &s.Frags[i]
+				if f.Txn != s {
+					t.Fatalf("shadow fragment back-pointer not rewired")
+				}
+				if got := store.PartitionOf(f.Key) % nodes; got != node {
+					t.Fatalf("node %d received fragment for node %d", node, got)
+				}
+				seen[[2]uint64{s.ID, uint64(f.Seq)}]++
+				totalFrags++
+			}
+		}
+	}
+	want := 0
+	for _, tx := range txns {
+		want += len(tx.Frags)
+		for i := range tx.Frags {
+			if seen[[2]uint64{tx.ID, uint64(tx.Frags[i].Seq)}] != 1 {
+				t.Fatalf("txn %d frag %d shipped %d times", tx.ID, i, seen[[2]uint64{tx.ID, uint64(tx.Frags[i].Seq)}])
+			}
+		}
+	}
+	if totalFrags != want {
+		t.Errorf("split covers %d fragments, batch has %d", totalFrags, want)
+	}
+}
+
+// TestExecPlannedRejectsShapeMismatch: a plan with the wrong partition count
+// must be rejected, not executed.
+func TestExecPlannedRejectsShapeMismatch(t *testing.T) {
+	store := storage.MustOpen(storage.Config{Partitions: 2, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+	eng, err := New(store, Config{Planners: 1, Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &txn.Txn{ID: 1, Frags: []txn.Fragment{{Table: 1, Key: 0, Access: txn.Read, Op: workload.OpBaseTest}}}
+	tx.Finish()
+	bad := &PlannedBatch{
+		Txns:    []*txn.Txn{tx},
+		Ordered: [][][]*txn.Fragment{{{&tx.Frags[0]}}}, // 1 partition, store has 2
+	}
+	if err := eng.ExecPlanned(bad); err == nil {
+		t.Error("expected shape mismatch error")
+	}
+}

@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/engine"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/bank"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+const testParts = 8
+
+// distEngine is the common surface of the three distributed engines.
+type distEngine interface {
+	engine.Engine
+	Stores() []*storage.Store
+}
+
+type distFactory struct {
+	name  string
+	build func(tr cluster.Transport, gen workload.Generator, workers int) (distEngine, error)
+}
+
+func distFactories() []distFactory {
+	return []distFactory{
+		{"quecc-d", func(tr cluster.Transport, gen workload.Generator, workers int) (distEngine, error) {
+			return NewQueCCD(tr, gen, testParts, workers)
+		}},
+		{"calvin-d", func(tr cluster.Transport, gen workload.Generator, workers int) (distEngine, error) {
+			return NewCalvinD(tr, gen, testParts, workers, ArgAbortEval)
+		}},
+		{"hstore-d", func(tr cluster.Transport, gen workload.Generator, workers int) (distEngine, error) {
+			return NewHStoreD(tr, gen, testParts, workers)
+		}},
+	}
+}
+
+// serialReference runs the batch stream through the single-node serial core
+// engine and returns the reference state hash and table order.
+func serialReference(t *testing.T, mkGen func() workload.Generator, nBatches, batchSize int) (uint64, []storage.TableID) {
+	t.Helper()
+	gen := mkGen()
+	store := storage.MustOpen(gen.StoreConfig(testParts))
+	if err := gen.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(store, core.Config{Planners: 1, Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < nBatches; b++ {
+		if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+			t.Fatalf("serial batch %d: %v", b, err)
+		}
+	}
+	var tables []storage.TableID
+	for _, ts := range mkGen().StoreConfig(testParts).Tables {
+		tables = append(tables, ts.ID)
+	}
+	return store.StateHash(), tables
+}
+
+// TestClusterMatchesSerial: every distributed engine, on 2–4 nodes, must
+// reproduce the serial single-node state hash for YCSB (multi-partition,
+// with logic aborts) and bank (cross-partition transfers with
+// insufficient-balance aborts — the distributed abort-repair path).
+func TestClusterMatchesSerial(t *testing.T) {
+	const nBatches, batchSize = 3, 150
+	workloads := map[string]func() workload.Generator{
+		"ycsb": func() workload.Generator {
+			return ycsb.MustNew(ycsb.Config{
+				Records: 1024, OpsPerTxn: 6, ReadRatio: 0.3, RMWRatio: 0.4,
+				Theta: 0.8, MultiPartitionRatio: 0.5, MultiPartitionCount: 3,
+				AbortRatio: 0.05, Partitions: testParts, Seed: 61,
+			})
+		},
+		"bank": func() workload.Generator {
+			return bank.MustNew(bank.Config{
+				Accounts: 96, InitialBalance: 150, MaxTransfer: 120,
+				Partitions: testParts, Seed: 17,
+			})
+		},
+	}
+	for wname, mk := range workloads {
+		want, tables := serialReference(t, mk, nBatches, batchSize)
+		for _, f := range distFactories() {
+			for _, nodes := range []int{2, 3, 4} {
+				t.Run(fmt.Sprintf("%s/%s/n%d", wname, f.name, nodes), func(t *testing.T) {
+					tr := cluster.NewChanTransport(nodes, 0)
+					defer tr.Close()
+					gen := mk()
+					eng, err := f.build(tr, gen, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer eng.Close()
+					for b := 0; b < nBatches; b++ {
+						if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+							t.Fatalf("batch %d: %v", b, err)
+						}
+					}
+					if got := ClusterStateHash(eng.Stores(), tables); got != want {
+						t.Errorf("cluster state %x != serial reference %x", got, want)
+					}
+					snap := eng.Stats().Snap(1)
+					if snap.Committed+snap.UserAborts != uint64(nBatches*batchSize) {
+						t.Errorf("committed(%d)+aborts(%d) != %d", snap.Committed, snap.UserAborts, nBatches*batchSize)
+					}
+					if snap.Retries != 0 {
+						t.Errorf("deterministic distributed engine reported %d CC retries", snap.Retries)
+					}
+					if wname == "bank" && snap.UserAborts == 0 {
+						t.Error("expected insufficient-balance aborts in the bank workload")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBankInvariantsDistributed: conservation and non-negative balances
+// across nodes — the distributed abort repair must never half-apply a
+// transfer whose debit and credit live on different nodes.
+func TestBankInvariantsDistributed(t *testing.T) {
+	const nodes, nBatches, batchSize = 3, 4, 200
+	const accounts, initial = 60, 120
+	for _, f := range distFactories() {
+		t.Run(f.name, func(t *testing.T) {
+			tr := cluster.NewChanTransport(nodes, 0)
+			defer tr.Close()
+			gen := bank.MustNew(bank.Config{
+				Accounts: accounts, InitialBalance: initial, MaxTransfer: 100,
+				Partitions: testParts, Seed: 99,
+			})
+			eng, err := f.build(tr, gen, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			for b := 0; b < nBatches; b++ {
+				if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+					t.Fatalf("batch %d: %v", b, err)
+				}
+			}
+			var total uint64
+			minv := int64(1<<63 - 1)
+			stores := eng.Stores()
+			for part := 0; part < testParts; part++ {
+				owner := cluster.PartitionOwner(part, nodes)
+				stores[owner].Table(bank.TableID).ForEachInPartition(part, func(_ storage.Key, r *storage.Record) {
+					v := int64(readU64(r.Val))
+					total += uint64(v)
+					if v < minv {
+						minv = v
+					}
+				})
+			}
+			if total != accounts*initial {
+				t.Errorf("total balance %d, want %d", total, accounts*initial)
+			}
+			if minv < 0 {
+				t.Errorf("negative balance %d", minv)
+			}
+		})
+	}
+}
+
+func readU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// runCountingMessages executes nBatches of batchSize on a fresh engine and
+// returns the transport message count consumed by those batches.
+func runCountingMessages(t *testing.T, f distFactory, mk func() workload.Generator, nodes, nBatches, batchSize int) uint64 {
+	t.Helper()
+	tr := cluster.NewChanTransport(nodes, 0)
+	defer tr.Close()
+	gen := mk()
+	eng, err := f.build(tr, gen, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pre := tr.Messages()
+	for b := 0; b < nBatches; b++ {
+		if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr.Messages() - pre
+}
+
+// TestMessageRounds makes the paper's §2.2 claim executable: the
+// deterministic batch-shipping engines pay a message cost per batch that is
+// independent of the batch size, while H-Store-D's 2PC cost grows with the
+// transaction count (and with the multi-partition fraction).
+func TestMessageRounds(t *testing.T) {
+	const nodes, nBatches = 4, 3
+	mkYCSB := func(mp float64) func() workload.Generator {
+		return func() workload.Generator {
+			return ycsb.MustNew(ycsb.Config{
+				Records: 4096, OpsPerTxn: 6, ReadRatio: 0.5, RMWRatio: 0.25,
+				MultiPartitionRatio: mp, MultiPartitionCount: 2,
+				Partitions: testParts, Seed: 7,
+			})
+		}
+	}
+
+	// Batch-amortized engines: same message count at 10x the batch size.
+	for _, f := range distFactories()[:2] {
+		small := runCountingMessages(t, f, mkYCSB(0.3), nodes, nBatches, 100)
+		large := runCountingMessages(t, f, mkYCSB(0.3), nodes, nBatches, 1000)
+		if small != large {
+			t.Errorf("%s: message rounds depend on batch size: %d msgs at batch=100, %d at batch=1000", f.name, small, large)
+		}
+		// Exactly four exchanges (queues/batch out, done back, commit out,
+		// ack back) per abort-free batch.
+		if want := uint64(nBatches * 4 * (nodes - 1)); small != want {
+			t.Errorf("%s: %d msgs for %d abort-free batches, want %d", f.name, small, nBatches, want)
+		}
+	}
+
+	// H-Store-D: per-transaction messages, growing with batch size...
+	hf := distFactories()[2]
+	small := runCountingMessages(t, hf, mkYCSB(0.2), nodes, nBatches, 100)
+	large := runCountingMessages(t, hf, mkYCSB(0.2), nodes, nBatches, 1000)
+	if large < 5*small {
+		t.Errorf("hstore-d: expected ~10x messages at 10x batch size, got %d -> %d", small, large)
+	}
+	// ...and with the multi-partition fraction (2PC rounds per MP txn).
+	sp := runCountingMessages(t, hf, mkYCSB(0.0), nodes, nBatches, 500)
+	mp := runCountingMessages(t, hf, mkYCSB(0.8), nodes, nBatches, 500)
+	if mp <= sp {
+		t.Errorf("hstore-d: multi-partition txns did not raise message cost (%d -> %d)", sp, mp)
+	}
+}
+
+// TestShapeErrors covers constructor validation.
+func TestShapeErrors(t *testing.T) {
+	tr := cluster.NewChanTransport(4, 0)
+	defer tr.Close()
+	gen := ycsb.MustNew(ycsb.Config{Records: 64, OpsPerTxn: 2, Partitions: 2, Seed: 1})
+	if _, err := NewQueCCD(tr, gen, 2, 1); err == nil {
+		t.Error("expected error: fewer partitions than nodes")
+	}
+}

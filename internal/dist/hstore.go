@@ -1,0 +1,450 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+)
+
+// HStoreD is the distributed H-Store-style baseline: the leader coordinates
+// every transaction individually. Single-home transactions are shipped to
+// their partition's owner and commit unilaterally; multi-partition
+// transactions run two-phase commit — MsgTxnExec (prepare: execute local
+// fragments with partitions held), MsgVote, MsgDecision, MsgAck — so the
+// message cost grows with the number of multi-partition transactions, not
+// with the number of batches. That per-transaction cost is exactly what the
+// paper's §2.2 holds against 2PC, and what the batch-amortized engines above
+// avoid.
+//
+// Determinism comes from H-Store-style partition admission: the coordinator
+// assigns every transaction a per-partition sequence number in batch order,
+// and a participant executes a transaction only when all its local partitions
+// have reached those sequence numbers (advancing them when the transaction
+// finishes, which for 2PC means after the decision). Partition histories
+// therefore equal batch order on every node regardless of message timing.
+type HStoreD struct {
+	g *group
+
+	// perPartSeq is the coordinator's monotone per-partition admission
+	// counter; participants mirror it in node.tickets. Never reset, so
+	// batches need no boundary synchronization.
+	perPartSeq []uint64
+
+	// recvCh carries the leader's transport messages; localCh carries the
+	// leader's own participant completions (no self-send through the
+	// transport, so leader-local work costs zero messages).
+	recvCh  chan cluster.Msg
+	localCh chan cluster.Msg
+
+	participants []*participant
+	stopped      atomic.Bool
+}
+
+// NewHStoreD builds the distributed H-Store baseline over the transport.
+func NewHStoreD(tr cluster.Transport, gen workload.Generator, partitions, workers int) (*HStoreD, error) {
+	g, err := newGroup(tr, gen, partitions, workers)
+	if err != nil {
+		return nil, err
+	}
+	e := &HStoreD{
+		g:          g,
+		perPartSeq: make([]uint64, partitions),
+		recvCh:     make(chan cluster.Msg, 1024),
+		localCh:    make(chan cluster.Msg, 1024),
+	}
+	e.participants = make([]*participant, len(g.nodes))
+	for id, n := range g.nodes {
+		e.participants[id] = newParticipant(n)
+	}
+	// Leader transport pump: ExecBatch multiplexes transport and local
+	// events, so Recv runs on its own goroutine.
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		for {
+			m, ok := tr.Recv(0)
+			if !ok {
+				close(e.recvCh)
+				return
+			}
+			if m.Flag == shutdownFlag {
+				close(e.recvCh)
+				return
+			}
+			e.recvCh <- m
+		}
+	}()
+	g.startFollowers(e.followerHandle)
+	return e, nil
+}
+
+// Name implements the engine interface.
+func (e *HStoreD) Name() string { return fmt.Sprintf("hstore-d/%d", len(e.g.nodes)) }
+
+// Stats implements the engine interface.
+func (e *HStoreD) Stats() *metrics.Stats { return e.g.Stats() }
+
+// Stores returns the per-node stores for state verification.
+func (e *HStoreD) Stores() []*storage.Store { return e.g.Stores() }
+
+// Close implements the engine interface.
+func (e *HStoreD) Close() {
+	if !e.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	// Release any in-flight participant goroutines (admission spins and
+	// decision waits), unblock the leader pump (self-send), then stop the
+	// follower loops.
+	for _, p := range e.participants {
+		close(p.stop)
+	}
+	_ = e.g.tr.Send(cluster.Msg{Type: cluster.MsgAck, From: 0, To: 0, Flag: shutdownFlag})
+	e.g.close()
+}
+
+// txnCoord tracks one in-flight transaction at the coordinator.
+type txnCoord struct {
+	votesLeft int
+	acksLeft  int
+	abort     bool
+	remotes   []int // remote participant node ids
+	local     bool  // leader participates
+	single    bool
+}
+
+// ExecBatch implements the engine interface, coordinator-side.
+func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
+	if len(txns) == 0 {
+		return nil
+	}
+	g := e.g
+	store := g.nodes[0].store
+	start := time.Now()
+	if err := checkNodeLocalDeps(txns, store, len(g.nodes)); err != nil {
+		return err
+	}
+
+	inflight := make(map[uint64]*txnCoord, len(txns))
+	outstanding := 0
+	userAborts := 0
+
+	// Dispatch every transaction up front (pipelined 2PC): admission order
+	// is enforced participant-side by the sequence claims, so message
+	// timing cannot reorder partition histories.
+	for i, t := range txns {
+		t.BatchPos = uint32(i)
+		parts := t.Partitions(store)
+		owners := make(map[int][]uint64) // node -> flattened (part, seq) claims
+		for _, p := range parts {
+			owner := cluster.PartitionOwner(p, len(g.nodes))
+			owners[owner] = append(owners[owner], uint64(p), e.perPartSeq[p])
+			e.perPartSeq[p]++
+		}
+		tc := &txnCoord{votesLeft: len(owners), single: len(owners) == 1}
+		for owner, claims := range owners {
+			shadow := t
+			if !tc.single || owner != 0 {
+				shadows := localShadows([]*txn.Txn{t}, store, owner, len(g.nodes))
+				shadow = shadows[0]
+			}
+			if owner == 0 {
+				tc.local = true
+				e.participants[0].launch(shadow, claims, tc.single, func(m cluster.Msg) {
+					e.localCh <- m
+				})
+				continue
+			}
+			tc.remotes = append(tc.remotes, owner)
+			flag := uint64(0)
+			if tc.single {
+				flag = 1
+			}
+			if err := g.tr.Send(cluster.Msg{
+				Type: cluster.MsgTxnExec, From: 0, To: owner,
+				TxnID: t.ID, Flag: flag, Vals: claims,
+				Payload: txn.AppendShadowTxn(nil, shadow),
+			}); err != nil {
+				return err
+			}
+		}
+		inflight[t.ID] = tc
+		outstanding++
+	}
+
+	// Drive votes, decisions and acks until the whole batch settled.
+	for outstanding > 0 {
+		var m cluster.Msg
+		var ok bool
+		select {
+		case m, ok = <-e.recvCh:
+			if !ok {
+				return fmt.Errorf("dist: hstore-d transport closed mid-batch")
+			}
+		case m = <-e.localCh:
+		}
+		if m.Flag == flagErr {
+			return fmt.Errorf("dist: node %d: %s", m.From, m.Payload)
+		}
+		tc := inflight[m.TxnID]
+		if tc == nil {
+			return fmt.Errorf("dist: hstore-d vote for unknown txn %d", m.TxnID)
+		}
+		switch m.Type {
+		case cluster.MsgVote:
+			tc.votesLeft--
+			if m.Vals != nil && m.Vals[0] == 1 {
+				tc.abort = true
+			}
+			if tc.single {
+				// Unilateral commit/abort: the vote is the completion.
+				if tc.abort {
+					userAborts++
+				}
+				delete(inflight, m.TxnID)
+				outstanding--
+				break
+			}
+			if tc.votesLeft == 0 {
+				// All prepared: decide.
+				decision := uint64(0)
+				if tc.abort {
+					decision = 1
+					userAborts++
+				}
+				for _, owner := range tc.remotes {
+					if err := g.tr.Send(cluster.Msg{
+						Type: cluster.MsgDecision, From: 0, To: owner,
+						TxnID: m.TxnID, Vals: []uint64{decision},
+					}); err != nil {
+						return err
+					}
+				}
+				tc.acksLeft = len(tc.remotes)
+				if tc.local {
+					e.participants[0].decide(m.TxnID, decision == 0)
+					tc.acksLeft++
+				}
+			}
+		case cluster.MsgAck:
+			tc.acksLeft--
+			if tc.acksLeft == 0 {
+				delete(inflight, m.TxnID)
+				outstanding--
+			}
+		default:
+			return fmt.Errorf("dist: hstore-d coordinator: unexpected message type %d", m.Type)
+		}
+	}
+
+	g.finishBatch(len(txns), userAborts, uint64(time.Since(start).Nanoseconds()), func(committed int) {
+		g.stats.Latency.ObserveN(time.Since(start), committed)
+	})
+	return nil
+}
+
+// followerHandle processes participant-side messages on follower nodes.
+func (e *HStoreD) followerHandle(n *node, m cluster.Msg) error {
+	p := e.participants[n.id]
+	switch m.Type {
+	case cluster.MsgTxnExec:
+		shadow, _, err := txn.DecodeShadowTxn(m.Payload)
+		if err != nil {
+			return err
+		}
+		if err := n.reg.Resolve(shadow); err != nil {
+			return err
+		}
+		p.launch(shadow, m.Vals, m.Flag == 1, func(resp cluster.Msg) {
+			resp.From, resp.To = n.id, 0
+			_ = e.g.tr.Send(resp)
+		})
+		return nil
+	case cluster.MsgDecision:
+		p.decide(m.TxnID, m.Vals[0] == 0)
+		return nil
+	default:
+		return fmt.Errorf("dist: hstore-d node %d: unexpected message type %d", n.id, m.Type)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Participant
+// ---------------------------------------------------------------------------
+
+// participant executes transactions on one node under partition admission
+// tickets, one goroutine per in-flight transaction. stop aborts admission
+// spins and decision waits when the engine closes, so an error-terminated
+// batch cannot leak busy-spinning goroutines past the engine's lifetime.
+type participant struct {
+	n       *node
+	tickets []atomic.Uint64
+	stop    chan struct{}
+
+	mu        sync.Mutex
+	decisions map[uint64]chan bool
+}
+
+func newParticipant(n *node) *participant {
+	return &participant{
+		n:         n,
+		tickets:   make([]atomic.Uint64, n.store.Partitions()),
+		stop:      make(chan struct{}),
+		decisions: make(map[uint64]chan bool),
+	}
+}
+
+// decide routes a coordinator decision to the waiting transaction goroutine.
+func (p *participant) decide(txnID uint64, commit bool) {
+	p.mu.Lock()
+	ch := p.decisions[txnID]
+	delete(p.decisions, txnID)
+	p.mu.Unlock()
+	if ch != nil {
+		ch <- commit
+	}
+}
+
+// launch starts one transaction's participant work: wait for admission on
+// every claimed partition, execute the local fragments (prepare), then either
+// finish unilaterally (single-home) or vote and await the 2PC decision.
+// respond delivers MsgVote/MsgAck back to the coordinator.
+func (p *participant) launch(shadow *txn.Txn, claims []uint64, single bool, respond func(cluster.Msg)) {
+	var decCh chan bool
+	if !single {
+		decCh = make(chan bool, 1)
+		p.mu.Lock()
+		p.decisions[shadow.ID] = decCh
+		p.mu.Unlock()
+	}
+	go func() {
+		// Admission: all claimed partitions must reach this transaction's
+		// sequence numbers (batch order), the distributed form of the
+		// centralized engine's ticket scheme.
+		for i := 0; i+1 < len(claims); i += 2 {
+			part, seq := claims[i], claims[i+1]
+			for p.tickets[part].Load() != seq {
+				select {
+				case <-p.stop:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}
+
+		voteAbort, undo, err := p.execPrepared(shadow, single)
+		if err != nil {
+			p.advance(claims)
+			respond(cluster.Msg{Type: cluster.MsgVote, TxnID: shadow.ID, Flag: flagErr, Payload: []byte(err.Error())})
+			return
+		}
+		vote := uint64(0)
+		if voteAbort {
+			vote = 1
+		}
+		if single {
+			// Unilateral: already finalized by execPrepared.
+			p.advance(claims)
+			respond(cluster.Msg{Type: cluster.MsgVote, TxnID: shadow.ID, Vals: []uint64{vote}})
+			return
+		}
+		respond(cluster.Msg{Type: cluster.MsgVote, TxnID: shadow.ID, Vals: []uint64{vote}})
+		var commit bool
+		select {
+		case commit = <-decCh:
+		case <-p.stop:
+			return
+		}
+		if !commit {
+			p.rollbackUndo(undo)
+		}
+		p.advance(claims)
+		respond(cluster.Msg{Type: cluster.MsgAck, TxnID: shadow.ID})
+	}()
+}
+
+func (p *participant) advance(claims []uint64) {
+	for i := 0; i+1 < len(claims); i += 2 {
+		p.tickets[claims[i]].Add(1)
+	}
+}
+
+// prepared tracks a transaction's undo state between prepare and decision.
+type preparedUndo struct {
+	rec      *storage.Record
+	table    storage.TableID
+	key      storage.Key
+	before   []byte
+	inserted bool
+}
+
+// execPrepared runs the shadow's fragments in place with an undo log. For
+// single-home transactions a failing abortable check rolls back immediately
+// (unilateral abort); for 2PC participants the undo log is returned and held
+// by the caller until the decision. Returns whether the local vote is abort.
+func (p *participant) execPrepared(shadow *txn.Txn, single bool) (voteAbort bool, undo []preparedUndo, err error) {
+	rollback := func() {
+		p.rollbackUndo(undo)
+		undo = nil
+	}
+	var ctx txn.FragCtx
+	for i := range shadow.Frags {
+		f := &shadow.Frags[i]
+		table := p.n.store.Table(f.Table)
+		var rec *storage.Record
+		inserted := false
+		if f.Access == txn.Insert {
+			rec, inserted = table.Insert(f.Key, nil)
+		} else {
+			rec = table.Get(f.Key)
+		}
+		if rec == nil {
+			rollback()
+			return false, nil, fmt.Errorf("dist: hstore-d node %d: missing record table=%d key=%d", p.n.id, f.Table, f.Key)
+		}
+		if f.Access.IsWrite() {
+			var before []byte
+			if !inserted {
+				before = append([]byte(nil), rec.Val...)
+			}
+			undo = append(undo, preparedUndo{rec: rec, table: f.Table, key: f.Key, before: before, inserted: inserted})
+		}
+		ctx = txn.FragCtx{T: shadow, F: f, Val: rec.Val}
+		lerr := f.Logic(&ctx)
+		if f.Abortable && lerr == txn.ErrAbort {
+			// Local abort verdict: skip the transaction's remaining local
+			// fragments. Single-home finalizes now; 2PC holds the undo for
+			// the decision (which must be abort).
+			if single {
+				rollback()
+			}
+			voteAbort = true
+			break
+		}
+		if lerr != nil {
+			rollback()
+			return false, nil, fmt.Errorf("dist: hstore-d txn %d frag %d logic: %w", shadow.ID, f.Seq, lerr)
+		}
+	}
+	return voteAbort, undo, nil
+}
+
+// rollbackUndo restores before-images newest-first and removes inserts.
+func (p *participant) rollbackUndo(undo []preparedUndo) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		if u.inserted {
+			p.n.store.Table(u.table).Remove(u.key)
+		} else {
+			copy(u.rec.Val, u.before)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+)
+
+// QueCCD is the distributed queue-oriented engine: the leader (node 0) runs
+// the planning phase once per batch, ships every other node its planned
+// per-partition queues as a shadow-transaction batch (MsgQueues), and drives
+// the batch-level verdict rounds. Per batch the message cost is a constant
+// number of cluster-wide exchanges — queues out, completion reports back,
+// commit out, acks back, plus one taint exchange per abort-repair round —
+// independent of how many transactions the batch carries. That constant is
+// the paper's §2.2 claim made executable.
+type QueCCD struct {
+	g       *group
+	planner *core.Engine
+}
+
+// NewQueCCD builds the distributed queue-oriented engine over the transport.
+// The generator supplies each node's schema, initial load and opcode
+// registry; partitions is the global partition count (spread round-robin
+// across nodes); workers is the per-node executor count.
+func NewQueCCD(tr cluster.Transport, gen workload.Generator, partitions, workers int) (*QueCCD, error) {
+	g, err := newGroup(tr, gen, partitions, workers)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.New(g.nodes[0].store, core.Config{Planners: max(1, workers), Executors: 1})
+	if err != nil {
+		return nil, err
+	}
+	e := &QueCCD{g: g, planner: planner}
+	g.startFollowers(e.followerHandle)
+	return e, nil
+}
+
+// Name implements the engine interface.
+func (e *QueCCD) Name() string { return fmt.Sprintf("quecc-d/%d", len(e.g.nodes)) }
+
+// Stats implements the engine interface.
+func (e *QueCCD) Stats() *metrics.Stats { return e.g.Stats() }
+
+// Stores returns the per-node stores for state verification.
+func (e *QueCCD) Stores() []*storage.Store { return e.g.Stores() }
+
+// Close implements the engine interface.
+func (e *QueCCD) Close() { e.g.close() }
+
+// ExecBatch implements the engine interface, leader-side.
+func (e *QueCCD) ExecBatch(txns []*txn.Txn) error {
+	if len(txns) == 0 {
+		return nil
+	}
+	g := e.g
+	leader := g.nodes[0]
+	start := time.Now()
+	if err := checkNodeLocalDeps(txns, leader.store, len(g.nodes)); err != nil {
+		return err
+	}
+	if err := checkVerdictSafe(txns); err != nil {
+		return err
+	}
+
+	// Planning phase: one PlannedBatch, split into per-node queue shipments
+	// in a single pass over the planned queues. Planning time is mirrored
+	// into the cluster stats (the private planner engine's stats are not
+	// otherwise visible).
+	planStart := time.Now()
+	pb, err := e.planner.Plan(txns)
+	if err != nil {
+		return err
+	}
+	g.stats.PlanNs.Add(uint64(time.Since(planStart).Nanoseconds()))
+	plans := pb.NodePlans(len(g.nodes), func(part int) int {
+		return cluster.PartitionOwner(part, len(g.nodes))
+	})
+	for id := 1; id < len(g.nodes); id++ {
+		payload := txn.AppendShadowBatch(nil, plans[id])
+		if err := g.tr.Send(cluster.Msg{
+			Type: cluster.MsgQueues, From: 0, To: id,
+			Batch: g.epoch, Flag: uint64(len(txns)), Payload: payload,
+		}); err != nil {
+			return err
+		}
+	}
+	leader.install(plans[0], len(txns))
+
+	aborted, err := g.leaderVerdictRounds(len(txns), leader.runRound, true)
+	if err != nil {
+		return err
+	}
+	g.finishBatch(len(txns), countTrue(aborted), uint64(time.Since(start).Nanoseconds()), func(committed int) {
+		g.stats.Latency.ObserveN(time.Since(start), committed)
+	})
+	return nil
+}
+
+// followerHandle processes one protocol message on a follower node.
+func (e *QueCCD) followerHandle(n *node, m cluster.Msg) error {
+	if m.Type == cluster.MsgQueues {
+		shadows, _, err := txn.DecodeShadowBatch(m.Payload)
+		if err != nil {
+			return err
+		}
+		for _, s := range shadows {
+			if err := n.reg.Resolve(s); err != nil {
+				return err
+			}
+		}
+		n.install(shadows, int(m.Flag))
+		return e.g.followerRound0(n, m.Batch, n.runRound)
+	}
+	handled, err := e.g.followerVerdictMsg(n, m, n.runRound)
+	if !handled {
+		return fmt.Errorf("dist: quecc-d node %d: unexpected message type %d", n.id, m.Type)
+	}
+	return err
+}
+
+func toVals(positions []uint32) []uint64 {
+	out := make([]uint64, len(positions))
+	for i, p := range positions {
+		out[i] = uint64(p)
+	}
+	return out
+}
+
+func verdictSetFromVals(batchN int, vals []uint64) []bool {
+	v := make([]bool, batchN)
+	for _, pos := range vals {
+		v[pos] = true
+	}
+	return v
+}

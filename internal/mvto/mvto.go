@@ -106,6 +106,7 @@ func (e *Engine) RunTxn(worker int, t *txn.Txn) (nondet.Outcome, error) {
 
 	var ctx txn.FragCtx
 	for i := range t.Frags {
+		nondet.Interleave()
 		f := &t.Frags[i]
 		table := e.store.Table(f.Table)
 

@@ -21,6 +21,29 @@ import (
 	"github.com/exploratory-systems/qotp/internal/txn"
 )
 
+// interleave forces worker goroutines to take turns mid-transaction when the
+// runtime cannot run them in parallel. With GOMAXPROCS=1 the cooperative
+// scheduler otherwise runs every attempt start-to-finish in a single slice:
+// locks are acquired and released without any other worker ever observing
+// them held, validation never sees a concurrent TID bump, and the contention
+// the paper measures silently disappears (engines report zero CC retries at
+// any skew). A yield per fragment restores genuine interleaving; with more
+// than one P the scheduler preempts workers anyway, so the yield is skipped.
+// Refreshed per batch (not latched at init) so GOMAXPROCS changes made after
+// package load — `go test -cpu=…`, runtime tuning — take effect; querying it
+// per fragment would put a scheduler-lock acquisition on the hot path.
+var interleave atomic.Bool
+
+func init() { interleave.Store(runtime.GOMAXPROCS(0) == 1) }
+
+// Interleave yields the processor between fragment executions of the
+// non-deterministic baselines. Runners should call it once per fragment.
+func Interleave() {
+	if interleave.Load() {
+		runtime.Gosched()
+	}
+}
+
 // Outcome reports how one execution attempt of a transaction ended.
 type Outcome uint8
 
@@ -81,6 +104,7 @@ func (p *Pool) ExecBatch(txns []*txn.Txn) error {
 	if len(txns) == 0 {
 		return nil
 	}
+	interleave.Store(runtime.GOMAXPROCS(0) == 1)
 	var next atomic.Int64
 	var firstErr atomic.Value
 	var wg sync.WaitGroup

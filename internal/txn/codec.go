@@ -17,14 +17,18 @@ import (
 // Fragment logic is not serialized; receivers resolve opcodes through their
 // local Registry (Registry.Resolve).
 
-// AppendTxn appends the wire encoding of t to buf and returns the result.
-func AppendTxn(buf []byte, t *Txn) []byte {
+// appendTxnWith encodes the transaction header and its fragments; withSeq
+// selects the shadow layout (explicit per-fragment sequence numbers).
+func appendTxnWith(buf []byte, t *Txn, withSeq bool) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, t.ID)
 	buf = binary.LittleEndian.AppendUint32(buf, t.BatchPos)
 	buf = append(buf, t.Profile)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Frags)))
 	for i := range t.Frags {
 		f := &t.Frags[i]
+		if withSeq {
+			buf = append(buf, f.Seq)
+		}
 		buf = append(buf, byte(f.Table))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Key))
 		buf = append(buf, byte(f.Access), boolByte(f.Abortable))
@@ -46,9 +50,9 @@ func boolByte(b bool) byte {
 	return 0
 }
 
-// DecodeTxn decodes one transaction from buf, returning the transaction and
-// the number of bytes consumed. The caller resolves logic via a Registry.
-func DecodeTxn(buf []byte) (*Txn, int, error) {
+// decodeTxnWith decodes one transaction in either layout. The caller is
+// responsible for Finish/FinishShadow and logic resolution.
+func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 	const hdr = 8 + 4 + 1 + 2
 	if len(buf) < hdr {
 		return nil, 0, fmt.Errorf("txn: short buffer (%d bytes) decoding header", len(buf))
@@ -60,11 +64,19 @@ func DecodeTxn(buf []byte) (*Txn, int, error) {
 	}
 	n := int(binary.LittleEndian.Uint16(buf[13:]))
 	off := hdr
+	fragHdr := 1 + 8 + 1 + 1 + 2 + 1
+	if withSeq {
+		fragHdr++
+	}
 	t.Frags = make([]Fragment, n)
 	for i := 0; i < n; i++ {
 		f := &t.Frags[i]
-		if len(buf[off:]) < 1+8+1+1+2+1 {
+		if len(buf[off:]) < fragHdr {
 			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d header", i)
+		}
+		if withSeq {
+			f.Seq = buf[off]
+			off++
 		}
 		f.Table = storage.TableID(buf[off])
 		off++
@@ -99,8 +111,78 @@ func DecodeTxn(buf []byte) (*Txn, int, error) {
 			off += nNeed
 		}
 	}
+	return t, off, nil
+}
+
+// AppendTxn appends the wire encoding of t to buf and returns the result.
+func AppendTxn(buf []byte, t *Txn) []byte { return appendTxnWith(buf, t, false) }
+
+// DecodeTxn decodes one transaction from buf, returning the transaction and
+// the number of bytes consumed. The caller resolves logic via a Registry.
+func DecodeTxn(buf []byte) (*Txn, int, error) {
+	t, off, err := decodeTxnWith(buf, false)
+	if err != nil {
+		return nil, 0, err
+	}
 	t.Finish()
 	return t, off, nil
+}
+
+// Shadow transactions are the wire form of a planned batch's queues: each
+// holds the subset of a transaction's fragments planned into one node's
+// partitions, so — unlike the full-transaction layout above — fragment
+// sequence numbers are explicit (they carry the global priority and cannot be
+// recovered from position). Layout (little endian):
+//
+//	shadow: id u64 | batchPos u32 | profile u8 | nFrags u16 | sfrags...
+//	sfrag:  seq u8 | table u8 | key u64 | access u8 | abortable u8 |
+//	        op u16 | nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each)
+
+// AppendShadowTxn appends the wire encoding of a shadow transaction
+// (typically built by core.PlannedBatch.NodePlan). Fragment logic is not
+// serialized; receivers resolve opcodes through their local Registry.
+func AppendShadowTxn(buf []byte, t *Txn) []byte { return appendTxnWith(buf, t, true) }
+
+// DecodeShadowTxn decodes one shadow transaction, preserving the encoded
+// fragment sequence numbers (FinishShadow, not Finish). The caller resolves
+// logic via a Registry.
+func DecodeShadowTxn(buf []byte) (*Txn, int, error) {
+	t, off, err := decodeTxnWith(buf, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.FinishShadow()
+	return t, off, nil
+}
+
+// AppendShadowBatch appends a count-prefixed list of shadow transactions —
+// one node's share of a planned batch, ready for a MsgQueues payload.
+func AppendShadowBatch(buf []byte, txns []*Txn) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(txns)))
+	for _, t := range txns {
+		buf = AppendShadowTxn(buf, t)
+	}
+	return buf
+}
+
+// DecodeShadowBatch decodes a count-prefixed shadow batch, returning the
+// transactions and bytes consumed.
+func DecodeShadowBatch(buf []byte) ([]*Txn, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("txn: short buffer decoding shadow batch header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	txns := make([]*Txn, 0, n)
+	for i := 0; i < n; i++ {
+		t, used, err := DecodeShadowTxn(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("shadow txn %d/%d: %w", i, n, err)
+		}
+		txns = append(txns, t)
+		off += used
+	}
+	return txns, off, nil
 }
 
 // AppendBatch appends the wire encoding of a whole batch (count-prefixed).

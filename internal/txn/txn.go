@@ -276,7 +276,11 @@ func (t *Txn) NumAbortable() int32 { return t.numAbortable }
 // touches. Used by partition-locking engines (H-Store) and by the
 // distributed planners for routing.
 func (t *Txn) Partitions(s *storage.Store) []int {
-	var set [64]bool
+	var small [64]bool
+	set := small[:]
+	if nPart := s.Partitions(); nPart > len(set) {
+		set = make([]bool, nPart)
+	}
 	n := 0
 	for i := range t.Frags {
 		p := s.PartitionOf(t.Frags[i].Key)

@@ -211,3 +211,41 @@ func TestAccessAndDepStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestShadowCodecRoundTrip: the shadow encoding must preserve explicit
+// sequence numbers and batch positions (they carry the global priority of
+// shipped queue fragments) and survive truncation checks.
+func TestShadowCodecRoundTrip(t *testing.T) {
+	shadow := &Txn{ID: 42, BatchPos: 1337, Profile: 2}
+	shadow.Frags = []Fragment{
+		{Seq: 3, Table: 1, Key: 10, Access: Read, Abortable: true, Op: 0x0103, Args: []uint64{9}},
+		{Seq: 7, Table: 2, Key: 20, Access: ReadModifyWrite, Op: 0x0102, Args: []uint64{1, 2}, NeedVars: []uint8{0, 4}},
+	}
+	shadow.FinishShadow()
+	buf := AppendShadowBatch(nil, []*Txn{shadow})
+	got, used, err := DecodeShadowBatch(buf)
+	if err != nil || used != len(buf) || len(got) != 1 {
+		t.Fatalf("decode: n=%d used=%d err=%v", len(got), used, err)
+	}
+	g := got[0]
+	if g.ID != 42 || g.BatchPos != 1337 || g.Profile != 2 {
+		t.Fatalf("header mismatch: %+v", g)
+	}
+	if g.Frags[0].Seq != 3 || g.Frags[1].Seq != 7 {
+		t.Errorf("sequence numbers not preserved: %d %d", g.Frags[0].Seq, g.Frags[1].Seq)
+	}
+	if g.Frags[0].Priority() != shadow.Frags[0].Priority() {
+		t.Errorf("priority changed across the wire")
+	}
+	if !g.Frags[0].Abortable || g.Frags[0].Txn != g {
+		t.Errorf("fragment flags/back-pointers wrong")
+	}
+	if len(g.Frags[1].NeedVars) != 2 || g.Frags[1].NeedVars[1] != 4 {
+		t.Errorf("needvars not preserved: %v", g.Frags[1].NeedVars)
+	}
+	for cut := 5; cut < len(buf); cut++ {
+		if _, _, err := DecodeShadowBatch(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
