@@ -1,4 +1,4 @@
-// Command qotpbench runs the paper-reproduction experiments (E1–E12, mapping
+// Command qotpbench runs the paper-reproduction experiments (E1–E13, mapping
 // to Table 2 and the extended figures — see DESIGN.md §6) and prints
 // paper-style result tables.
 //
@@ -6,6 +6,7 @@
 //
 //	qotpbench -list
 //	qotpbench -experiment E3
+//	qotpbench -experiment E13   # distributed TPC-C with cross-node deps
 //	qotpbench -all -scale 2
 package main
 
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("experiment", "", "experiment id to run (E1..E12)")
+		expID = flag.String("experiment", "", "experiment id to run (E1..E13)")
 		all   = flag.Bool("all", false, "run every experiment")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		scale = flag.Int("scale", 1, "workload scale multiplier (batches x batch size)")

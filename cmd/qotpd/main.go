@@ -1,11 +1,16 @@
 // Command qotpd demonstrates the distributed queue-oriented engine over the
 // real TCP transport (stdlib net + gob framing): it launches an n-node
-// cluster on loopback sockets, runs a multi-partition YCSB workload through
+// cluster on loopback sockets, runs a multi-partition workload through
 // QueCC-D, and verifies the cluster state against a serial centralized run.
+//
+// The -workload tpcc variant runs distributed TPC-C (partition-per-warehouse)
+// with remote NewOrder lines, whose item prices are forwarded across nodes in
+// the MsgVars round — cross-node data dependencies over real sockets.
 //
 // Usage:
 //
 //	qotpd -nodes 4 -batches 10 -batch 2000
+//	qotpd -nodes 4 -workload tpcc -warehouses 8 -remote 0.1
 package main
 
 import (
@@ -19,15 +24,19 @@ import (
 	"github.com/exploratory-systems/qotp/internal/dist"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
 	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
 )
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 2, "cluster size")
-		batches   = flag.Int("batches", 5, "number of batches")
-		batchSize = flag.Int("batch", 2000, "transactions per batch")
-		execs     = flag.Int("executors", 2, "executors per node")
+		nodes      = flag.Int("nodes", 2, "cluster size")
+		batches    = flag.Int("batches", 5, "number of batches")
+		batchSize  = flag.Int("batch", 2000, "transactions per batch")
+		execs      = flag.Int("executors", 2, "executors per node")
+		wl         = flag.String("workload", "ycsb", "workload: ycsb or tpcc")
+		warehouses = flag.Int("warehouses", 0, "tpcc warehouses (default 2x nodes; must be >= nodes)")
+		remote     = flag.Float64("remote", 0.1, "tpcc remote order-line fraction (cross-node data dependencies)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -37,13 +46,36 @@ func main() {
 		log.Fatal("qotpd: -batches, -batch and -executors must be >= 1")
 	}
 
-	parts := *nodes * 2
-	mkGen := func() workload.Generator {
-		return ycsb.MustNew(ycsb.Config{
-			Records: 1 << 14, OpsPerTxn: 8, ReadRatio: 0.5, RMWRatio: 0.25,
-			Theta: 0.6, MultiPartitionRatio: 0.3, MultiPartitionCount: 2,
-			Partitions: parts, Seed: 99,
-		})
+	var parts int
+	var mkGen func() workload.Generator
+	switch *wl {
+	case "ycsb":
+		parts = *nodes * 2
+		mkGen = func() workload.Generator {
+			return ycsb.MustNew(ycsb.Config{
+				Records: 1 << 14, OpsPerTxn: 8, ReadRatio: 0.5, RMWRatio: 0.25,
+				Theta: 0.6, MultiPartitionRatio: 0.3, MultiPartitionCount: 2,
+				Partitions: parts, Seed: 99,
+			})
+		}
+	case "tpcc":
+		w := *warehouses
+		if w == 0 {
+			w = *nodes * 2
+		}
+		if w < *nodes {
+			log.Fatalf("qotpd: -warehouses (%d) must be >= -nodes (%d): TPC-C is partition-per-warehouse", w, *nodes)
+		}
+		parts = w
+		mkGen = func() workload.Generator {
+			return tpcc.MustNew(tpcc.Config{
+				Warehouses: w, Partitions: w,
+				Items: 2000, CustomersPerDistrict: 300, InitialOrdersPerDistrict: 50,
+				RemoteStockProb: *remote, Seed: 99,
+			})
+		}
+	default:
+		log.Fatalf("qotpd: unknown workload %q (have ycsb, tpcc)", *wl)
 	}
 
 	// Serial reference for verification.

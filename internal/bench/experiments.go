@@ -28,7 +28,7 @@ type Scale struct {
 // DefaultScale targets a laptop-class run (~seconds per experiment).
 var DefaultScale = Scale{Batches: 6, BatchSize: 2000, YCSBRecs: 1 << 16, Threads: 4}
 
-// Experiments returns the full registry (E1–E12), sized by sc.
+// Experiments returns the full registry (E1–E13), sized by sc.
 func Experiments(sc Scale) []Experiment {
 	ycsbBase := func(theta, mpRatio float64, mpCount, ops int, readRatio float64) Spec {
 		s := Spec{
@@ -249,6 +249,34 @@ func Experiments(sc Scale) []Experiment {
 		Artifact: "Distributed scaling + 2PC message cost (simulated 200us hops)",
 		Expect:   "queue/calvin engines amortize batch rounds; hstore-d capped by per-txn 2PC (see msgs/txn)",
 		Specs:    e12,
+	})
+
+	// E13 — distributed TPC-C with cross-node NewOrder lines. A remote order
+	// line reads the supplying warehouse's item replica and updates its
+	// stock, so its price is a cross-node data dependency: the deterministic
+	// engines forward it in the batch-level MsgVars round, while H-Store-D
+	// pays 2PC rounds per remote transaction. Sweeping the remote fraction
+	// shows the forwarding round's cost staying flat as 2PC's grows.
+	var e13 []NamedSpec
+	for _, remote := range []float64{-1, 0.01, 0.1, 0.5} {
+		s := tpccBase(8)
+		s.TPCC.RemoteStockProb = remote
+		label := remote
+		if label < 0 {
+			label = 0
+		}
+		lat := 200 * time.Microsecond
+		e13 = append(e13,
+			NamedSpec{fmt.Sprintf("quecc-d/remote=%.2f", label), dist(s, "quecc-d", 4, lat)},
+			NamedSpec{fmt.Sprintf("calvin-d/remote=%.2f", label), dist(s, "calvin-d", 4, lat)},
+			NamedSpec{fmt.Sprintf("hstore-d/remote=%.2f", label), dist(s, "hstore-d", 4, lat)},
+		)
+	}
+	exps = append(exps, Experiment{
+		ID:       "E13",
+		Artifact: "Distributed TPC-C (4 nodes, 8 warehouses, % remote NewOrder sweep)",
+		Expect:   "deterministic engines hold batch-constant msgs/txn as remote% rises; hstore-d's msgs/txn grows with it",
+		Specs:    e13,
 	})
 
 	return exps

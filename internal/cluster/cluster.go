@@ -34,6 +34,10 @@ const (
 	MsgTaintSet
 	// MsgTaintReport carries a node's newly tainted positions.
 	MsgTaintReport
+	// MsgVars carries forwarded data-dependency values (published variable
+	// slots consumed by fragments on the receiving node), one message per
+	// (publisher, consumer) node pair per execution round.
+	MsgVars
 	// MsgBatchCommit commits the batch on all nodes.
 	MsgBatchCommit
 	// MsgTxnExec asks a participant to execute transaction fragments and

@@ -63,16 +63,31 @@ func (pb *PlannedBatch) NodePlan(owned func(part int) bool) []*txn.Txn {
 	return plans[0]
 }
 
+// varFlow tracks one transaction's data-dependency topology across nodes:
+// which node a slot's declared publisher (Fragment.PubVars) was planned onto,
+// and the bitmask of nodes holding fragments that consume it (NeedVars).
+type varFlow struct {
+	pub  [txn.MaxVars]int // publishing node per slot, -1 if none
+	need [txn.MaxVars]uint64
+}
+
 // NodePlans splits the plan across n nodes in a single pass over the queues:
 // owner maps a partition to its node, and the result holds each node's
 // shadow transactions (see NodePlan) indexed by node. This is the
 // distributed leader's per-batch splitter, so it walks every planned
 // fragment exactly once regardless of cluster size.
+//
+// Shadow transactions whose fragments publish variable slots consumed by
+// fragments planned onto other nodes are tagged with FwdVars routes
+// (slot -> destination node bitmask, so n must be <= 64): the distributed
+// engines use the routes to drive the MsgVars forwarding round that carries
+// cross-node data dependencies.
 func (pb *PlannedBatch) NodePlans(n int, owner func(part int) int) [][]*txn.Txn {
 	picked := make([]map[*txn.Txn][]*txn.Fragment, n)
 	for i := range picked {
 		picked[i] = make(map[*txn.Txn][]*txn.Fragment)
 	}
+	flows := make(map[*txn.Txn]*varFlow)
 	collect := func(queues [][][]*txn.Fragment) {
 		for p := range queues {
 			for part := range queues[p] {
@@ -80,9 +95,27 @@ func (pb *PlannedBatch) NodePlans(n int, owner func(part int) int) [][]*txn.Txn 
 				if len(q) == 0 {
 					continue
 				}
-				m := picked[owner(part)]
+				nd := owner(part)
+				m := picked[nd]
 				for _, f := range q {
 					m[f.Txn] = append(m[f.Txn], f)
+					if len(f.PubVars) == 0 && len(f.NeedVars) == 0 {
+						continue
+					}
+					fl := flows[f.Txn]
+					if fl == nil {
+						fl = &varFlow{}
+						for i := range fl.pub {
+							fl.pub[i] = -1
+						}
+						flows[f.Txn] = fl
+					}
+					for _, v := range f.PubVars {
+						fl.pub[v] = nd
+					}
+					for _, v := range f.NeedVars {
+						fl.need[v] |= 1 << uint(nd)
+					}
 				}
 			}
 		}
@@ -92,14 +125,24 @@ func (pb *PlannedBatch) NodePlans(n int, owner func(part int) int) [][]*txn.Txn 
 
 	out := make([][]*txn.Txn, n)
 	for node := range out {
-		out[node] = buildShadows(pb.Txns, picked[node])
+		out[node] = buildShadows(pb.Txns, picked[node], node, flows)
 	}
 	return out
 }
 
+// fwdRoutes extracts the forwarding routes of one transaction's shadow on
+// the given node: every slot published there and consumed elsewhere.
+func fwdRoutes(fl *varFlow, node int) []txn.VarRoute {
+	if fl == nil {
+		return nil
+	}
+	return txn.ExtractRoutes(&fl.pub, &fl.need, node)
+}
+
 // buildShadows materializes shadow transactions (batch order, fragments in
-// sequence order) from a per-transaction fragment selection.
-func buildShadows(txns []*txn.Txn, picked map[*txn.Txn][]*txn.Fragment) []*txn.Txn {
+// sequence order) from a per-transaction fragment selection, attaching the
+// node's forwarding routes.
+func buildShadows(txns []*txn.Txn, picked map[*txn.Txn][]*txn.Fragment, node int, flows map[*txn.Txn]*varFlow) []*txn.Txn {
 	shadows := make([]*txn.Txn, 0, len(picked))
 	for _, t := range txns {
 		frags, ok := picked[t]
@@ -112,6 +155,7 @@ func buildShadows(txns []*txn.Txn, picked map[*txn.Txn][]*txn.Fragment) []*txn.T
 		for i, f := range frags {
 			s.Frags[i] = *f
 		}
+		s.FwdVars = fwdRoutes(flows[t], node)
 		s.FinishShadow()
 		shadows = append(shadows, s)
 	}

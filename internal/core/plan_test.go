@@ -104,6 +104,52 @@ func TestNodePlanPartitionsBatch(t *testing.T) {
 	}
 }
 
+// TestNodePlansTagsForwardedVars: the splitter must attach forwarding routes
+// exactly to the shadows publishing slots consumed on other nodes — a
+// publisher whose consumers are all co-located carries no routes.
+func TestNodePlansTagsForwardedVars(t *testing.T) {
+	const parts, nodes = 4, 2 // key k -> partition k -> node k%2
+	store := storage.MustOpen(storage.Config{Partitions: parts, Tables: []storage.TableSpec{{ID: 1, Name: "t", ValueSize: 8}}})
+	eng, err := New(store, Config{Planners: 1, Executors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// txn A: publishes slot 0 on key 1 (node 1), consumed on key 0 (node 0):
+	// cross-node, so node 1's shadow must carry a route to node 0.
+	// txn B: publishes slot 1 on key 0, consumed on key 2 (both node 0):
+	// node-local, no routes anywhere.
+	a := &txn.Txn{ID: 1, Frags: []txn.Fragment{
+		{Table: 1, Key: 1, Access: txn.Read, Op: workload.OpBaseTest, PubVars: []uint8{0}},
+		{Table: 1, Key: 0, Access: txn.Update, Op: workload.OpBaseTest, NeedVars: []uint8{0}},
+	}}
+	a.Finish()
+	b := &txn.Txn{ID: 2, Frags: []txn.Fragment{
+		{Table: 1, Key: 0, Access: txn.Read, Op: workload.OpBaseTest, PubVars: []uint8{1}},
+		{Table: 1, Key: 2, Access: txn.Update, Op: workload.OpBaseTest, NeedVars: []uint8{1}},
+	}}
+	b.Finish()
+	pb, err := eng.Plan([]*txn.Txn{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := pb.NodePlans(nodes, func(part int) int { return part % nodes })
+
+	routes := make(map[uint64][]txn.VarRoute)
+	for node := range plans {
+		for _, s := range plans[node] {
+			if len(s.FwdVars) > 0 {
+				routes[s.ID] = append(routes[s.ID], s.FwdVars...)
+			}
+		}
+	}
+	if got := routes[1]; len(got) != 1 || got[0].Slot != 0 || got[0].Dest != 1<<0 {
+		t.Errorf("txn A routes = %+v, want slot 0 -> node 0", got)
+	}
+	if got := routes[2]; len(got) != 0 {
+		t.Errorf("txn B (node-local deps) carries routes %+v", got)
+	}
+}
+
 // TestExecPlannedRejectsShapeMismatch: a plan with the wrong partition count
 // must be rejected, not executed.
 func TestExecPlannedRejectsShapeMismatch(t *testing.T) {

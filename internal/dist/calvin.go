@@ -69,12 +69,15 @@ func (e *CalvinD) ExecBatch(txns []*txn.Txn) error {
 	g := e.g
 	leader := g.nodes[0]
 	start := time.Now()
+	if err := g.usable(); err != nil {
+		return err
+	}
 
 	// Sequencing: batch positions are the deterministic serial order.
 	for i, t := range txns {
 		t.BatchPos = uint32(i)
 	}
-	if err := checkNodeLocalDeps(txns, leader.store, len(g.nodes)); err != nil {
+	if err := checkForwarding(txns, leader.store, len(g.nodes)); err != nil {
 		return err
 	}
 	if err := checkVerdictSafe(txns); err != nil {
@@ -89,7 +92,7 @@ func (e *CalvinD) ExecBatch(txns []*txn.Txn) error {
 	}); err != nil {
 		return err
 	}
-	leader.install(localShadows(txns, leader.store, leader.id, len(g.nodes)), len(txns))
+	leader.install(localShadows(txns, leader.store, leader.id, len(g.nodes), true), len(txns))
 
 	aborted, err := g.leaderVerdictRounds(len(txns), leader.runRoundLocks, e.abortFix)
 	if err != nil {
@@ -101,7 +104,9 @@ func (e *CalvinD) ExecBatch(txns []*txn.Txn) error {
 	return nil
 }
 
-// followerHandle processes one protocol message on a follower node.
+// followerHandle processes one protocol message on a follower node. Round
+// execution runs on a separate goroutine (runFollowerRound) so this loop
+// stays free to apply forwarded variables mid-round.
 func (e *CalvinD) followerHandle(n *node, m cluster.Msg) error {
 	if m.Type == cluster.MsgBatch {
 		full, _, err := txn.DecodeBatch(m.Payload)
@@ -113,8 +118,13 @@ func (e *CalvinD) followerHandle(n *node, m cluster.Msg) error {
 				return err
 			}
 		}
-		n.install(localShadows(full, n.store, n.id, n.nNodes), int(m.Flag))
-		return e.g.followerRound0(n, m.Batch, n.runRoundLocks)
+		n.execWG.Wait() // previous batch fully finished
+		n.install(localShadows(full, n.store, n.id, n.nNodes, true), int(m.Flag))
+		if err := n.startRound(m.Batch, 0); err != nil {
+			return err
+		}
+		e.g.runFollowerRound(n, m.Batch, cluster.MsgBatchDone, make([]bool, n.batchN), n.runRoundLocks)
+		return nil
 	}
 	handled, err := e.g.followerVerdictMsg(n, m, n.runRoundLocks)
 	if !handled {
@@ -125,13 +135,21 @@ func (e *CalvinD) followerHandle(n *node, m cluster.Msg) error {
 
 // localShadows derives one node's shadow transactions from a full batch: for
 // every transaction with fragments homed on the node, a copy holding exactly
-// those fragments with original sequence numbers.
-func localShadows(txns []*txn.Txn, store *storage.Store, nodeID, nodes int) []*txn.Txn {
+// those fragments with original sequence numbers. With withRoutes, shadows
+// are tagged with the node's forwarded-variable routes — every Calvin node
+// holds the whole batch, so routes are derived locally instead of shipped
+// (the Calvin trade: replicate the input, re-derive the distribution).
+// H-Store-D passes false: its 2PC path seeds cross-participant values at the
+// coordinator (seedCrossVars) and never consults routes.
+func localShadows(txns []*txn.Txn, store *storage.Store, nodeID, nodes int, withRoutes bool) []*txn.Txn {
+	nodeOf := func(f *txn.Fragment) int {
+		return cluster.PartitionOwner(store.PartitionOf(f.Key), nodes)
+	}
 	var shadows []*txn.Txn
 	for _, t := range txns {
 		var local []int
 		for i := range t.Frags {
-			if cluster.PartitionOwner(store.PartitionOf(t.Frags[i].Key), nodes) == nodeID {
+			if nodeOf(&t.Frags[i]) == nodeID {
 				local = append(local, i)
 			}
 		}
@@ -143,10 +161,45 @@ func localShadows(txns []*txn.Txn, store *storage.Store, nodeID, nodes int) []*t
 		for i, fi := range local {
 			s.Frags[i] = t.Frags[fi]
 		}
+		if withRoutes {
+			s.FwdVars = fwdRoutesFor(t, nodeOf, nodeID)
+		}
 		s.FinishShadow()
 		shadows = append(shadows, s)
 	}
 	return shadows
+}
+
+// fwdRoutesFor computes the forwarding routes of one transaction for the
+// given node from the full fragment list: every slot whose declared publisher
+// lands on the node and that some fragment on another node consumes. The
+// route extraction itself is txn.ExtractRoutes, shared with core.NodePlans so
+// the engines derive identical routes for the same batch.
+func fwdRoutesFor(t *txn.Txn, nodeOf func(*txn.Fragment) int, nodeID int) []txn.VarRoute {
+	var pub [txn.MaxVars]int
+	var need [txn.MaxVars]uint64
+	hasVars := false
+	for i := range pub {
+		pub[i] = -1
+	}
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		if len(f.PubVars) == 0 && len(f.NeedVars) == 0 {
+			continue
+		}
+		hasVars = true
+		nd := nodeOf(f)
+		for _, v := range f.PubVars {
+			pub[v] = nd
+		}
+		for _, v := range f.NeedVars {
+			need[v] |= 1 << uint(nd)
+		}
+	}
+	if !hasVars {
+		return nil
+	}
+	return txn.ExtractRoutes(&pub, &need, nodeID)
 }
 
 // ---------------------------------------------------------------------------
@@ -183,16 +236,19 @@ type calvinReq struct {
 }
 
 // runRoundLocks executes one verdict round through a deterministic lock
-// scheduler: lock requests are granted strictly in batch order (FIFO per
-// record), and a worker pool runs each transaction's local fragments once all
-// its locks are held. Record access order therefore equals batch order, the
-// same history the queue-based round runner produces.
+// scheduler: the hoisted-publisher forwarding pass first (hoistAndFlush),
+// then lock requests granted strictly in batch order (FIFO per record), and
+// a worker pool running each transaction's local fragments once all its
+// locks are held. Record access order therefore equals batch order, the same
+// history the queue-based round runner produces. The caller must have called
+// startRound.
 func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
-	for _, t := range n.shadows {
-		t.Reset()
-	}
 	if len(n.shadows) == 0 {
 		return nil, nil
+	}
+	hoistProps, err := n.hoistAndFlush(aborted)
+	if err != nil {
+		return nil, err
 	}
 
 	// Lock analysis (first-touch order, strongest mode wins).
@@ -315,7 +371,7 @@ func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 	if err, _ := firstErr.Load().(error); err != nil {
 		return nil, err
 	}
-	var out []uint32
+	out := hoistProps
 	for _, p := range proposals {
 		out = append(out, p...)
 	}

@@ -10,9 +10,17 @@
 // Protocol phases by message type:
 //
 //	MsgQueues      QueCC-D: leader ships a node's planned per-partition
-//	               queues (a shadow-transaction batch, txn.AppendShadowBatch).
+//	               queues (a shadow-transaction batch, txn.AppendShadowBatch)
+//	               with forwarded-variable routes attached (core.NodePlans).
 //	MsgBatch       Calvin-D: leader broadcasts the full batch; every node
-//	               derives its local fragments and lock schedule itself.
+//	               derives its local fragments, forwarding routes and lock
+//	               schedule itself.
+//	MsgVars        forwarding round: a node ships the data-dependency values
+//	               it published for consumers on other nodes — (batch
+//	               position, slot, value) triples, or slot tombstones when
+//	               the publishing fragment aborted. At most one message per
+//	               (publisher, consumer) node pair per execution round,
+//	               regardless of how many transactions depend across nodes.
 //	MsgBatchDone   round-0 completion report: a node finished draining its
 //	               queues; Vals carries the positions whose abortable checks
 //	               failed locally.
@@ -22,10 +30,38 @@
 //	               verdict proposals for the next round.
 //	MsgBatchCommit batch commit broadcast after the verdict fixpoint.
 //	MsgTxnExec     H-Store-D: coordinator asks a participant to execute a
-//	               transaction's local fragments and prepare (2PC round 1).
+//	               transaction's local fragments and prepare (2PC round 1);
+//	               the payload piggybacks coordinator-resolved variable seeds
+//	               for cross-participant data dependencies.
 //	MsgVote        participant's 2PC vote (or single-home completion).
 //	MsgDecision    coordinator's 2PC decision (2PC round 2).
 //	MsgAck         participant's decision ack, and commit acks.
+//
+// # Cross-node data dependencies
+//
+// A transaction may consume variable slots (Fragment.NeedVars) published by
+// fragments planned onto a different node. The planners tag every shadow
+// transaction with forwarding routes (txn.VarRoute: slot -> destination node
+// set), and each execution round adds one deterministic forwarding exchange
+// between local publisher execution and dependent-fragment execution: a node
+// first runs its route-tagged publisher fragments (the "hoisted" pre-queue
+// pass), ships their values in MsgVars, and only then drains its queues.
+// Consumers block per-fragment on the transaction's publish-once variable
+// cells, which are filled either by local publishers in queue order or by the
+// node's message loop as MsgVars arrive, so the round count stays
+// batch-constant: queues out, vars exchanged, taint fixpoint, commit — never
+// a per-transaction exchange.
+//
+// Hoisting a publisher out of queue order is only sound when its read cannot
+// observe in-batch writes, so cross-node-consumed slots must be published by
+// read-only fragments of records no fragment in the batch writes
+// (checkForwarding enforces this; TPC-C's remote-warehouse item reads are the
+// canonical shape). A publisher that aborts instead of publishing — e.g. the
+// 1% invalid NewOrder item — forwards a tombstone (txn.VarUpdate.Dead):
+// waiting consumers skip their fragment instead of deadlocking, and the abort
+// itself reaches every node through the ordinary taint rounds.
+//
+// # Deterministic abort repair
 //
 // Abort handling is the distributed form of the core engine's deterministic
 // repair. Every round executes the batch under an abort-verdict assumption
@@ -37,7 +73,8 @@
 // the verdicts of transactions before it in batch order, so the iteration
 // reaches the unique fixpoint — the serial-order outcome — in at most
 // chain-depth rounds (typically one or two), and each round costs one
-// batch-level message exchange regardless of batch size.
+// batch-level message exchange (plus its forwarding exchange) regardless of
+// batch size.
 package dist
 
 import (
@@ -89,24 +126,50 @@ type partLog struct {
 	inserts []insertRef
 }
 
+// varsKey addresses forwarded-variable traffic: one execution round of one
+// batch. MsgVars can arrive before the round's trigger message (queue
+// shipment, batch broadcast or taint set) because peer-to-peer channels are
+// independent of the leader's channel; early messages are buffered under
+// their key and applied when the round starts.
+type varsKey struct {
+	batch uint64
+	round uint64
+}
+
 // node is one cluster member's runtime state: its full-schema store (of which
 // it owns every partition p with PartitionOwner(p) == id), the opcode
 // registry for resolving shipped fragments, and the current batch's shadow
-// transactions, queues and rollback logs.
+// transactions, queues, forwarding state and rollback logs.
 type node struct {
 	id      int
 	nNodes  int
 	workers int
+	tr      cluster.Transport
 	store   *storage.Store
 	reg     txn.Registry
+	// stopped is the group-wide teardown flag; executor spins poll it so a
+	// round abandoned mid-batch (error or Close) cannot wedge a goroutine on
+	// a variable that will never arrive.
+	stopped *atomic.Bool
 
 	batchN  int
 	shadows []*txn.Txn
 	queues  [][]*txn.Fragment // [partition], ascending priority
 	logs    []partLog         // [partition]
+
+	// Forwarding state. byPos resolves MsgVars entries to shadows; hoisted
+	// holds the route-tagged publisher fragments executed in the pre-queue
+	// pass; curBatch/curRound identify the active round; pendingVars buffers
+	// early MsgVars; execWG tracks the in-flight round goroutine.
+	byPos       map[uint32]*txn.Txn
+	hoisted     []*txn.Fragment
+	curBatch    uint64
+	curRound    uint64
+	pendingVars map[varsKey][]cluster.Msg
+	execWG      sync.WaitGroup
 }
 
-func newNode(id int, tr cluster.Transport, gen workload.Generator, partitions, workers int) (*node, error) {
+func newNode(id int, tr cluster.Transport, gen workload.Generator, partitions, workers int, stopped *atomic.Bool) (*node, error) {
 	store, err := storage.Open(gen.StoreConfig(partitions))
 	if err != nil {
 		return nil, err
@@ -118,9 +181,12 @@ func newNode(id int, tr cluster.Transport, gen workload.Generator, partitions, w
 		workers = 1
 	}
 	n := &node{
-		id: id, nNodes: tr.Nodes(), workers: workers,
-		store: store, reg: gen.Registry(),
-		logs: make([]partLog, partitions),
+		id: id, nNodes: tr.Nodes(), workers: workers, tr: tr,
+		store: store, reg: gen.Registry(), stopped: stopped,
+		logs:        make([]partLog, partitions),
+		byPos:       make(map[uint32]*txn.Txn),
+		curBatch:    ^uint64(0),
+		pendingVars: make(map[varsKey][]cluster.Msg),
 	}
 	for p := range n.logs {
 		n.logs[p].images = make(map[*storage.Record][]byte)
@@ -133,7 +199,9 @@ func (n *node) ownsPart(part int) bool { return cluster.PartitionOwner(part, n.n
 // install accepts a batch's local shadow transactions and rebuilds the
 // per-partition execution queues. Walking shadows in batch order and
 // fragments in sequence order yields ascending priority per partition —
-// exactly the order the leader's planner established.
+// exactly the order the leader's planner established. Fragments publishing
+// slots with forwarding routes are marked Hoisted and collected for the
+// pre-queue publisher pass.
 func (n *node) install(shadows []*txn.Txn, batchN int) {
 	n.shadows = shadows
 	n.batchN = batchN
@@ -143,14 +211,173 @@ func (n *node) install(shadows []*txn.Txn, batchN int) {
 	for p := range n.queues {
 		n.queues[p] = n.queues[p][:0]
 	}
+	clear(n.byPos)
+	n.hoisted = n.hoisted[:0]
 	for _, t := range shadows {
+		n.byPos[t.BatchPos] = t
 		for i := range t.Frags {
 			f := &t.Frags[i]
 			part := n.store.PartitionOf(f.Key)
 			n.queues[part] = append(n.queues[part], f)
+			if fragRouted(t, f) {
+				f.Hoisted = true
+				n.hoisted = append(n.hoisted, f)
+			}
 		}
 	}
 	n.clearLogs()
+}
+
+// fragRouted reports whether the fragment publishes a slot with a forwarding
+// route (a remote consumer).
+func fragRouted(t *txn.Txn, f *txn.Fragment) bool {
+	if len(t.FwdVars) == 0 || len(f.PubVars) == 0 {
+		return false
+	}
+	for _, v := range f.PubVars {
+		for _, r := range t.FwdVars {
+			if r.Slot == v && r.Dest != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fwdDest returns the destination node set of a published slot (0 if the
+// slot has no remote consumers).
+func fwdDest(t *txn.Txn, slot uint8) uint64 {
+	for _, r := range t.FwdVars {
+		if r.Slot == slot {
+			return r.Dest
+		}
+	}
+	return 0
+}
+
+// startRound begins one execution round: it stamps the round identity,
+// resets the shadows' runtime state (variable cells, abort flags) and applies
+// any forwarded variables that arrived before the round's trigger message
+// (a bad buffered message is as fatal as a bad on-time one — swallowing it
+// would leave a consumer spinning on a slot that never resolves). The caller
+// must have completed the previous round (execWG drained) and — for repair
+// rounds — rolled the partitions back first.
+func (n *node) startRound(batch, round uint64) error {
+	n.curBatch, n.curRound = batch, round
+	for _, t := range n.shadows {
+		t.Reset()
+	}
+	key := varsKey{batch, round}
+	for _, m := range n.pendingVars[key] {
+		if err := n.applyVars(m); err != nil {
+			return err
+		}
+	}
+	delete(n.pendingVars, key)
+	return nil
+}
+
+// deliverVars routes an incoming MsgVars to the current round's shadows, or
+// buffers it when the round it belongs to has not started here yet.
+func (n *node) deliverVars(m cluster.Msg) error {
+	if m.Batch == n.curBatch && m.Flag == n.curRound {
+		return n.applyVars(m)
+	}
+	key := varsKey{m.Batch, m.Flag}
+	n.pendingVars[key] = append(n.pendingVars[key], m)
+	return nil
+}
+
+// applyVars publishes (or tombstones) the forwarded slots carried by one
+// MsgVars into the local shadows' variable cells, releasing any executor
+// spinning on them.
+func (n *node) applyVars(m cluster.Msg) error {
+	ups, err := txn.DecodeVarUpdates(m.Payload)
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		t := n.byPos[u.Pos]
+		if t == nil {
+			return fmt.Errorf("dist: node %d: forwarded variable for unknown batch position %d", n.id, u.Pos)
+		}
+		if u.Dead {
+			t.KillVar(u.Slot)
+		} else {
+			t.Publish(u.Slot, u.Val)
+		}
+	}
+	return nil
+}
+
+// hoistAndFlush is the forwarding half-round run before queue execution:
+// every route-tagged publisher fragment executes against its (batch-constant,
+// checkForwarding-verified) record, then each peer with at least one
+// dependent fragment receives one MsgVars carrying the values — or slot
+// tombstones for publishers whose abortable check failed. Returns the abort
+// positions proposed by hoisted checks.
+func (n *node) hoistAndFlush(aborted []bool) ([]uint32, error) {
+	if len(n.hoisted) == 0 {
+		return nil, nil
+	}
+	var props []uint32
+	out := make([][]txn.VarUpdate, n.nNodes)
+	for _, f := range n.hoisted {
+		t := f.Txn
+		dead := aborted[t.BatchPos]
+		if dead && !f.Abortable {
+			continue // skipped publisher of an aborted transaction: no consumers left
+		}
+		rec := n.store.Table(f.Table).Get(f.Key)
+		if rec == nil {
+			return nil, fmt.Errorf("dist: node %d: missing record table=%d key=%d (txn %d frag %d)", n.id, f.Table, f.Key, t.ID, f.Seq)
+		}
+		ctx := txn.FragCtx{T: t, F: f, Val: rec.Val}
+		err := f.Logic(&ctx)
+		failed := false
+		if f.Abortable && err == txn.ErrAbort {
+			props = append(props, t.BatchPos)
+			failed = true
+			err = nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dist: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+		if dead {
+			continue // verdict re-evaluation only; nothing is forwarded
+		}
+		for _, v := range f.PubVars {
+			if failed {
+				t.KillVar(v)
+			}
+			dest := fwdDest(t, v)
+			if dest == 0 {
+				continue
+			}
+			u := txn.VarUpdate{Pos: t.BatchPos, Slot: v, Dead: failed}
+			if !failed {
+				u.Val = t.Var(v)
+			}
+			for d := 0; d < n.nNodes; d++ {
+				if d != n.id && dest&(1<<uint(d)) != 0 {
+					out[d] = append(out[d], u)
+				}
+			}
+		}
+	}
+	for d, ups := range out {
+		if len(ups) == 0 {
+			continue
+		}
+		if err := n.tr.Send(cluster.Msg{
+			Type: cluster.MsgVars, From: n.id, To: d,
+			Batch: n.curBatch, Flag: n.curRound,
+			Payload: txn.AppendVarUpdates(nil, ups),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return props, nil
 }
 
 func (n *node) clearLogs() {
@@ -160,14 +387,16 @@ func (n *node) clearLogs() {
 	}
 }
 
-// runRound executes the node's queues under the given abort-verdict
-// assumption, returning the batch positions whose abortable checks failed
-// this round. Owned partitions are spread across the node's workers; each
-// worker drains its partitions in a k-way priority merge, so every record's
-// access sequence follows global priority order.
+// runRound executes one verdict round: the hoisted-publisher forwarding pass
+// first, then the node's queues under the given abort-verdict assumption.
+// Returns the batch positions whose abortable checks failed this round.
+// Owned partitions are spread across the node's workers; each worker drains
+// its partitions in a k-way priority merge, so every record's access sequence
+// follows global priority order. The caller must have called startRound.
 func (n *node) runRound(aborted []bool) ([]uint32, error) {
-	for _, t := range n.shadows {
-		t.Reset()
+	hoistProps, err := n.hoistAndFlush(aborted)
+	if err != nil {
+		return nil, err
 	}
 	var owned []int
 	for p := 0; p < n.store.Partitions(); p++ {
@@ -180,7 +409,7 @@ func (n *node) runRound(aborted []bool) ([]uint32, error) {
 		workers = len(owned)
 	}
 	if len(owned) == 0 {
-		return nil, nil
+		return hoistProps, nil
 	}
 
 	proposals := make([][]uint32, workers)
@@ -231,7 +460,7 @@ func (n *node) runRound(aborted []bool) ([]uint32, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	var out []uint32
+	out := hoistProps
 	for _, p := range proposals {
 		out = append(out, p...)
 	}
@@ -249,9 +478,12 @@ type queueCursor struct {
 // transactions execute fully, and every failing check is proposed as next
 // round's abort verdict. First writes capture pre-batch before-images for
 // the inter-round rollback. failed is the round's abort signal: data-
-// dependency waits bail out when another worker has already errored, so a
-// failure surfaces instead of wedging the round.
+// dependency waits bail out when another worker has already errored (or the
+// engine is closing), so a failure surfaces instead of wedging the round.
 func (n *node) runFrag(f *txn.Fragment, aborted []bool, proposals *[]uint32, failed *atomic.Bool) error {
+	if f.Hoisted {
+		return nil // executed (and proposed) by the pre-queue publisher pass
+	}
 	t := f.Txn
 	dead := aborted[t.BatchPos]
 	if dead {
@@ -268,7 +500,14 @@ func (n *node) runFrag(f *txn.Fragment, aborted []bool, proposals *[]uint32, fai
 	} else {
 		for _, v := range f.NeedVars {
 			for !t.VarReady(v) {
-				if failed.Load() {
+				if t.VarDead(v) {
+					// The publisher aborted and the value will never exist:
+					// skip the fragment. The transaction's abort verdict
+					// reaches every node through the taint rounds, so this
+					// round's missing write is repaired deterministically.
+					return nil
+				}
+				if failed.Load() || n.stopped.Load() {
 					return nil
 				}
 				runtime.Gosched()
@@ -310,6 +549,13 @@ func (n *node) runFrag(f *txn.Fragment, aborted []bool, proposals *[]uint32, fai
 	if f.Abortable {
 		if err == txn.ErrAbort {
 			*proposals = append(*proposals, t.BatchPos)
+			if !dead {
+				// Tombstone the slots the check would have published so
+				// same-node consumers skip instead of spinning forever.
+				for _, v := range f.PubVars {
+					t.KillVar(v)
+				}
+			}
 			err = nil
 		}
 	} else if err == txn.ErrAbort {
@@ -381,11 +627,64 @@ func checkVerdictSafe(txns []*txn.Txn) error {
 	return nil
 }
 
-// checkNodeLocalDeps rejects batches with cross-node data dependencies:
-// publish/consume variable flow is resolved through in-memory transaction
-// state, which cannot span nodes. Transactions whose fragments all land on
-// one node may use data dependencies freely.
-func checkNodeLocalDeps(txns []*txn.Txn, store *storage.Store, nodes int) error {
+// recKey identifies a record independently of its storage.Record (batch
+// write-set membership for the forwarding hoist check).
+type recKey struct {
+	table storage.TableID
+	key   storage.Key
+}
+
+// batchWriteSet collects every (table, key) some fragment in the batch
+// writes.
+func batchWriteSet(txns []*txn.Txn) map[recKey]struct{} {
+	w := make(map[recKey]struct{})
+	for _, t := range txns {
+		for i := range t.Frags {
+			if t.Frags[i].Access.IsWrite() {
+				w[recKey{t.Frags[i].Table, t.Frags[i].Key}] = struct{}{}
+			}
+		}
+	}
+	return w
+}
+
+// checkSlotRanges rejects out-of-range variable slots before any code
+// indexes per-slot arrays with them. txn.Validate performs the same check,
+// but engines cannot assume callers ran it.
+func checkSlotRanges(txns []*txn.Txn) error {
+	for _, t := range txns {
+		for i := range t.Frags {
+			for _, v := range t.Frags[i].NeedVars {
+				if v >= txn.MaxVars {
+					return fmt.Errorf("dist: txn %d frag %d: NeedVars slot %d out of range", t.ID, i, v)
+				}
+			}
+			for _, v := range t.Frags[i].PubVars {
+				if v >= txn.MaxVars {
+					return fmt.Errorf("dist: txn %d frag %d: PubVars slot %d out of range", t.ID, i, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkForwarding validates a batch's data-dependency topology for the
+// deterministic distributed engines. Node-local dependencies resolve through
+// the shadow transaction's variable cells in queue order and need no shape
+// beyond publisher-before-consumer. A slot consumed on a different node than
+// its publisher is forwarded through the MsgVars round, which executes the
+// publisher in the pre-queue hoist pass — sound only if the publisher is a
+// read-only fragment of a record no fragment in the batch writes (the record
+// is batch-constant, so reading it ahead of queue order observes exactly the
+// state queue order would). Publishers must be declared via Fragment.PubVars;
+// an undeclared publisher would leave remote consumers spinning on a slot no
+// node knows it must forward.
+func checkForwarding(txns []*txn.Txn, store *storage.Store, nodes int) error {
+	if err := checkSlotRanges(txns); err != nil {
+		return err
+	}
+	var written map[recKey]struct{} // built lazily: most batches have no cross-node deps
 	for _, t := range txns {
 		hasDeps := false
 		for i := range t.Frags {
@@ -397,13 +696,47 @@ func checkNodeLocalDeps(txns []*txn.Txn, store *storage.Store, nodes int) error 
 		if !hasDeps {
 			continue
 		}
-		home := -1
+		var pub [txn.MaxVars]int
+		for i := range pub {
+			pub[i] = -1
+		}
 		for i := range t.Frags {
-			n := cluster.PartitionOwner(store.PartitionOf(t.Frags[i].Key), nodes)
-			if home == -1 {
-				home = n
-			} else if n != home {
-				return fmt.Errorf("dist: txn %d has data dependencies across nodes %d and %d; co-locate dependent fragments", t.ID, home, n)
+			for _, v := range t.Frags[i].PubVars {
+				if pub[v] >= 0 {
+					return fmt.Errorf("dist: txn %d: slot %d declared published by fragments %d and %d", t.ID, v, pub[v], i)
+				}
+				pub[v] = i
+			}
+		}
+		nodeOf := func(f *txn.Fragment) int {
+			return cluster.PartitionOwner(store.PartitionOf(f.Key), nodes)
+		}
+		for i := range t.Frags {
+			f := &t.Frags[i]
+			for _, v := range f.NeedVars {
+				pi := pub[v]
+				if pi < 0 {
+					return fmt.Errorf("dist: txn %d frag %d: slot %d consumed but no fragment declares publishing it (PubVars)", t.ID, i, v)
+				}
+				if pi >= i {
+					return fmt.Errorf("dist: txn %d frag %d: slot %d published by fragment %d, which does not precede its consumer", t.ID, i, v, pi)
+				}
+				p := &t.Frags[pi]
+				if nodeOf(p) == nodeOf(f) {
+					continue
+				}
+				if p.Access != txn.Read {
+					return fmt.Errorf("dist: txn %d: slot %d crosses nodes but its publisher (frag %d) writes its record; cross-node publishers must be read-only", t.ID, v, pi)
+				}
+				if len(p.NeedVars) > 0 {
+					return fmt.Errorf("dist: txn %d: slot %d crosses nodes but its publisher (frag %d) has data dependencies of its own", t.ID, v, pi)
+				}
+				if written == nil {
+					written = batchWriteSet(txns)
+				}
+				if _, ok := written[recKey{p.Table, p.Key}]; ok {
+					return fmt.Errorf("dist: txn %d: slot %d crosses nodes but its publisher's record (table=%d key=%d) is written in the same batch; forwarded reads must be batch-constant", t.ID, v, p.Table, p.Key)
+				}
 			}
 		}
 	}
@@ -426,18 +759,25 @@ type group struct {
 	lastMsg uint64
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+	// stopped releases executor goroutines spinning on forwarded variables
+	// when the engine tears down mid-batch; every node polls it.
+	stopped atomic.Bool
 }
 
 func newGroup(tr cluster.Transport, gen workload.Generator, partitions, workers int) (*group, error) {
 	if tr.Nodes() < 1 {
 		return nil, fmt.Errorf("dist: transport has no nodes")
 	}
+	if tr.Nodes() > 64 {
+		// Forwarding routes address nodes as a 64-bit destination mask.
+		return nil, fmt.Errorf("dist: %d nodes exceed the 64-node forwarding-route limit", tr.Nodes())
+	}
 	if partitions < tr.Nodes() {
 		return nil, fmt.Errorf("dist: %d partitions cannot cover %d nodes", partitions, tr.Nodes())
 	}
 	g := &group{tr: tr, nodes: make([]*node, tr.Nodes())}
 	for id := range g.nodes {
-		n, err := newNode(id, tr, gen, partitions, workers)
+		n, err := newNode(id, tr, gen, partitions, workers, &g.stopped)
 		if err != nil {
 			return nil, err
 		}
@@ -505,6 +845,73 @@ func (g *group) collect(want cluster.MsgType) ([]cluster.Msg, error) {
 	return msgs, nil
 }
 
+// leaderRound drives one verdict round at the leader: the leader's local
+// execution runs on its own goroutine while this loop receives follower
+// traffic, applying forwarded variables (MsgVars) as they arrive — the
+// leader's executors may be blocked on exactly those values — and gathering
+// one completion report of the wanted type per follower. Per-pair FIFO
+// guarantees a follower's MsgVars precede its report, so when every report is
+// in, every forwarded value has been applied and the local round can finish.
+func (g *group) leaderRound(want cluster.MsgType, aborted []bool, run func([]bool) ([]uint32, error)) ([]uint32, []cluster.Msg, error) {
+	leader := g.nodes[0]
+	type roundResult struct {
+		props []uint32
+		err   error
+	}
+	ch := make(chan roundResult, 1)
+	leader.execWG.Add(1)
+	go func() {
+		defer leader.execWG.Done()
+		props, err := run(aborted)
+		ch <- roundResult{props, err}
+	}()
+	fail := func(err error) ([]uint32, []cluster.Msg, error) {
+		// Release the local round before surfacing the error so the exec
+		// goroutine cannot wedge on variables that will never arrive. The
+		// protocol state is unrecoverable mid-batch, so stopped stays set
+		// and ExecBatch rejects further batches (see group.usable).
+		g.stopped.Store(true)
+		<-ch
+		return nil, nil, err
+	}
+	reports := make([]cluster.Msg, 0, len(g.nodes)-1)
+	for len(reports) < len(g.nodes)-1 {
+		m, ok := g.tr.Recv(0)
+		if !ok {
+			return fail(fmt.Errorf("dist: transport closed while collecting %d", want))
+		}
+		if m.Flag == flagErr && m.Type != cluster.MsgVars {
+			return fail(fmt.Errorf("dist: node %d: %s", m.From, m.Payload))
+		}
+		switch m.Type {
+		case cluster.MsgVars:
+			if err := g.nodes[0].deliverVars(m); err != nil {
+				return fail(err)
+			}
+		case want:
+			reports = append(reports, m)
+		default:
+			return fail(fmt.Errorf("dist: leader expected message type %d, got %d from node %d", want, m.Type, m.From))
+		}
+	}
+	r := <-ch
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return r.props, reports, nil
+}
+
+// usable rejects batches on a dead group. stopped releases executors by
+// making variable waits bail out and skip fragments, so executing another
+// batch after a failure (or Close) would silently commit divergent state —
+// the one outcome a deterministic engine must never produce.
+func (g *group) usable() error {
+	if g.stopped.Load() {
+		return fmt.Errorf("dist: engine unusable after a failed batch or Close")
+	}
+	return nil
+}
+
 // Stats returns the cluster-wide metrics, accumulated at the leader.
 func (g *group) Stats() *metrics.Stats { return &g.stats }
 
@@ -519,42 +926,50 @@ func (g *group) Stores() []*storage.Store {
 	return out
 }
 
-// close shuts the follower loops down and waits for them to exit.
+// close shuts the follower loops down and waits for them — and any in-flight
+// round goroutines — to exit. stopped releases executors spinning on
+// forwarded variables abandoned by an error-terminated batch.
 func (g *group) close() {
 	if !g.closed.CompareAndSwap(false, true) {
 		return
 	}
+	g.stopped.Store(true)
 	for id := 1; id < len(g.nodes); id++ {
 		// Ignore errors: a closed transport unblocks followers by itself.
 		_ = g.tr.Send(cluster.Msg{Type: cluster.MsgAck, From: 0, To: id, Flag: shutdownFlag})
 	}
 	g.wg.Wait()
+	for _, n := range g.nodes {
+		n.execWG.Wait()
+	}
 }
 
 // leaderVerdictRounds drives the leader side of the batch verdict protocol
 // shared by the deterministic engines: round 0 under the all-commit
 // assumption (completion reports arrive as MsgBatchDone), the abort-repair
 // fixpoint loop (MsgTaintSet out, MsgTaintReport back), then commit broadcast
-// and acks. run executes one leader-local round under a verdict assumption;
-// fixpoint selects full verdict iteration versus a single reconnaissance
-// repair round (Calvin-D without ArgAbortEval). Returns the final verdicts.
+// and acks. Each round's local execution runs concurrently with report
+// collection so the leader can apply forwarded variables mid-round
+// (leaderRound). run executes one leader-local round under a verdict
+// assumption; fixpoint selects full verdict iteration versus a single
+// reconnaissance repair round (Calvin-D without ArgAbortEval). Returns the
+// final verdicts. The leader must already have installed its shadows.
 func (g *group) leaderVerdictRounds(batchN int, run func([]bool) ([]uint32, error), fixpoint bool) ([]bool, error) {
 	leader := g.nodes[0]
 	aborted := make([]bool, batchN)
-	props, err := run(aborted)
-	if err != nil {
+	if err := leader.startRound(g.epoch, 0); err != nil {
 		return nil, err
 	}
-	reports, err := g.collect(cluster.MsgBatchDone)
+	props, reports, err := g.leaderRound(cluster.MsgBatchDone, aborted, run)
 	if err != nil {
 		return nil, err
 	}
 	next := mergeVerdicts(batchN, props, reports)
 
-	rounds := 0
+	rounds := uint64(0)
 	for !sameVerdicts(aborted, next) {
 		rounds++
-		if rounds > batchN+2 {
+		if rounds > uint64(batchN)+2 {
 			return nil, fmt.Errorf("dist: verdict iteration did not converge after %d rounds", rounds)
 		}
 		aborted = next
@@ -564,11 +979,10 @@ func (g *group) leaderVerdictRounds(batchN int, run func([]bool) ([]uint32, erro
 			return nil, err
 		}
 		leader.rollback()
-		props, err = run(aborted)
-		if err != nil {
+		if err := leader.startRound(g.epoch, rounds); err != nil {
 			return nil, err
 		}
-		reports, err = g.collect(cluster.MsgTaintReport)
+		props, reports, err = g.leaderRound(cluster.MsgTaintReport, aborted, run)
 		if err != nil {
 			return nil, err
 		}
@@ -601,33 +1015,47 @@ func mergeVerdicts(batchN int, props []uint32, reports []cluster.Msg) []bool {
 	return v
 }
 
-// followerRound0 runs a follower's round 0 after batch installation and
-// reports completion plus local abort proposals to the leader.
-func (g *group) followerRound0(n *node, batch uint64, run func([]bool) ([]uint32, error)) error {
-	props, err := run(make([]bool, n.batchN))
-	if err != nil {
-		return err
-	}
-	return g.tr.Send(cluster.Msg{
-		Type: cluster.MsgBatchDone, From: n.id, To: 0, Batch: batch, Vals: toVals(props),
-	})
+// runFollowerRound launches a follower's round execution on its own
+// goroutine, leaving the message loop free to apply MsgVars the round's
+// executors may be blocked on. On completion it reports doneType (with the
+// round's abort proposals) to the leader; an execution error is reported as
+// a flagErr message so the driving ExecBatch fails instead of hanging.
+func (g *group) runFollowerRound(n *node, batch uint64, doneType cluster.MsgType, aborted []bool, run func([]bool) ([]uint32, error)) {
+	n.execWG.Add(1)
+	go func() {
+		defer n.execWG.Done()
+		props, err := run(aborted)
+		if err != nil {
+			_ = g.tr.Send(cluster.Msg{
+				Type: cluster.MsgAck, From: n.id, To: 0, Batch: batch,
+				Flag: flagErr, Payload: []byte(err.Error()),
+			})
+			return
+		}
+		_ = g.tr.Send(cluster.Msg{
+			Type: doneType, From: n.id, To: 0, Batch: batch, Vals: toVals(props),
+		})
+	}()
 }
 
 // followerVerdictMsg handles the protocol messages common to the follower
-// side of both deterministic engines (taint rounds and commit). Returns
-// false for messages the caller must handle itself (batch installation).
+// side of both deterministic engines (forwarded variables, taint rounds and
+// commit). Returns false for messages the caller must handle itself (batch
+// installation).
 func (g *group) followerVerdictMsg(n *node, m cluster.Msg, run func([]bool) ([]uint32, error)) (bool, error) {
 	switch m.Type {
+	case cluster.MsgVars:
+		return true, n.deliverVars(m)
 	case cluster.MsgTaintSet:
+		n.execWG.Wait() // previous round finished (its report was collected)
 		n.rollback()
-		props, err := run(verdictSetFromVals(n.batchN, m.Vals))
-		if err != nil {
+		if err := n.startRound(m.Batch, n.curRound+1); err != nil {
 			return true, err
 		}
-		return true, g.tr.Send(cluster.Msg{
-			Type: cluster.MsgTaintReport, From: n.id, To: 0, Batch: m.Batch, Vals: toVals(props),
-		})
+		g.runFollowerRound(n, m.Batch, cluster.MsgTaintReport, verdictSetFromVals(n.batchN, m.Vals), run)
+		return true, nil
 	case cluster.MsgBatchCommit:
+		n.execWG.Wait()
 		n.commitBatch()
 		return true, g.tr.Send(cluster.Msg{Type: cluster.MsgAck, From: n.id, To: 0, Batch: m.Batch})
 	default:

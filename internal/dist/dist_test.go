@@ -2,14 +2,17 @@ package dist
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/exploratory-systems/qotp/internal/cluster"
 	"github.com/exploratory-systems/qotp/internal/core"
 	"github.com/exploratory-systems/qotp/internal/engine"
 	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
 	"github.com/exploratory-systems/qotp/internal/workload"
 	"github.com/exploratory-systems/qotp/internal/workload/bank"
+	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
 	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
 )
 
@@ -67,8 +70,11 @@ func serialReference(t *testing.T, mkGen func() workload.Generator, nBatches, ba
 
 // TestClusterMatchesSerial: every distributed engine, on 2–4 nodes, must
 // reproduce the serial single-node state hash for YCSB (multi-partition,
-// with logic aborts) and bank (cross-partition transfers with
-// insufficient-balance aborts — the distributed abort-repair path).
+// with logic aborts), bank (cross-partition transfers with
+// insufficient-balance aborts — the distributed abort-repair path), and
+// TPC-C (the paper's flagship workload: remote NewOrder lines carry
+// cross-node data dependencies through the MsgVars forwarding round, and
+// invalid items abort publishers whose tombstones must feed the taint path).
 func TestClusterMatchesSerial(t *testing.T) {
 	const nBatches, batchSize = 3, 150
 	workloads := map[string]func() workload.Generator{
@@ -83,6 +89,13 @@ func TestClusterMatchesSerial(t *testing.T) {
 			return bank.MustNew(bank.Config{
 				Accounts: 96, InitialBalance: 150, MaxTransfer: 120,
 				Partitions: testParts, Seed: 17,
+			})
+		},
+		"tpcc": func() workload.Generator {
+			return tpcc.MustNew(tpcc.Config{
+				Warehouses: testParts, Partitions: testParts,
+				Items: 100, CustomersPerDistrict: 20, InitialOrdersPerDistrict: 10,
+				RemoteStockProb: 0.4, InvalidItemProb: 0.05, Seed: 23,
 			})
 		},
 	}
@@ -114,8 +127,8 @@ func TestClusterMatchesSerial(t *testing.T) {
 					if snap.Retries != 0 {
 						t.Errorf("deterministic distributed engine reported %d CC retries", snap.Retries)
 					}
-					if wname == "bank" && snap.UserAborts == 0 {
-						t.Error("expected insufficient-balance aborts in the bank workload")
+					if (wname == "bank" || wname == "tpcc") && snap.UserAborts == 0 {
+						t.Errorf("expected logic aborts in the %s workload", wname)
 					}
 				})
 			}
@@ -251,5 +264,218 @@ func TestShapeErrors(t *testing.T) {
 	gen := ycsb.MustNew(ycsb.Config{Records: 64, OpsPerTxn: 2, Partitions: 2, Seed: 1})
 	if _, err := NewQueCCD(tr, gen, 2, 1); err == nil {
 		t.Error("expected error: fewer partitions than nodes")
+	}
+}
+
+// mkDistTPCC builds the TPC-C generator the forwarding tests share:
+// partition-per-warehouse over testParts warehouses, with the remote-line and
+// invalid-item probabilities under test control (negative disables).
+func mkDistTPCC(remote, invalid float64, seed uint64) func() workload.Generator {
+	return func() workload.Generator {
+		return tpcc.MustNew(tpcc.Config{
+			Warehouses: testParts, Partitions: testParts,
+			Items: 200, CustomersPerDistrict: 30, InitialOrdersPerDistrict: 10,
+			RemoteStockProb: remote, RemotePaymentProb: -1,
+			InvalidItemProb: invalid, Seed: seed,
+		})
+	}
+}
+
+// TestTPCCForwardingMessageRounds: distributed TPC-C with cross-node
+// NewOrder lines pays exactly one forwarding exchange on top of the four
+// batch-level exchanges — at most one MsgVars per (publisher, consumer) node
+// pair per round — and the total stays independent of the batch size. This is
+// the paper's batch-constant claim extended to data-dependent workloads.
+func TestTPCCForwardingMessageRounds(t *testing.T) {
+	const nodes, nBatches = 4, 3
+	for _, f := range distFactories()[:2] {
+		t.Run(f.name, func(t *testing.T) {
+			// Abort-free so no taint rounds: per batch, 4 protocol exchanges
+			// plus the vars round. 50% remote lines saturate every node pair.
+			small := runCountingMessages(t, f, mkDistTPCC(0.5, -1, 77), nodes, nBatches, 150)
+			large := runCountingMessages(t, f, mkDistTPCC(0.5, -1, 77), nodes, nBatches, 1500)
+			if small != large {
+				t.Errorf("message rounds depend on batch size: %d msgs at batch=150, %d at batch=1500", small, large)
+			}
+			base := uint64(nBatches * 4 * (nodes - 1))
+			vars := small - base
+			if vars == 0 {
+				t.Fatal("expected a MsgVars forwarding round for remote order lines")
+			}
+			if want := uint64(nBatches * nodes * (nodes - 1)); vars > want {
+				t.Errorf("%d vars messages for %d batches exceed one per node pair per round (max %d)", vars, nBatches, want)
+			}
+		})
+	}
+}
+
+// TestSameNodeDepsEmitNoVars: with every order line home-supplied, publisher
+// and consumer always share a node, so no MsgVars may be emitted — the batch
+// cost stays at exactly the four protocol exchanges.
+func TestSameNodeDepsEmitNoVars(t *testing.T) {
+	const nodes, nBatches = 4, 3
+	for _, f := range distFactories()[:2] {
+		t.Run(f.name, func(t *testing.T) {
+			got := runCountingMessages(t, f, mkDistTPCC(-1, -1, 31), nodes, nBatches, 200)
+			if want := uint64(nBatches * 4 * (nodes - 1)); got != want {
+				t.Errorf("node-local data dependencies emitted extra messages: got %d, want %d (no MsgVars)", got, want)
+			}
+		})
+	}
+}
+
+// TestSkippedRemotePublisherTaints: when a remote publisher aborts (invalid
+// item), its consumers receive a tombstone instead of a value and the abort
+// resolves through the ordinary taint rounds — the cluster must neither
+// deadlock nor diverge from the serial reference.
+func TestSkippedRemotePublisherTaints(t *testing.T) {
+	const nBatches, batchSize = 2, 120
+	mk := mkDistTPCC(0.6, 0.3, 5)
+	want, tables := serialReference(t, mk, nBatches, batchSize)
+	for _, f := range distFactories() {
+		t.Run(f.name, func(t *testing.T) {
+			tr := cluster.NewChanTransport(3, 0)
+			defer tr.Close()
+			gen := mk()
+			eng, err := f.build(tr, gen, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			for b := 0; b < nBatches; b++ {
+				if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+					t.Fatalf("batch %d: %v", b, err)
+				}
+			}
+			if got := ClusterStateHash(eng.Stores(), tables); got != want {
+				t.Errorf("cluster state %x != serial reference %x", got, want)
+			}
+			if eng.Stats().Snap(1).UserAborts == 0 {
+				t.Error("expected invalid-item aborts")
+			}
+		})
+	}
+}
+
+// testDepGen is a minimal generator for forwarding-validation tests: its
+// batch is fixed by the test.
+type testDepGen struct {
+	batch []*txn.Txn
+}
+
+const testDepTable storage.TableID = 1
+
+func (g *testDepGen) Name() string { return "testdep" }
+func (g *testDepGen) StoreConfig(partitions int) storage.Config {
+	return storage.Config{Partitions: partitions, Tables: []storage.TableSpec{
+		{ID: testDepTable, Name: "t", ValueSize: 8},
+	}}
+}
+func (g *testDepGen) Load(s *storage.Store) error {
+	for k := storage.Key(0); k < 64; k++ {
+		s.Table(testDepTable).Insert(k, nil)
+	}
+	return nil
+}
+func (g *testDepGen) Registry() txn.Registry {
+	return txn.Registry{
+		workload.OpBaseTest: func(c *txn.FragCtx) error {
+			for _, v := range c.F.PubVars {
+				c.T.Publish(v, 7)
+			}
+			return nil
+		},
+		workload.OpBaseTest + 1: func(c *txn.FragCtx) error {
+			for _, v := range c.F.NeedVars {
+				_ = c.T.Var(v)
+			}
+			return nil
+		},
+	}
+}
+func (g *testDepGen) NextBatch(int) []*txn.Txn { return g.batch }
+
+// depTxn builds one transaction from (key, access, pub, need) fragment specs.
+func depTxn(id uint64, frags ...txn.Fragment) *txn.Txn {
+	t := &txn.Txn{ID: id, Frags: frags}
+	t.Finish()
+	return t
+}
+
+// TestForwardingValidation: the deterministic engines must reject dependency
+// shapes the forwarding round cannot execute soundly — undeclared publishers,
+// cross-node publishers that write, and cross-node publishers of records
+// written in the same batch — and accept the equivalent node-local shapes.
+func TestForwardingValidation(t *testing.T) {
+	// 4 partitions over 2 nodes: keys 0,2 -> node 0; keys 1,3 -> node 1.
+	const parts, nodes = 4, 2
+	read := func(key storage.Key, pub ...uint8) txn.Fragment {
+		return txn.Fragment{Table: testDepTable, Key: key, Access: txn.Read, Op: workload.OpBaseTest, PubVars: pub}
+	}
+	rmw := func(key storage.Key, pub ...uint8) txn.Fragment {
+		return txn.Fragment{Table: testDepTable, Key: key, Access: txn.ReadModifyWrite, Op: workload.OpBaseTest, PubVars: pub}
+	}
+	consume := func(key storage.Key, need ...uint8) txn.Fragment {
+		return txn.Fragment{Table: testDepTable, Key: key, Access: txn.Update, Op: workload.OpBaseTest + 1, NeedVars: need}
+	}
+
+	cases := []struct {
+		name    string
+		batch   []*txn.Txn
+		wantErr string // substring; empty = must succeed
+	}{
+		{
+			name:  "cross-node read publisher ok",
+			batch: []*txn.Txn{depTxn(1, read(1, 0), consume(0, 0))},
+		},
+		{
+			name:  "same-node write publisher ok",
+			batch: []*txn.Txn{depTxn(1, rmw(0, 0), consume(2, 0))},
+		},
+		{
+			name:    "undeclared publisher",
+			batch:   []*txn.Txn{depTxn(1, read(1), consume(0, 0))},
+			wantErr: "no fragment declares publishing",
+		},
+		{
+			name:    "cross-node write publisher",
+			batch:   []*txn.Txn{depTxn(1, rmw(1, 0), consume(0, 0))},
+			wantErr: "must be read-only",
+		},
+		{
+			name: "cross-node publisher record written in batch",
+			batch: []*txn.Txn{
+				depTxn(1, read(1, 0), consume(0, 0)),
+				depTxn(2, rmw(1)),
+			},
+			wantErr: "batch-constant",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := cluster.NewChanTransport(nodes, 0)
+			defer tr.Close()
+			gen := &testDepGen{batch: tc.batch}
+			eng, err := NewQueCCD(tr, gen, parts, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			for _, bt := range tc.batch {
+				if rerr := gen.Registry().Resolve(bt); rerr != nil {
+					t.Fatal(rerr)
+				}
+			}
+			err = eng.ExecBatch(gen.NextBatch(len(tc.batch)))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
 	}
 }

@@ -30,6 +30,14 @@ import (
 // have reached those sequence numbers (advancing them when the transaction
 // finishes, which for 2PC means after the decision). Partition histories
 // therefore equal batch order on every node regardless of message timing.
+//
+// Cross-participant data dependencies (a fragment consuming a variable slot
+// published on another participant) have no participant-to-participant
+// channel in the 2PC protocol; the coordinator resolves them itself by
+// executing the publishing read against its own replica and piggybacking the
+// values on MsgTxnExec (seedCrossVars). That is sound only for reads of
+// never-written tables (the coordinator's non-owned partitions hold the
+// initial load), which the engine tracks across batches.
 type HStoreD struct {
 	g *group
 
@@ -37,6 +45,11 @@ type HStoreD struct {
 	// counter; participants mirror it in node.tickets. Never reset, so
 	// batches need no boundary synchronization.
 	perPartSeq []uint64
+
+	// writtenTables records every table any dispatched fragment has ever
+	// written: the coordinator's replica of those is stale, so forwarded
+	// reads (seedCrossVars) must reject them.
+	writtenTables map[storage.TableID]bool
 
 	// recvCh carries the leader's transport messages; localCh carries the
 	// leader's own participant completions (no self-send through the
@@ -55,10 +68,11 @@ func NewHStoreD(tr cluster.Transport, gen workload.Generator, partitions, worker
 		return nil, err
 	}
 	e := &HStoreD{
-		g:          g,
-		perPartSeq: make([]uint64, partitions),
-		recvCh:     make(chan cluster.Msg, 1024),
-		localCh:    make(chan cluster.Msg, 1024),
+		g:             g,
+		perPartSeq:    make([]uint64, partitions),
+		writtenTables: make(map[storage.TableID]bool),
+		recvCh:        make(chan cluster.Msg, 1024),
+		localCh:       make(chan cluster.Msg, 1024),
 	}
 	e.participants = make([]*participant, len(g.nodes))
 	for id, n := range g.nodes {
@@ -128,8 +142,18 @@ func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
 	g := e.g
 	store := g.nodes[0].store
 	start := time.Now()
-	if err := checkNodeLocalDeps(txns, store, len(g.nodes)); err != nil {
+	if err := checkSlotRanges(txns); err != nil {
 		return err
+	}
+
+	// Record this batch's writes first: a forwarded read of a table written
+	// anywhere in the batch would race the write it cannot see.
+	for _, t := range txns {
+		for i := range t.Frags {
+			if t.Frags[i].Access.IsWrite() {
+				e.writtenTables[t.Frags[i].Table] = true
+			}
+		}
 	}
 
 	inflight := make(map[uint64]*txnCoord, len(txns))
@@ -149,14 +173,21 @@ func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
 			e.perPartSeq[p]++
 		}
 		tc := &txnCoord{votesLeft: len(owners), single: len(owners) == 1}
+		seeds, err := e.seedCrossVars(t, len(owners))
+		if err != nil {
+			return err
+		}
 		for owner, claims := range owners {
 			shadow := t
 			if !tc.single || owner != 0 {
-				shadows := localShadows([]*txn.Txn{t}, store, owner, len(g.nodes))
+				shadows := localShadows([]*txn.Txn{t}, store, owner, len(g.nodes), false)
 				shadow = shadows[0]
 			}
 			if owner == 0 {
 				tc.local = true
+				for _, u := range seeds[0] {
+					shadow.Publish(u.Slot, u.Val)
+				}
 				e.participants[0].launch(shadow, claims, tc.single, func(m cluster.Msg) {
 					e.localCh <- m
 				})
@@ -167,10 +198,12 @@ func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
 			if tc.single {
 				flag = 1
 			}
+			payload := txn.AppendShadowTxn(nil, shadow)
+			payload = txn.AppendVarUpdates(payload, seeds[owner])
 			if err := g.tr.Send(cluster.Msg{
 				Type: cluster.MsgTxnExec, From: 0, To: owner,
 				TxnID: t.ID, Flag: flag, Vals: claims,
-				Payload: txn.AppendShadowTxn(nil, shadow),
+				Payload: payload,
 			}); err != nil {
 				return err
 			}
@@ -255,9 +288,16 @@ func (e *HStoreD) followerHandle(n *node, m cluster.Msg) error {
 	p := e.participants[n.id]
 	switch m.Type {
 	case cluster.MsgTxnExec:
-		shadow, _, err := txn.DecodeShadowTxn(m.Payload)
+		shadow, off, err := txn.DecodeShadowTxn(m.Payload)
 		if err != nil {
 			return err
+		}
+		seeds, err := txn.DecodeVarUpdates(m.Payload[off:])
+		if err != nil {
+			return err
+		}
+		for _, u := range seeds {
+			shadow.Publish(u.Slot, u.Val)
 		}
 		if err := n.reg.Resolve(shadow); err != nil {
 			return err
@@ -273,6 +313,115 @@ func (e *HStoreD) followerHandle(n *node, m cluster.Msg) error {
 	default:
 		return fmt.Errorf("dist: hstore-d node %d: unexpected message type %d", n.id, m.Type)
 	}
+}
+
+// seedCrossVars resolves one multi-participant transaction's cross-node data
+// dependencies at the coordinator: for every variable slot whose declared
+// publisher (Fragment.PubVars) lands on a different participant than some
+// consumer, the coordinator executes the publishing read against its own
+// replica and returns the values grouped by destination participant, to be
+// piggybacked on MsgTxnExec. Sound only for reads of tables no transaction
+// has ever written (the replica is then the initial load everywhere); a
+// publisher that aborts seeds nothing — its own participant re-runs the
+// check and votes abort, and the dependents' garbage writes are undone by
+// the 2PC abort decision.
+func (e *HStoreD) seedCrossVars(t *txn.Txn, nOwners int) (map[int][]txn.VarUpdate, error) {
+	hasDeps := false
+	for i := range t.Frags {
+		if len(t.Frags[i].NeedVars) > 0 {
+			hasDeps = true
+			break
+		}
+	}
+	if !hasDeps || nOwners == 1 {
+		return nil, nil
+	}
+	store := e.g.nodes[0].store
+	nodes := len(e.g.nodes)
+	nodeOf := func(f *txn.Fragment) int {
+		return cluster.PartitionOwner(store.PartitionOf(f.Key), nodes)
+	}
+	var pub [txn.MaxVars]int
+	for i := range pub {
+		pub[i] = -1
+	}
+	for i := range t.Frags {
+		for _, v := range t.Frags[i].PubVars {
+			pub[v] = i
+		}
+	}
+	// destOf[v]: participants needing slot v seeded (consumer elsewhere than
+	// the publisher).
+	var destOf [txn.MaxVars]uint64
+	needed := false
+	for i := range t.Frags {
+		f := &t.Frags[i]
+		consumer := -1
+		for _, v := range f.NeedVars {
+			pi := pub[v]
+			if pi < 0 {
+				return nil, fmt.Errorf("dist: txn %d frag %d: slot %d consumed but no fragment declares publishing it (PubVars)", t.ID, i, v)
+			}
+			p := &t.Frags[pi]
+			if consumer < 0 {
+				consumer = nodeOf(f)
+			}
+			po := nodeOf(p)
+			if po == consumer {
+				continue
+			}
+			if p.Access != txn.Read || len(p.NeedVars) > 0 {
+				return nil, fmt.Errorf("dist: txn %d: slot %d crosses participants but its publisher (frag %d) is not a dependency-free read", t.ID, v, pi)
+			}
+			if e.writtenTables[p.Table] {
+				return nil, fmt.Errorf("dist: txn %d: slot %d crosses participants but its publisher's table %d has been written; the 2PC coordinator cannot forward non-static reads", t.ID, v, p.Table)
+			}
+			destOf[v] |= 1 << uint(consumer)
+			needed = true
+		}
+	}
+	if !needed {
+		return nil, nil
+	}
+	// Execute each needed publisher once against the coordinator replica,
+	// publishing into the original transaction's cells (participant shadows
+	// carry their own cells, so this does not leak into their execution).
+	executed := make(map[int]bool)
+	for v := range destOf {
+		if destOf[v] == 0 {
+			continue
+		}
+		pi := pub[v]
+		if executed[pi] {
+			continue
+		}
+		executed[pi] = true
+		f := &t.Frags[pi]
+		rec := store.Table(f.Table).Get(f.Key)
+		if rec == nil {
+			return nil, fmt.Errorf("dist: coordinator: missing record table=%d key=%d (txn %d frag %d)", f.Table, f.Key, t.ID, f.Seq)
+		}
+		ctx := txn.FragCtx{T: t, F: f, Val: rec.Val}
+		if err := f.Logic(&ctx); err != nil {
+			if f.Abortable && err == txn.ErrAbort {
+				continue // no seed; the publisher's participant votes abort
+			}
+			return nil, fmt.Errorf("dist: txn %d frag %d logic: %w", t.ID, f.Seq, err)
+		}
+	}
+	seeds := make(map[int][]txn.VarUpdate)
+	for v := range destOf {
+		if destOf[v] == 0 || !t.VarReady(uint8(v)) {
+			continue
+		}
+		u := txn.VarUpdate{Pos: t.BatchPos, Slot: uint8(v), Val: t.Var(uint8(v))}
+		for d := 0; d < nodes; d++ {
+			if destOf[v]&(1<<uint(d)) != 0 {
+				seeds[d] = append(seeds[d], u)
+			}
+		}
+	}
+	return seeds, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -63,7 +63,10 @@ func (e *QueCCD) ExecBatch(txns []*txn.Txn) error {
 	g := e.g
 	leader := g.nodes[0]
 	start := time.Now()
-	if err := checkNodeLocalDeps(txns, leader.store, len(g.nodes)); err != nil {
+	if err := g.usable(); err != nil {
+		return err
+	}
+	if err := checkForwarding(txns, leader.store, len(g.nodes)); err != nil {
 		return err
 	}
 	if err := checkVerdictSafe(txns); err != nil {
@@ -71,9 +74,9 @@ func (e *QueCCD) ExecBatch(txns []*txn.Txn) error {
 	}
 
 	// Planning phase: one PlannedBatch, split into per-node queue shipments
-	// in a single pass over the planned queues. Planning time is mirrored
-	// into the cluster stats (the private planner engine's stats are not
-	// otherwise visible).
+	// (with forwarded-variable routes attached) in a single pass over the
+	// planned queues. Planning time is mirrored into the cluster stats (the
+	// private planner engine's stats are not otherwise visible).
 	planStart := time.Now()
 	pb, err := e.planner.Plan(txns)
 	if err != nil {
@@ -104,7 +107,9 @@ func (e *QueCCD) ExecBatch(txns []*txn.Txn) error {
 	return nil
 }
 
-// followerHandle processes one protocol message on a follower node.
+// followerHandle processes one protocol message on a follower node. Round
+// execution runs on a separate goroutine (runFollowerRound) so this loop
+// stays free to apply forwarded variables mid-round.
 func (e *QueCCD) followerHandle(n *node, m cluster.Msg) error {
 	if m.Type == cluster.MsgQueues {
 		shadows, _, err := txn.DecodeShadowBatch(m.Payload)
@@ -116,8 +121,13 @@ func (e *QueCCD) followerHandle(n *node, m cluster.Msg) error {
 				return err
 			}
 		}
+		n.execWG.Wait() // previous batch fully finished
 		n.install(shadows, int(m.Flag))
-		return e.g.followerRound0(n, m.Batch, n.runRound)
+		if err := n.startRound(m.Batch, 0); err != nil {
+			return err
+		}
+		e.g.runFollowerRound(n, m.Batch, cluster.MsgBatchDone, make([]bool, n.batchN), n.runRound)
+		return nil
 	}
 	handled, err := e.g.followerVerdictMsg(n, m, n.runRound)
 	if !handled {

@@ -12,17 +12,26 @@ import (
 //
 //	txn:  id u64 | batchPos u32 | profile u8 | nFrags u16 | frags...
 //	frag: table u8 | key u64 | access u8 | abortable u8 | op u16 |
-//	      nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each)
+//	      nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each) |
+//	      nPub u8 | pubVars (u8 each)
 //
 // Fragment logic is not serialized; receivers resolve opcodes through their
 // local Registry (Registry.Resolve).
 
 // appendTxnWith encodes the transaction header and its fragments; withSeq
-// selects the shadow layout (explicit per-fragment sequence numbers).
+// selects the shadow layout (explicit per-fragment sequence numbers and the
+// forwarded-variable routing table).
 func appendTxnWith(buf []byte, t *Txn, withSeq bool) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, t.ID)
 	buf = binary.LittleEndian.AppendUint32(buf, t.BatchPos)
 	buf = append(buf, t.Profile)
+	if withSeq {
+		buf = append(buf, byte(len(t.FwdVars)))
+		for _, r := range t.FwdVars {
+			buf = append(buf, r.Slot)
+			buf = binary.LittleEndian.AppendUint64(buf, r.Dest)
+		}
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Frags)))
 	for i := range t.Frags {
 		f := &t.Frags[i]
@@ -39,6 +48,8 @@ func appendTxnWith(buf []byte, t *Txn, withSeq bool) []byte {
 		}
 		buf = append(buf, byte(len(f.NeedVars)))
 		buf = append(buf, f.NeedVars...)
+		buf = append(buf, byte(len(f.PubVars)))
+		buf = append(buf, f.PubVars...)
 	}
 	return buf
 }
@@ -53,8 +64,8 @@ func boolByte(b bool) byte {
 // decodeTxnWith decodes one transaction in either layout. The caller is
 // responsible for Finish/FinishShadow and logic resolution.
 func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
-	const hdr = 8 + 4 + 1 + 2
-	if len(buf) < hdr {
+	const hdr = 8 + 4 + 1
+	if len(buf) < hdr+2 {
 		return nil, 0, fmt.Errorf("txn: short buffer (%d bytes) decoding header", len(buf))
 	}
 	t := &Txn{
@@ -62,8 +73,24 @@ func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 		BatchPos: binary.LittleEndian.Uint32(buf[8:]),
 		Profile:  buf[12],
 	}
-	n := int(binary.LittleEndian.Uint16(buf[13:]))
 	off := hdr
+	if withSeq {
+		nFwd := int(buf[off])
+		off++
+		if len(buf[off:]) < nFwd*9+2 {
+			return nil, 0, fmt.Errorf("txn: short buffer decoding fwdvars")
+		}
+		if nFwd > 0 {
+			t.FwdVars = make([]VarRoute, nFwd)
+			for i := range t.FwdVars {
+				t.FwdVars[i].Slot = buf[off]
+				t.FwdVars[i].Dest = binary.LittleEndian.Uint64(buf[off+1:])
+				off += 9
+			}
+		}
+	}
+	n := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
 	fragHdr := 1 + 8 + 1 + 1 + 2 + 1
 	if withSeq {
 		fragHdr++
@@ -102,13 +129,23 @@ func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 		}
 		nNeed := int(buf[off])
 		off++
-		if len(buf[off:]) < nNeed {
+		if len(buf[off:]) < nNeed+1 {
 			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d needvars", i)
 		}
 		if nNeed > 0 {
 			f.NeedVars = make([]uint8, nNeed)
 			copy(f.NeedVars, buf[off:off+nNeed])
 			off += nNeed
+		}
+		nPub := int(buf[off])
+		off++
+		if len(buf[off:]) < nPub {
+			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d pubvars", i)
+		}
+		if nPub > 0 {
+			f.PubVars = make([]uint8, nPub)
+			copy(f.PubVars, buf[off:off+nPub])
+			off += nPub
 		}
 	}
 	return t, off, nil
@@ -132,11 +169,15 @@ func DecodeTxn(buf []byte) (*Txn, int, error) {
 // holds the subset of a transaction's fragments planned into one node's
 // partitions, so — unlike the full-transaction layout above — fragment
 // sequence numbers are explicit (they carry the global priority and cannot be
-// recovered from position). Layout (little endian):
+// recovered from position), and the forwarded-variable routing table rides
+// along so the receiving node knows which published slots feed remote
+// consumers. Layout (little endian):
 //
-//	shadow: id u64 | batchPos u32 | profile u8 | nFrags u16 | sfrags...
+//	shadow: id u64 | batchPos u32 | profile u8 |
+//	        nFwd u8 | (slot u8, destMask u64) each | nFrags u16 | sfrags...
 //	sfrag:  seq u8 | table u8 | key u64 | access u8 | abortable u8 |
-//	        op u16 | nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each)
+//	        op u16 | nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each) |
+//	        nPub u8 | pubVars (u8 each)
 
 // AppendShadowTxn appends the wire encoding of a shadow transaction
 // (typically built by core.PlannedBatch.NodePlan). Fragment logic is not
@@ -192,6 +233,52 @@ func AppendBatch(buf []byte, txns []*Txn) []byte {
 		buf = AppendTxn(buf, t)
 	}
 	return buf
+}
+
+// VarUpdate is one forwarded data-dependency value: the transaction at batch
+// position Pos resolved variable slot Slot, either with a published value
+// (Dead=false, Val carries it) or with a tombstone (Dead=true: the publishing
+// fragment aborted, so dependent fragments must skip instead of waiting).
+// A MsgVars payload is a count-prefixed list of these.
+type VarUpdate struct {
+	Pos  uint32
+	Slot uint8
+	Dead bool
+	Val  uint64
+}
+
+// AppendVarUpdates appends the wire encoding of a MsgVars payload to buf.
+// Layout (little endian): count u32 | (pos u32, slot u8, dead u8, val u64)*.
+func AppendVarUpdates(buf []byte, ups []VarUpdate) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ups)))
+	for _, u := range ups {
+		buf = binary.LittleEndian.AppendUint32(buf, u.Pos)
+		buf = append(buf, u.Slot, boolByte(u.Dead))
+		buf = binary.LittleEndian.AppendUint64(buf, u.Val)
+	}
+	return buf
+}
+
+// DecodeVarUpdates decodes a MsgVars payload.
+func DecodeVarUpdates(buf []byte) ([]VarUpdate, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("txn: short buffer decoding var updates header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	const entry = 4 + 1 + 1 + 8
+	if len(buf) < 4+n*entry {
+		return nil, fmt.Errorf("txn: short buffer decoding %d var updates", n)
+	}
+	ups := make([]VarUpdate, n)
+	off := 4
+	for i := range ups {
+		ups[i].Pos = binary.LittleEndian.Uint32(buf[off:])
+		ups[i].Slot = buf[off+4]
+		ups[i].Dead = buf[off+5] == 1
+		ups[i].Val = binary.LittleEndian.Uint64(buf[off+6:])
+		off += entry
+	}
+	return ups, nil
 }
 
 // DecodeBatch decodes a count-prefixed batch, returning the transactions and

@@ -155,8 +155,18 @@ type Fragment struct {
 	// NeedVars lists transaction variable slots that must be published
 	// before this fragment can run (data dependencies, Table 1).
 	NeedVars []uint8
+	// PubVars declares the variable slots this fragment's logic publishes
+	// when it completes without aborting. The declaration is what lets the
+	// distributed planners route data dependencies: a slot consumed on a
+	// node other than its publisher's becomes a forwarded variable
+	// (Txn.FwdVars) shipped in a MsgVars round.
+	PubVars []uint8
 	// Logic is the resolved function for Op (cached; not serialized).
 	Logic FragmentFunc `json:"-"`
+	// Hoisted marks a fragment the distributed engines execute in the
+	// pre-queue publisher pass of each round instead of in queue order
+	// (set at batch installation; not serialized).
+	Hoisted bool `json:"-"`
 }
 
 // Priority returns the fragment's global deterministic priority within its
@@ -166,10 +176,48 @@ func (f *Fragment) Priority() uint64 {
 	return uint64(f.Txn.BatchPos)<<16 | uint64(f.Seq)
 }
 
-// varSlot is a publish-once cell for data-dependency values.
+// varSlot is a publish-once cell for data-dependency values. ready moves
+// 0 -> varPublished when a value lands, or 0 -> varDead when the publishing
+// fragment aborted and the value will never exist (so waiters can stop
+// spinning deterministically instead of deadlocking on a skipped publisher).
 type varSlot struct {
 	val   atomic.Uint64
 	ready atomic.Uint32
+}
+
+const (
+	varUnset     uint32 = 0
+	varPublished uint32 = 1
+	varDead      uint32 = 2
+)
+
+// VarRoute records that one published variable slot must be forwarded to a
+// set of remote nodes (Dest is a bitmask of node ids; node n is bit 1<<n).
+// Routes are computed by the distributed planners from PubVars/NeedVars
+// declarations and shipped with shadow transactions so the publishing node
+// knows which slots feed remote consumers.
+type VarRoute struct {
+	Slot uint8
+	Dest uint64
+}
+
+// ExtractRoutes builds one node's forwarding routes from a transaction's
+// accumulated dependency topology: pub[v] is the node the slot's declared
+// publisher was planned onto (-1 if none), need[v] the bitmask of nodes
+// consuming it. Shared by every planner that derives routes (core.NodePlans
+// for shipped plans, Calvin-style nodes from the replicated batch) so the
+// two deterministic engines cannot drift on routing semantics.
+func ExtractRoutes(pub *[MaxVars]int, need *[MaxVars]uint64, node int) []VarRoute {
+	var routes []VarRoute
+	for v := range pub {
+		if pub[v] != node {
+			continue
+		}
+		if dest := need[v] &^ (1 << uint(node)); dest != 0 {
+			routes = append(routes, VarRoute{Slot: uint8(v), Dest: dest})
+		}
+	}
+	return routes
 }
 
 // Txn is a transaction instance: its fragments plus the runtime state shared
@@ -184,6 +232,11 @@ type Txn struct {
 	Profile uint8
 	// Frags are the transaction's fragments in sequence order.
 	Frags []Fragment
+	// FwdVars lists the variable slots this (shadow) transaction publishes
+	// for consumers on other nodes, with their destination node sets. Only
+	// meaningful on shadow transactions built by the distributed planners;
+	// serialized in the shadow wire layout.
+	FwdVars []VarRoute
 
 	vars    [MaxVars]varSlot
 	aborted atomic.Bool
@@ -243,13 +296,25 @@ func (t *Txn) Reset() {
 func (t *Txn) Publish(i uint8, v uint64) {
 	s := &t.vars[i]
 	s.val.Store(v)
-	if !s.ready.CompareAndSwap(0, 1) {
+	if !s.ready.CompareAndSwap(varUnset, varPublished) {
 		panic(fmt.Sprintf("txn %d: variable %d published twice", t.ID, i))
 	}
 }
 
+// KillVar marks slot i dead: its publishing fragment aborted, so the value
+// will never be published this round. Waiters observe VarDead and skip their
+// fragment instead of spinning forever.
+func (t *Txn) KillVar(i uint8) {
+	if !t.vars[i].ready.CompareAndSwap(varUnset, varDead) {
+		panic(fmt.Sprintf("txn %d: variable %d killed after resolving", t.ID, i))
+	}
+}
+
 // VarReady reports whether slot i has been published.
-func (t *Txn) VarReady(i uint8) bool { return t.vars[i].ready.Load() == 1 }
+func (t *Txn) VarReady(i uint8) bool { return t.vars[i].ready.Load() == varPublished }
+
+// VarDead reports whether slot i was killed (publisher aborted).
+func (t *Txn) VarDead(i uint8) bool { return t.vars[i].ready.Load() == varDead }
 
 // Var returns the value of slot i; it must have been published.
 func (t *Txn) Var(i uint8) uint64 { return t.vars[i].val.Load() }
@@ -341,6 +406,23 @@ func Validate(t *Txn) error {
 			if v >= MaxVars {
 				return fmt.Errorf("txn %d frag %d: NeedVars slot %d out of range", t.ID, i, v)
 			}
+		}
+		for _, v := range f.PubVars {
+			if v >= MaxVars {
+				return fmt.Errorf("txn %d frag %d: PubVars slot %d out of range", t.ID, i, v)
+			}
+		}
+	}
+	var publisher [MaxVars]int
+	for i := range publisher {
+		publisher[i] = -1
+	}
+	for i := range t.Frags {
+		for _, v := range t.Frags[i].PubVars {
+			if publisher[v] >= 0 {
+				return fmt.Errorf("txn %d: slot %d declared published by fragments %d and %d", t.ID, v, publisher[v], i)
+			}
+			publisher[v] = i
 		}
 	}
 	return nil

@@ -214,11 +214,13 @@ func TestAccessAndDepStrings(t *testing.T) {
 
 // TestShadowCodecRoundTrip: the shadow encoding must preserve explicit
 // sequence numbers and batch positions (they carry the global priority of
-// shipped queue fragments) and survive truncation checks.
+// shipped queue fragments), published-slot declarations and forwarding
+// routes, and survive truncation checks.
 func TestShadowCodecRoundTrip(t *testing.T) {
 	shadow := &Txn{ID: 42, BatchPos: 1337, Profile: 2}
+	shadow.FwdVars = []VarRoute{{Slot: 4, Dest: 0b1010}}
 	shadow.Frags = []Fragment{
-		{Seq: 3, Table: 1, Key: 10, Access: Read, Abortable: true, Op: 0x0103, Args: []uint64{9}},
+		{Seq: 3, Table: 1, Key: 10, Access: Read, Abortable: true, Op: 0x0103, Args: []uint64{9}, PubVars: []uint8{4}},
 		{Seq: 7, Table: 2, Key: 20, Access: ReadModifyWrite, Op: 0x0102, Args: []uint64{1, 2}, NeedVars: []uint8{0, 4}},
 	}
 	shadow.FinishShadow()
@@ -243,9 +245,75 @@ func TestShadowCodecRoundTrip(t *testing.T) {
 	if len(g.Frags[1].NeedVars) != 2 || g.Frags[1].NeedVars[1] != 4 {
 		t.Errorf("needvars not preserved: %v", g.Frags[1].NeedVars)
 	}
+	if len(g.Frags[0].PubVars) != 1 || g.Frags[0].PubVars[0] != 4 {
+		t.Errorf("pubvars not preserved: %v", g.Frags[0].PubVars)
+	}
+	if len(g.FwdVars) != 1 || g.FwdVars[0] != (VarRoute{Slot: 4, Dest: 0b1010}) {
+		t.Errorf("forwarding routes not preserved: %v", g.FwdVars)
+	}
 	for cut := 5; cut < len(buf); cut++ {
 		if _, _, err := DecodeShadowBatch(buf[:cut]); err == nil {
 			t.Fatalf("truncation at %d not detected", cut)
 		}
+	}
+}
+
+// TestKillVarReleasesWaiters: a killed slot reads as dead (not ready) so a
+// consumer can skip deterministically; Reset clears tombstones like values.
+func TestKillVarReleasesWaiters(t *testing.T) {
+	tx := &Txn{Frags: []Fragment{{Table: 1, Key: 1, Access: Read, Abortable: true, PubVars: []uint8{2}}}}
+	tx.Finish()
+	tx.KillVar(2)
+	if tx.VarReady(2) || !tx.VarDead(2) {
+		t.Error("killed slot must be dead, not ready")
+	}
+	tx.Reset()
+	if tx.VarDead(2) || tx.VarReady(2) {
+		t.Error("reset must clear tombstones")
+	}
+	tx.Publish(2, 9)
+	defer func() {
+		if recover() == nil {
+			t.Error("killing a published slot did not panic")
+		}
+	}()
+	tx.KillVar(2)
+}
+
+// TestVarUpdatesCodecRoundTrip: the MsgVars payload codec is the identity on
+// values and tombstones and detects truncation.
+func TestVarUpdatesCodecRoundTrip(t *testing.T) {
+	ups := []VarUpdate{
+		{Pos: 7, Slot: 3, Val: 123456789},
+		{Pos: 9, Slot: 0, Dead: true},
+	}
+	buf := AppendVarUpdates(nil, ups)
+	got, err := DecodeVarUpdates(buf)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("decode: n=%d err=%v", len(got), err)
+	}
+	for i := range ups {
+		if got[i] != ups[i] {
+			t.Errorf("entry %d: got %+v want %+v", i, got[i], ups[i])
+		}
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeVarUpdates(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+// TestValidateRejectsDuplicatePublishers: two fragments declaring the same
+// published slot is a workload bug (the publish-once cell would panic at
+// runtime; the distributed planners could not route the slot).
+func TestValidateRejectsDuplicatePublishers(t *testing.T) {
+	tx := &Txn{Frags: []Fragment{
+		{Table: 1, Key: 1, Access: Read, PubVars: []uint8{5}},
+		{Table: 1, Key: 2, Access: Read, PubVars: []uint8{5}},
+	}}
+	tx.Finish()
+	if err := Validate(tx); err == nil {
+		t.Error("duplicate publisher declaration accepted")
 	}
 }

@@ -26,8 +26,12 @@
 //     model has no delete operation).
 //   - Transactions only read orders created in earlier batches, so
 //     concurrent execution within a batch never chases just-inserted rows.
-//   - The read-only ITEM table is replicated per warehouse so item reads
-//     stay partition-local (standard deterministic-store practice).
+//   - The read-only ITEM table is replicated per warehouse (identical rows
+//     per item id, standard deterministic-store practice). NewOrder reads
+//     each line's price from the supplying warehouse's replica, so a remote
+//     order line is a genuine cross-partition — and, distributed, cross-node
+//     — data dependency (price published at the supplier, consumed at the
+//     home warehouse's order-line insert).
 //
 // Partitioning: every key encodes its warehouse as key % W, and the
 // workload requires Partitions == Warehouses (partition-per-warehouse, the
@@ -143,13 +147,16 @@ type Config struct {
 	// reasonable — initial orders only seed Delivery/OrderStatus).
 	InitialOrdersPerDistrict int
 	// RemoteStockProb is the probability an order line's supplying
-	// warehouse is remote (spec: 0.01).
+	// warehouse is remote (spec: 0.01). A remote line reads the supplier's
+	// ITEM replica and updates its STOCK row, so on a cluster it carries a
+	// cross-node data dependency. Set negative to disable remote lines
+	// (zero selects the spec default).
 	RemoteStockProb float64
 	// RemotePaymentProb is the probability Payment pays a remote customer
-	// (spec: 0.15).
+	// (spec: 0.15). Set negative to disable.
 	RemotePaymentProb float64
 	// InvalidItemProb is the probability a NewOrder contains an invalid
-	// item and aborts (spec: 0.01).
+	// item and aborts (spec: 0.01). Set negative to disable.
 	InvalidItemProb float64
 	// Seed makes the stream reproducible.
 	Seed uint64
@@ -329,6 +336,19 @@ func (g *Workload) Load(s *storage.Store) error {
 	load := workload.NewRNG(cfg.Seed + 0x10ad)
 	var buf [256]byte
 
+	// Item catalog: drawn once per item id so every warehouse's ITEM replica
+	// is bit-identical — a read of any replica (NewOrder reads the supplying
+	// warehouse's) observes the same row, as a replicated table requires.
+	type itemRow struct{ price, imID, dataHash uint64 }
+	items := make([]itemRow, cfg.Items+1)
+	for i := 1; i <= cfg.Items; i++ {
+		items[i] = itemRow{
+			price:    100 + load.Uint64()%9901, // 1.00..100.00
+			imID:     1 + load.Uint64()%10000,
+			dataHash: load.Uint64(),
+		}
+	}
+
 	for w := 1; w <= cfg.Warehouses; w++ {
 		// Warehouse: tax 0..20% in basis points.
 		v := buf[:warehouseSize]
@@ -339,13 +359,13 @@ func (g *Workload) Load(s *storage.Store) error {
 			return fmt.Errorf("tpcc: duplicate warehouse %d", w)
 		}
 
-		// Items (replicated per warehouse) + stock.
+		// Item replica + per-warehouse stock.
 		for i := 1; i <= cfg.Items; i++ {
 			v = buf[:itemSize]
 			clear(v)
-			putU64(v, offIPrice, 100+load.Uint64()%9901) // 1.00..100.00
-			putU64(v, offIImID, 1+load.Uint64()%10000)
-			putU64(v, offIDataHash, load.Uint64())
+			putU64(v, offIPrice, items[i].price)
+			putU64(v, offIImID, items[i].imID)
+			putU64(v, offIDataHash, items[i].dataHash)
 			s.Table(TableItem).Insert(g.keyItem(w, i), v)
 
 			v = buf[:stockSize]

@@ -304,6 +304,11 @@ func (g *Workload) newOrder() *txn.Txn {
 	t := &txn.Txn{}
 	frags := make([]txn.Fragment, 0, 3+3*olCnt+3)
 	// Abortable item reads first (conservative-execution ordering rule).
+	// Each line reads its *supplying* warehouse's ITEM replica (replicas are
+	// identical, so the price is the same either way): a remote order line
+	// therefore publishes its price from the supplier's partition — on a
+	// cluster, from the supplier's node — which is exactly the cross-node
+	// data dependency the distributed engines' MsgVars round forwards.
 	for i, ln := range lines {
 		slot := uint64(3 + i)
 		inv := uint64(0)
@@ -311,14 +316,15 @@ func (g *Workload) newOrder() *txn.Txn {
 			inv = 1
 		}
 		frags = append(frags, txn.Fragment{
-			Table: TableItem, Key: g.keyItem(w, ln.item), Access: txn.Read,
+			Table: TableItem, Key: g.keyItem(ln.supplyW, ln.item), Access: txn.Read,
 			Abortable: true, Op: OpItemRead, Args: []uint64{inv, slot},
+			PubVars: []uint8{uint8(slot)},
 		})
 	}
 	frags = append(frags,
-		txn.Fragment{Table: TableWarehouse, Key: g.keyWarehouse(w), Access: txn.Read, Op: OpWarehouseTax},
-		txn.Fragment{Table: TableCustomer, Key: g.keyCustomer(w, d, c), Access: txn.Read, Op: OpCustomerDiscount},
-		txn.Fragment{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.ReadModifyWrite, Op: OpDistrictNewOrder},
+		txn.Fragment{Table: TableWarehouse, Key: g.keyWarehouse(w), Access: txn.Read, Op: OpWarehouseTax, PubVars: []uint8{0}},
+		txn.Fragment{Table: TableCustomer, Key: g.keyCustomer(w, d, c), Access: txn.Read, Op: OpCustomerDiscount, PubVars: []uint8{2}},
+		txn.Fragment{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.ReadModifyWrite, Op: OpDistrictNewOrder, PubVars: []uint8{1}},
 	)
 	for _, ln := range lines {
 		remote := uint64(0)
@@ -481,7 +487,7 @@ func (g *Workload) delivery() *txn.Txn {
 		slot := uint64(3 + ol - 1)
 		frags = append(frags, txn.Fragment{
 			Table: TableOrderLine, Key: g.keyOrderLine(w, d, oid, ol), Access: txn.ReadModifyWrite,
-			Op: OpOrderLineDeliver, Args: []uint64{now, slot},
+			Op: OpOrderLineDeliver, Args: []uint64{now, slot}, PubVars: []uint8{uint8(slot)},
 		})
 	}
 	needs := make([]uint8, olCnt)
