@@ -20,13 +20,15 @@ import (
 // qotpbench CLI exposes larger scales for real measurements.
 var benchScale = bench.Scale{Batches: 3, BatchSize: 1000, YCSBRecs: 1 << 14, Threads: 4}
 
-// runSpecs executes each named spec as a sub-benchmark reporting txns/s.
+// runSpecs executes each named spec as a sub-benchmark reporting txns/s and
+// allocs/txn (the hot-path allocation budget; regressions show up directly in
+// `go test -bench=. -benchmem` output).
 func runSpecs(b *testing.B, specs []bench.NamedSpec) {
 	b.Helper()
 	for _, ns := range specs {
 		b.Run(ns.Name, func(b *testing.B) {
-			var committed uint64
-			var elapsed float64
+			var committed, processed uint64
+			var elapsed, allocs float64
 			for i := 0; i < b.N; i++ {
 				r, err := bench.Run(ns.Spec)
 				if err != nil {
@@ -34,9 +36,15 @@ func runSpecs(b *testing.B, specs []bench.NamedSpec) {
 				}
 				committed += r.Snapshot.Committed
 				elapsed += r.Snapshot.Elapsed.Seconds()
+				n := r.Snapshot.Committed + r.Snapshot.UserAborts
+				processed += n
+				allocs += r.AllocsPerTxn * float64(n)
 			}
 			if elapsed > 0 {
 				b.ReportMetric(float64(committed)/elapsed, "txns/s")
+			}
+			if processed > 0 {
+				b.ReportMetric(allocs/float64(processed), "allocs/txn")
 			}
 		})
 	}
@@ -91,6 +99,10 @@ func BenchmarkE11_Latency(b *testing.B) { runSpecs(b, findExp(b, "E11").Specs) }
 // cost of 2PC under injected network latency.
 func BenchmarkE12_DistScaling(b *testing.B) { runSpecs(b, findExp(b, "E12").Specs) }
 
+// BenchmarkE14_Pipeline — pipelined vs serial batch processing plus the
+// arena-allocation ablation (compare the allocs/txn metric across drivers).
+func BenchmarkE14_Pipeline(b *testing.B) { runSpecs(b, findExp(b, "E14").Specs) }
+
 // BenchmarkPlanningVsExecution profiles the two phases of the queue engine
 // (an ablation of the paper's Figure 1 pipeline).
 func BenchmarkPlanningVsExecution(b *testing.B) {
@@ -129,8 +141,8 @@ func BenchmarkEngineMicro(b *testing.B) {
 		spec.YCSB.ReadRatio = 0.5
 		spec.YCSB.Seed = 9
 		b.Run(engine, func(b *testing.B) {
-			var committed uint64
-			var elapsed float64
+			var committed, processed uint64
+			var elapsed, allocs float64
 			for i := 0; i < b.N; i++ {
 				r, err := bench.Run(spec)
 				if err != nil {
@@ -138,9 +150,15 @@ func BenchmarkEngineMicro(b *testing.B) {
 				}
 				committed += r.Snapshot.Committed
 				elapsed += r.Snapshot.Elapsed.Seconds()
+				n := r.Snapshot.Committed + r.Snapshot.UserAborts
+				processed += n
+				allocs += r.AllocsPerTxn * float64(n)
 			}
 			if elapsed > 0 {
 				b.ReportMetric(float64(committed)/elapsed, "txns/s")
+			}
+			if processed > 0 {
+				b.ReportMetric(allocs/float64(processed), "allocs/txn")
 			}
 		})
 	}

@@ -1,13 +1,16 @@
-// Command qotpbench runs the paper-reproduction experiments (E1–E13, mapping
+// Command qotpbench runs the paper-reproduction experiments (E1–E14, mapping
 // to Table 2 and the extended figures — see DESIGN.md §6) and prints
-// paper-style result tables.
+// paper-style result tables. With -json it additionally writes a
+// machine-readable report; committed as BENCH_*.json files, those accumulate
+// the repository's performance trajectory (CI's bench-smoke job seeds it).
 //
 // Usage:
 //
 //	qotpbench -list
 //	qotpbench -experiment E3
-//	qotpbench -experiment E13   # distributed TPC-C with cross-node deps
+//	qotpbench -experiment E14 -json BENCH_pipeline.json
 //	qotpbench -all -scale 2
+//	qotpbench -experiment E14 -smoke -json out.json   # CI-sized run
 package main
 
 import (
@@ -15,23 +18,47 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/exploratory-systems/qotp/internal/bench"
 )
 
 func main() {
 	var (
-		expID = flag.String("experiment", "", "experiment id to run (E1..E13)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		scale = flag.Int("scale", 1, "workload scale multiplier (batches x batch size)")
+		expID    = flag.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E14)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.Int("scale", 1, "workload scale multiplier (batches x batch size)")
+		smoke    = flag.Bool("smoke", false, "tiny CI-sized scale (overrides -scale)")
+		jsonPath = flag.String("json", "", "also write a machine-readable report to this file")
+		note     = flag.String("note", "", "free-form note recorded in the JSON report (e.g. machine caveats)")
 	)
 	flag.Parse()
 
 	sc := bench.DefaultScale
 	sc.BatchSize *= *scale
+	if *smoke {
+		sc = bench.SmokeScale
+	}
 	if sc.Threads > runtime.GOMAXPROCS(0)*4 {
 		sc.Threads = runtime.GOMAXPROCS(0) * 4
+	}
+
+	var report *bench.JSONReport
+	if *jsonPath != "" {
+		report = bench.NewJSONReport(sc)
+		report.Note = *note
+	}
+	runOne := func(e bench.Experiment) {
+		table, results, err := bench.RunExperiment(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qotpbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		if report != nil {
+			report.Add(e, results)
+		}
 	}
 
 	switch {
@@ -39,29 +66,30 @@ func main() {
 		for _, e := range bench.Experiments(sc) {
 			fmt.Printf("%-4s %s\n     expectation: %s\n", e.ID, e.Artifact, e.Expect)
 		}
+		return
 	case *all:
 		for _, e := range bench.Experiments(sc) {
-			report, _, err := bench.RunExperiment(e)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "qotpbench: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-			fmt.Println(report)
+			runOne(e)
 		}
 	case *expID != "":
-		e, err := bench.Find(*expID, sc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "qotpbench:", err)
-			os.Exit(1)
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := bench.Find(strings.TrimSpace(id), sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qotpbench:", err)
+				os.Exit(1)
+			}
+			runOne(e)
 		}
-		report, _, err := bench.RunExperiment(e)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qotpbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Println(report)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if report != nil {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "qotpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

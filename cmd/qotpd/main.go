@@ -169,6 +169,14 @@ func (f *fanTransport) Messages() uint64 {
 	return n
 }
 
+func (f *fanTransport) Bytes() uint64 {
+	var n uint64
+	for _, tr := range f.transports {
+		n += tr.Bytes()
+	}
+	return n
+}
+
 func (f *fanTransport) Close() {
 	for _, tr := range f.transports {
 		tr.Close()

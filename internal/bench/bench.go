@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/calvin"
@@ -21,6 +22,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/tictoc"
 	"github.com/exploratory-systems/qotp/internal/twopl"
+	"github.com/exploratory-systems/qotp/internal/txn"
 	"github.com/exploratory-systems/qotp/internal/workload"
 	"github.com/exploratory-systems/qotp/internal/workload/bank"
 	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
@@ -29,9 +31,10 @@ import (
 
 // Spec declares one benchmark run.
 type Spec struct {
-	// Engine selects the protocol: quecc, quecc-cons, quecc-rc, hstore,
-	// calvin, 2pl-nowait, 2pl-waitdie, silo, tictoc, mvto, quecc-d,
-	// calvin-d, hstore-d.
+	// Engine selects the protocol: quecc, quecc-cons, quecc-rc, quecc-pipe,
+	// hstore, calvin, 2pl-nowait, 2pl-waitdie, silo, tictoc, mvto, quecc-d,
+	// calvin-d, hstore-d. quecc-pipe is the queue engine with the pipelined
+	// Submit/Drain driver (planning of batch k+1 overlaps execution of k).
 	Engine string
 	// Workload selects the generator: ycsb, tpcc, bank.
 	Workload string
@@ -56,6 +59,11 @@ type Spec struct {
 	// PerHopLatency injected per message.
 	Nodes         int
 	PerHopLatency time.Duration
+	// NoArena disables arena-backed transaction generation, restoring the
+	// pre-arena hot path (one heap allocation per txn/fragment-slice/arg
+	// list). Centralized runs use arenas by default; this knob exists so the
+	// allocation experiments (E14) can measure the old behavior.
+	NoArena bool
 }
 
 func (s *Spec) normalize() error {
@@ -92,6 +100,14 @@ type Result struct {
 	Spec     Spec
 	Engine   string
 	Snapshot metrics.Snapshot
+	// AllocsPerTxn is the heap allocations per processed transaction over
+	// the measured window (runtime mallocs delta / (committed + aborted)) —
+	// the hot-path allocation budget the arena/pipeline work drives down.
+	AllocsPerTxn float64
+	// BytesPerMsg is the mean network payload size per message (distributed
+	// runs only; 0 otherwise) — the wire-size budget the varint codec drives
+	// down.
+	BytesPerMsg float64
 }
 
 // buildGenerator constructs the generator for the spec.
@@ -118,6 +134,8 @@ func buildCentral(s *Spec, store *storage.Store) (engine.Engine, error) {
 	switch s.Engine {
 	case "quecc":
 		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative})
+	case "quecc-pipe":
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Pipeline: true})
 	case "quecc-cons":
 		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Conservative})
 	case "quecc-rc":
@@ -184,30 +202,88 @@ func Run(s Spec) (Result, error) {
 	}
 	defer eng.Close()
 
+	// Arena-backed generation for the centralized engines: the serial driver
+	// rotates two arenas anyway (harmless), matching the pipelined driver's
+	// requirement that batch k's arena survive until k+1 has been submitted
+	// (txn.Arena lifetime rule). Distributed engines keep heap generation —
+	// the leader's shadows and shipped queues have their own lifetimes.
+	type arenaSetter interface{ SetArena(*txn.Arena) }
+	var arenas [2]*txn.Arena
+	if setter, ok := gen.(arenaSetter); ok && s.Nodes == 0 && !s.NoArena {
+		arenas[0], arenas[1] = &txn.Arena{}, &txn.Arena{}
+		setter.SetArena(arenas[0])
+	}
+	pipe, _ := eng.(engine.Pipeliner)
+	if pipe != nil && !pipe.Pipelined() {
+		pipe = nil
+	}
+	batchNo := 0
+	nextBatch := func() []*txn.Txn {
+		if arenas[0] != nil {
+			a := arenas[batchNo%2]
+			a.Reset()
+			if setter, ok := gen.(arenaSetter); ok {
+				setter.SetArena(a)
+			}
+		}
+		batchNo++
+		return gen.NextBatch(s.BatchSize)
+	}
+	runBatch := func() error {
+		if pipe != nil {
+			return pipe.Submit(nextBatch())
+		}
+		return eng.ExecBatch(nextBatch())
+	}
+	drain := func() error {
+		if pipe != nil {
+			return pipe.Drain()
+		}
+		return nil
+	}
+
 	for b := 0; b < s.WarmupBatches; b++ {
-		if err := eng.ExecBatch(gen.NextBatch(s.BatchSize)); err != nil {
+		if err := runBatch(); err != nil {
 			return Result{}, fmt.Errorf("bench: warmup batch %d: %w", b, err)
 		}
 	}
+	if err := drain(); err != nil {
+		return Result{}, fmt.Errorf("bench: warmup drain: %w", err)
+	}
 	eng.Stats().Reset()
-	var preMsgs uint64
+	var preMsgs, preBytes uint64
 	if tr != nil {
 		preMsgs = tr.Messages()
+		preBytes = tr.Bytes()
 	}
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for b := 0; b < s.Batches; b++ {
-		if err := eng.ExecBatch(gen.NextBatch(s.BatchSize)); err != nil {
+		if err := runBatch(); err != nil {
 			return Result{}, fmt.Errorf("bench: batch %d: %w", b, err)
 		}
 	}
+	if err := drain(); err != nil {
+		return Result{}, fmt.Errorf("bench: drain: %w", err)
+	}
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&memAfter)
 	snap := eng.Stats().Snap(elapsed)
 	if tr != nil {
 		// The engines publish cumulative transport counts; report only the
 		// measured window.
 		snap.Messages = tr.Messages() - preMsgs
+		snap.Bytes = tr.Bytes() - preBytes
 	}
-	return Result{Spec: s, Engine: eng.Name(), Snapshot: snap}, nil
+	res := Result{Spec: s, Engine: eng.Name(), Snapshot: snap}
+	if processed := snap.Committed + snap.UserAborts; processed > 0 {
+		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(processed)
+	}
+	if snap.Messages > 0 {
+		res.BytesPerMsg = float64(snap.Bytes) / float64(snap.Messages)
+	}
+	return res, nil
 }
 
 // RunAll executes a list of named specs and returns results in order.

@@ -28,7 +28,12 @@ type Scale struct {
 // DefaultScale targets a laptop-class run (~seconds per experiment).
 var DefaultScale = Scale{Batches: 6, BatchSize: 2000, YCSBRecs: 1 << 16, Threads: 4}
 
-// Experiments returns the full registry (E1–E13), sized by sc.
+// SmokeScale is the CI bench-smoke size: small enough that one experiment
+// finishes in seconds on a shared runner, while still committing thousands of
+// transactions per spec so the JSON trajectory is non-degenerate.
+var SmokeScale = Scale{Batches: 3, BatchSize: 500, YCSBRecs: 1 << 13, Threads: 2}
+
+// Experiments returns the full registry (E1–E14), sized by sc.
 func Experiments(sc Scale) []Experiment {
 	ycsbBase := func(theta, mpRatio float64, mpCount, ops int, readRatio float64) Spec {
 		s := Spec{
@@ -279,6 +284,42 @@ func Experiments(sc Scale) []Experiment {
 		Specs:    e13,
 	})
 
+	// E14 — pipelining and hot-path allocation ablation. Three drivers over
+	// the same YCSB stream: the pre-PR hot path (serial, per-txn heap
+	// allocation), the arena hot path (serial), and the pipelined driver
+	// (arena + planning of batch k+1 overlapped with execution of batch k).
+	// allocs/txn isolates the arena win; txn/s isolates the pipelining win
+	// (which needs >= 2 cores to show — on one core the phases time-share).
+	// The TPC-C pair repeats the allocation comparison on a Table-2 workload.
+	var e14 []NamedSpec
+	for _, wl := range []struct {
+		tag   string
+		theta float64
+	}{{"uniform", 0}, {"theta=0.9", 0.9}} {
+		s := ycsbBase(wl.theta, 0, 1, 10, 0.5)
+		noArena := s
+		noArena.NoArena = true
+		e14 = append(e14,
+			NamedSpec{fmt.Sprintf("serial-noarena/%s", wl.tag), with(noArena, "quecc")},
+			NamedSpec{fmt.Sprintf("serial-arena/%s", wl.tag), with(s, "quecc")},
+			NamedSpec{fmt.Sprintf("pipelined/%s", wl.tag), with(s, "quecc-pipe")},
+		)
+	}
+	t14 := tpccBase(4)
+	t14noArena := t14
+	t14noArena.NoArena = true
+	e14 = append(e14,
+		NamedSpec{"serial-noarena/tpcc", with(t14noArena, "quecc")},
+		NamedSpec{"serial-arena/tpcc", with(t14, "quecc")},
+		NamedSpec{"pipelined/tpcc", with(t14, "quecc-pipe")},
+	)
+	exps = append(exps, Experiment{
+		ID:       "E14",
+		Artifact: "Pipelined vs serial batches + allocation ablation (paper §3: planners overlap executors)",
+		Expect:   "arena cuts allocs/txn severalfold; pipelined txn/s >= serial (gain needs multicore)",
+		Specs:    e14,
+	})
+
 	return exps
 }
 
@@ -316,16 +357,17 @@ func RunExperiment(e Experiment) (string, []Result, error) {
 
 func tableWithNames(names []string, results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %14s %10s %10s %10s %12s %12s %10s\n",
-		"config", "txn/s", "committed", "aborts", "retries", "p50", "p99", "msgs/txn")
+	fmt.Fprintf(&b, "%-24s %14s %10s %10s %10s %12s %12s %10s %11s %10s\n",
+		"config", "txn/s", "committed", "aborts", "retries", "p50", "p99", "msgs/txn", "allocs/txn", "bytes/msg")
 	for i, r := range results {
 		s := r.Snapshot
 		msgsPerTxn := 0.0
 		if s.Committed > 0 {
 			msgsPerTxn = float64(s.Messages) / float64(s.Committed)
 		}
-		fmt.Fprintf(&b, "%-24s %14.0f %10d %10d %10d %12v %12v %10.2f\n",
-			names[i], s.Throughput, s.Committed, s.UserAborts, s.Retries, s.P50, s.P99, msgsPerTxn)
+		fmt.Fprintf(&b, "%-24s %14.0f %10d %10d %10d %12v %12v %10.2f %11.1f %10.0f\n",
+			names[i], s.Throughput, s.Committed, s.UserAborts, s.Retries, s.P50, s.P99, msgsPerTxn,
+			r.AllocsPerTxn, r.BytesPerMsg)
 	}
 	return b.String()
 }

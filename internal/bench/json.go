@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// The JSON report is the machine-readable form of the experiment tables: one
+// file per qotpbench invocation, committed as BENCH_*.json so the repository
+// accumulates a performance trajectory (and CI can diff/decode it — the
+// bench-smoke job fails on undecodable output).
+
+// JSONResult is one spec's outcome.
+type JSONResult struct {
+	Name         string  `json:"name"`
+	Engine       string  `json:"engine"`
+	Workload     string  `json:"workload"`
+	Throughput   float64 `json:"txns_per_sec"`
+	Committed    uint64  `json:"committed"`
+	UserAborts   uint64  `json:"user_aborts"`
+	Retries      uint64  `json:"retries"`
+	Messages     uint64  `json:"messages"`
+	Bytes        uint64  `json:"bytes"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	MsgsPerTxn   float64 `json:"msgs_per_txn"`
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+	BytesPerMsg  float64 `json:"bytes_per_msg"`
+}
+
+// JSONExperiment is one experiment's results.
+type JSONExperiment struct {
+	ID       string       `json:"id"`
+	Artifact string       `json:"artifact"`
+	Expect   string       `json:"expect"`
+	Results  []JSONResult `json:"results"`
+}
+
+// JSONReport is the full-file layout.
+type JSONReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Scale       Scale            `json:"scale"`
+	Note        string           `json:"note,omitempty"`
+	Experiments []JSONExperiment `json:"experiments"`
+}
+
+// NewJSONReport starts a report for one qotpbench invocation.
+func NewJSONReport(sc Scale) *JSONReport {
+	return &JSONReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       sc,
+	}
+}
+
+// Add appends one experiment's results.
+func (r *JSONReport) Add(e Experiment, results []Result) {
+	je := JSONExperiment{ID: e.ID, Artifact: e.Artifact, Expect: e.Expect}
+	for i, res := range results {
+		s := res.Snapshot
+		jr := JSONResult{
+			Name:       e.Specs[i].Name,
+			Engine:     res.Engine,
+			Workload:   res.Spec.Workload,
+			Throughput: s.Throughput,
+			Committed:  s.Committed, UserAborts: s.UserAborts, Retries: s.Retries,
+			Messages: s.Messages, Bytes: s.Bytes,
+			P50Ns: s.P50.Nanoseconds(), P99Ns: s.P99.Nanoseconds(),
+			AllocsPerTxn: res.AllocsPerTxn, BytesPerMsg: res.BytesPerMsg,
+		}
+		if s.Committed > 0 {
+			jr.MsgsPerTxn = float64(s.Messages) / float64(s.Committed)
+		}
+		je.Results = append(je.Results, jr)
+	}
+	r.Experiments = append(r.Experiments, je)
+}
+
+// WriteFile marshals the report (indented, so diffs stay reviewable), then
+// decodes it back as a self-check before committing it to disk.
+func (r *JSONReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	var check JSONReport
+	if err := json.Unmarshal(data, &check); err != nil {
+		return fmt.Errorf("bench: report does not round-trip: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}

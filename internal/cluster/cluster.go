@@ -78,8 +78,21 @@ type Transport interface {
 	Recv(id int) (Msg, bool)
 	// Messages returns the total count of messages sent so far.
 	Messages() uint64
+	// Bytes returns the total payload bytes sent so far (PayloadBytes per
+	// message) — the wire-volume companion to Messages, so experiments can
+	// report bytes per message alongside messages per transaction.
+	Bytes() uint64
 	// Close shuts the transport down, unblocking receivers.
 	Close()
+}
+
+// PayloadBytes is the accounted size of a message: the variable-length parts
+// (Payload and Vals) plus the fixed header fields. Both transports report it
+// through Bytes, so codec changes (e.g. varint keys) show up identically in
+// simulated and TCP runs.
+func PayloadBytes(m *Msg) uint64 {
+	const header = 1 + 2 + 2 + 8 + 8 + 8 // type, from, to, batch, txnID, flag
+	return header + uint64(len(m.Payload)) + 8*uint64(len(m.Vals))
 }
 
 // ChanTransport is the in-process Transport with optional per-hop latency.
@@ -92,6 +105,7 @@ type ChanTransport struct {
 	pairs  []chan Msg
 	wg     sync.WaitGroup
 	count  atomic.Uint64
+	bytes  atomic.Uint64
 	closed atomic.Bool
 }
 
@@ -137,6 +151,7 @@ func (t *ChanTransport) Send(m Msg) error {
 		return fmt.Errorf("cluster: transport closed")
 	}
 	t.count.Add(1)
+	t.bytes.Add(PayloadBytes(&m))
 	if t.latency > 0 {
 		t.pairs[m.From*t.n+m.To] <- m
 		return nil
@@ -153,6 +168,9 @@ func (t *ChanTransport) Recv(id int) (Msg, bool) {
 
 // Messages implements Transport.
 func (t *ChanTransport) Messages() uint64 { return t.count.Load() }
+
+// Bytes implements Transport.
+func (t *ChanTransport) Bytes() uint64 { return t.bytes.Load() }
 
 // Close implements Transport.
 func (t *ChanTransport) Close() {
@@ -171,3 +189,27 @@ func (t *ChanTransport) Close() {
 // PartitionOwner maps a partition to its owning node under the standard
 // round-robin placement used by all distributed engines.
 func PartitionOwner(part, nodes int) int { return part % nodes }
+
+// payloadPool recycles Msg payload buffers between a message's consumer and
+// the next sender. With the in-process transport, sender and receiver share
+// the process, so a payload returned after decoding is immediately reusable
+// by any sender; with TCP, returned buffers simply seed the local send side.
+//
+// Ownership rule: a sender that builds its payload on GetPayload transfers
+// ownership with the Send; exactly one consumer calls PutPayload after it has
+// fully decoded the message, and never for a payload that was (or will be)
+// shared across messages — broadcast payloads must not be returned, or two
+// later senders would encode into the same backing array.
+var payloadPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// GetPayload returns a zero-length buffer (possibly with recycled capacity)
+// to append a message payload into.
+func GetPayload() []byte { return payloadPool.Get().([]byte)[:0] }
+
+// PutPayload recycles a fully consumed, unshared message payload.
+func PutPayload(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	payloadPool.Put(b[:0])
+}

@@ -26,6 +26,7 @@ type TCPTransport struct {
 	sendMu  []sync.Mutex
 	wg      sync.WaitGroup
 	count   atomic.Uint64
+	bytes   atomic.Uint64
 	closed  atomic.Bool
 	readyWg sync.WaitGroup
 }
@@ -117,6 +118,7 @@ func (t *TCPTransport) Nodes() int { return len(t.addrs) }
 func (t *TCPTransport) Send(m Msg) error {
 	if m.To == t.id {
 		t.count.Add(1)
+		t.bytes.Add(PayloadBytes(&m))
 		select {
 		case t.inbox <- m:
 		case <-t.quit:
@@ -134,6 +136,9 @@ func (t *TCPTransport) Send(m Msg) error {
 		return fmt.Errorf("cluster: node %d not connected to %d", t.id, m.To)
 	}
 	t.count.Add(1)
+	t.bytes.Add(PayloadBytes(&m))
+	// gob serializes synchronously into the socket before returning, so the
+	// caller may recycle m.Payload as soon as Send returns.
 	return enc.Encode(&m)
 }
 
@@ -153,6 +158,9 @@ func (t *TCPTransport) Recv(id int) (Msg, bool) {
 
 // Messages implements Transport.
 func (t *TCPTransport) Messages() uint64 { return t.count.Load() }
+
+// Bytes implements Transport.
+func (t *TCPTransport) Bytes() uint64 { return t.bytes.Load() }
 
 // Close implements Transport.
 func (t *TCPTransport) Close() {

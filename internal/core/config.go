@@ -112,6 +112,14 @@ type Config struct {
 	Isolation Isolation
 	// Logger, when non-nil, receives every batch before it commits.
 	Logger BatchLogger
+	// Pipeline enables the Submit/Drain driver API: Submit plans batch k+1
+	// while batch k is still executing (the paper's "planners work on the
+	// next batch while executors drain the current one"), double-buffering
+	// the engine-owned PlannedBatch. Execution itself stays strictly serial
+	// per batch, so determinism is untouched — planning reads no storage and
+	// commit order equals submission order. ExecBatch keeps its synchronous
+	// semantics either way.
+	Pipeline bool
 }
 
 func (c *Config) normalize() error {

@@ -15,18 +15,32 @@ import (
 // Engine is the queue-oriented deterministic transaction engine. It is not
 // safe for concurrent ExecBatch calls: batches are the unit of concurrency
 // inside the engine (planner and executor goroutines), exactly as in the
-// paper's two-phase design.
+// paper's two-phase design. With Config.Pipeline, the Submit driver overlaps
+// the planning of one batch with the execution of the previous one —
+// execution itself remains strictly one batch at a time.
 type Engine struct {
 	store *storage.Store
 	cfg   Config
 	stats metrics.Stats
 	epoch uint64
 
-	// pb is the engine-owned PlannedBatch the planning phase writes into;
-	// its queue backing arrays are reused across batches. Plan hands out a
-	// pointer to it; external plans (e.g. reconstructed from shipped queues)
-	// flow through ExecPlanned instead.
-	pb PlannedBatch
+	// pbs are the engine-owned PlannedBatch double buffer the planning phase
+	// writes into; queue backing arrays are reused across batches. Plan
+	// rotates through them (pbIdx), so a plan stays valid while the next
+	// batch is being planned — the property the pipelined driver relies on.
+	// External plans (e.g. reconstructed from shipped queues) flow through
+	// ExecPlanned instead.
+	pbs   [2]PlannedBatch
+	pbIdx int
+
+	// inflight is the completion channel of the batch the pipelined driver
+	// currently has executing (nil when idle). Touched only by the driver
+	// goroutine (Submit/Drain/ExecBatch callers).
+	inflight chan error
+
+	// planScratch holds per-planner results for the planning phase, reused
+	// across batches (planning is serialized even when pipelined).
+	planScratch []planResult
 
 	execs []*executor
 
@@ -35,8 +49,16 @@ type Engine struct {
 	repairFlips []*storage.Record
 
 	// failure is the first fragment-execution error of the current batch
-	// (workload bugs, missing records); checked after every phase.
+	// (workload bugs, missing records); reset at the start of every
+	// execution. Planning reports its errors through planResult instead, so
+	// an overlapped plan never races the executing batch on this slot.
 	failure atomic.Value // error
+}
+
+// planResult is one planner goroutine's outcome.
+type planResult struct {
+	hasAbortable bool
+	err          error
 }
 
 // New creates an engine over the given store.
@@ -46,12 +68,15 @@ func New(store *storage.Store, cfg Config) (*Engine, error) {
 	}
 	e := &Engine{store: store, cfg: cfg}
 	nPart := store.Partitions()
-	e.pb.Ordered = make([][][]*txn.Fragment, cfg.Planners)
-	e.pb.RC = make([][][]*txn.Fragment, cfg.Planners)
-	for p := 0; p < cfg.Planners; p++ {
-		e.pb.Ordered[p] = make([][]*txn.Fragment, nPart)
-		e.pb.RC[p] = make([][]*txn.Fragment, nPart)
+	for b := range e.pbs {
+		e.pbs[b].Ordered = make([][][]*txn.Fragment, cfg.Planners)
+		e.pbs[b].RC = make([][][]*txn.Fragment, cfg.Planners)
+		for p := 0; p < cfg.Planners; p++ {
+			e.pbs[b].Ordered[p] = make([][]*txn.Fragment, nPart)
+			e.pbs[b].RC[p] = make([][]*txn.Fragment, nPart)
+		}
 	}
+	e.planScratch = make([]planResult, cfg.Planners)
 	e.execs = make([]*executor, cfg.Executors)
 	for i := range e.execs {
 		e.execs[i] = newExecutor(e, i)
@@ -61,6 +86,9 @@ func New(store *storage.Store, cfg Config) (*Engine, error) {
 
 // Name implements the engine interface.
 func (e *Engine) Name() string {
+	if e.cfg.Pipeline {
+		return fmt.Sprintf("quecc+pipe/%s/%s", e.cfg.Mechanism, e.cfg.Isolation)
+	}
 	return fmt.Sprintf("quecc/%s/%s", e.cfg.Mechanism, e.cfg.Isolation)
 }
 
@@ -70,9 +98,10 @@ func (e *Engine) Stats() *metrics.Stats { return &e.stats }
 // Epoch returns the number of committed batches.
 func (e *Engine) Epoch() uint64 { return atomic.LoadUint64(&e.epoch) }
 
-// Close implements the engine interface; the engine holds no background
-// resources between batches.
-func (e *Engine) Close() {}
+// Close implements the engine interface: it drains any batch still executing
+// from the pipelined driver (its error, if any, is lost — call Drain first to
+// observe it); beyond that the engine holds no background resources.
+func (e *Engine) Close() { _ = e.Drain() }
 
 // Mechanism returns the configured execution mechanism.
 func (e *Engine) Mechanism() Mechanism { return e.cfg.Mechanism }
@@ -87,8 +116,13 @@ func (e *Engine) fail(err error) {
 // ExecBatch plans, executes and commits one batch of transactions. On return
 // every transaction in the batch is either committed or (deterministically)
 // aborted by its own logic; Stats reflect the outcome. It is exactly
-// Plan followed by ExecPlanned on the resulting PlannedBatch.
+// Plan followed by ExecPlanned on the resulting PlannedBatch. Any batch still
+// in flight from the pipelined driver is drained first, so ExecBatch and
+// Submit may be mixed (from the same goroutine).
 func (e *Engine) ExecBatch(txns []*txn.Txn) error {
+	if err := e.Drain(); err != nil {
+		return err
+	}
 	if len(txns) == 0 {
 		return nil
 	}
@@ -100,6 +134,56 @@ func (e *Engine) ExecBatch(txns []*txn.Txn) error {
 	return e.execPlanned(pb, start)
 }
 
+// Submit is the pipelined driver API (requires Config.Pipeline): it plans the
+// batch immediately — overlapping the execution of the previously submitted
+// batch — then, once that batch has committed, launches this one's execution
+// in the background and returns. Errors from the previous batch's execution
+// surface here (or in Drain). Determinism is preserved because planning
+// touches no storage and batches still execute and commit strictly in
+// submission order. Call Drain after the last Submit; not safe for concurrent
+// use (one driver goroutine, like ExecBatch).
+func (e *Engine) Submit(txns []*txn.Txn) error {
+	if !e.cfg.Pipeline {
+		return fmt.Errorf("core: Submit requires Config.Pipeline")
+	}
+	start := time.Now()
+	var pb *PlannedBatch
+	var planErr error
+	if len(txns) > 0 {
+		pb = &e.pbs[e.pbIdx]
+		e.pbIdx ^= 1
+		pb.Txns = txns
+		planErr = e.plan(pb, txns)
+		e.stats.PlanNs.Add(uint64(time.Since(start).Nanoseconds()))
+	}
+	// The previous batch must commit before this one may execute (and before
+	// its buffers — shared executor state, epoch — are touched).
+	if err := e.Drain(); err != nil {
+		return err
+	}
+	if planErr != nil || pb == nil {
+		return planErr
+	}
+	ch := make(chan error, 1)
+	e.inflight = ch
+	go func() { ch <- e.execPlanned(pb, start) }()
+	return nil
+}
+
+// Pipelined reports whether the Submit/Drain driver is enabled.
+func (e *Engine) Pipelined() bool { return e.cfg.Pipeline }
+
+// Drain waits for the batch launched by the last Submit (if any) and returns
+// its execution error. A no-op on an idle engine.
+func (e *Engine) Drain() error {
+	if e.inflight == nil {
+		return nil
+	}
+	err := <-e.inflight
+	e.inflight = nil
+	return err
+}
+
 // execPlanned runs execution, repair and commit over a planned batch.
 // Latency is observed from start (ExecBatch passes the pre-planning instant
 // so per-transaction commit latency includes the planning phase).
@@ -108,6 +192,7 @@ func (e *Engine) execPlanned(pb *PlannedBatch, start time.Time) error {
 	if len(txns) == 0 {
 		return nil
 	}
+	e.failure = atomic.Value{}
 	execStart := time.Now()
 
 	// ---- Execution phase -------------------------------------------------
@@ -164,21 +249,25 @@ func (e *Engine) execPlanned(pb *PlannedBatch, start time.Time) error {
 	return nil
 }
 
-// plan runs the planning phase: planner p owns the contiguous slice p of the
-// batch (slices are contiguous in batch order, so draining planner queues in
-// planner order preserves the global priority order). Returns whether any
-// transaction in the batch has abortable fragments.
-func (e *Engine) plan(txns []*txn.Txn) bool {
+// plan runs the planning phase into pb: planner p owns the contiguous slice p
+// of the batch (slices are contiguous in batch order, so draining planner
+// queues in planner order preserves the global priority order). Sets
+// pb.HasAbortable and returns the first planner error, if any. Planning
+// reports errors through planScratch — never through e.failure — so an
+// overlapped plan (pipelined driver) cannot race the executing batch.
+func (e *Engine) plan(pb *PlannedBatch, txns []*txn.Txn) error {
 	nPlan := e.cfg.Planners
 	// Reset queue lengths, keep capacity.
 	for p := 0; p < nPlan; p++ {
-		for part := range e.pb.Ordered[p] {
-			e.pb.Ordered[p][part] = e.pb.Ordered[p][part][:0]
-			e.pb.RC[p][part] = e.pb.RC[p][part][:0]
+		for part := range pb.Ordered[p] {
+			pb.Ordered[p][part] = pb.Ordered[p][part][:0]
+			pb.RC[p][part] = pb.RC[p][part][:0]
 		}
 	}
 	chunk := (len(txns) + nPlan - 1) / nPlan
-	hasAbortablePer := make([]bool, nPlan)
+	for p := range e.planScratch {
+		e.planScratch[p] = planResult{}
+	}
 	var wg sync.WaitGroup
 	for p := 0; p < nPlan; p++ {
 		lo := p * chunk
@@ -192,32 +281,36 @@ func (e *Engine) plan(txns []*txn.Txn) bool {
 		wg.Add(1)
 		go func(p, lo, hi int) {
 			defer wg.Done()
-			hasAbortablePer[p] = e.planSlice(p, txns[lo:hi], uint32(lo))
+			e.planScratch[p] = e.planSlice(pb, p, txns[lo:hi], uint32(lo))
 		}(p, lo, hi)
 	}
 	wg.Wait()
-	for _, h := range hasAbortablePer {
-		if h {
-			return true
+	pb.HasAbortable = false
+	for p := range e.planScratch {
+		if e.planScratch[p].err != nil {
+			return e.planScratch[p].err
+		}
+		if e.planScratch[p].hasAbortable {
+			pb.HasAbortable = true
 		}
 	}
-	return false
+	return nil
 }
 
 // planSlice plans one planner's contiguous share of the batch.
-func (e *Engine) planSlice(planner int, txns []*txn.Txn, base uint32) (hasAbortable bool) {
-	ordered := e.pb.Ordered[planner]
-	rc := e.pb.RC[planner]
+func (e *Engine) planSlice(pb *PlannedBatch, planner int, txns []*txn.Txn, base uint32) (res planResult) {
+	ordered := pb.Ordered[planner]
+	rc := pb.RC[planner]
 	rcMode := e.cfg.Isolation == ReadCommitted
 	conservative := e.cfg.Mechanism == Conservative
 	for i, t := range txns {
 		t.BatchPos = base + uint32(i)
 		if t.HasAbortable() {
-			hasAbortable = true
+			res.hasAbortable = true
 			if conservative {
 				if err := checkConservativeOrder(t); err != nil {
-					e.fail(err)
-					return hasAbortable
+					res.err = err
+					return res
 				}
 			}
 		}
@@ -235,7 +328,7 @@ func (e *Engine) planSlice(planner int, txns []*txn.Txn, base uint32) (hasAborta
 			ordered[part] = append(ordered[part], f)
 		}
 	}
-	return hasAbortable
+	return res
 }
 
 // checkConservativeOrder verifies the structural requirement of conservative

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/txn"
@@ -163,20 +162,22 @@ func buildShadows(txns []*txn.Txn, picked map[*txn.Txn][]*txn.Fragment, node int
 }
 
 // Plan runs the planning phase only, producing the batch's PlannedBatch
-// without executing it. The returned plan aliases engine-owned buffers and is
-// valid until the next Plan or ExecBatch call. Use ExecPlanned to run it
-// locally, or NodePlan plus the txn shadow codec to ship its queues to other
-// nodes.
+// without executing it. The returned plan aliases engine-owned buffers that
+// are double-buffered: it stays valid across exactly one more Plan call (the
+// pipelined driver's overlap window) and is recycled by the one after that.
+// Use ExecPlanned to run it locally, or NodePlan plus the txn shadow codec to
+// ship its queues to other nodes.
 func (e *Engine) Plan(txns []*txn.Txn) (*PlannedBatch, error) {
-	e.failure = atomic.Value{}
 	start := time.Now()
-	e.pb.Txns = txns
-	e.pb.HasAbortable = e.plan(txns)
+	pb := &e.pbs[e.pbIdx]
+	e.pbIdx ^= 1
+	pb.Txns = txns
+	err := e.plan(pb, txns)
 	e.stats.PlanNs.Add(uint64(time.Since(start).Nanoseconds()))
-	if err, _ := e.failure.Load().(error); err != nil {
+	if err != nil {
 		return nil, err
 	}
-	return &e.pb, nil
+	return pb, nil
 }
 
 // ExecPlanned runs the execution, repair and commit phases over a planned
@@ -188,7 +189,6 @@ func (e *Engine) ExecPlanned(pb *PlannedBatch) error {
 	if err := e.checkPlan(pb); err != nil {
 		return err
 	}
-	e.failure = atomic.Value{}
 	return e.execPlanned(pb, time.Now())
 }
 

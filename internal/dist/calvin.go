@@ -31,6 +31,11 @@ import (
 type CalvinD struct {
 	g        *group
 	abortFix bool
+	// sendBuf is the reused MsgBatch encode buffer. The broadcast shares one
+	// payload slice across all followers; reuse at the next batch is safe
+	// because every follower decodes the batch before reporting its round
+	// done, and the leader does not return from ExecBatch until then.
+	sendBuf []byte
 }
 
 // NewCalvinD builds the distributed Calvin-style engine over the transport.
@@ -86,7 +91,8 @@ func (e *CalvinD) ExecBatch(txns []*txn.Txn) error {
 
 	// Batch broadcast: every node receives the whole batch and derives its
 	// local share itself (the Calvin model — sequencers replicate input).
-	payload := txn.AppendBatch(nil, txns)
+	e.sendBuf = txn.AppendBatch(e.sendBuf[:0], txns)
+	payload := e.sendBuf
 	if err := g.broadcast(cluster.Msg{
 		Type: cluster.MsgBatch, Batch: g.epoch, Flag: uint64(len(txns)), Payload: payload,
 	}); err != nil {

@@ -290,12 +290,14 @@ func (n *node) deliverVars(m cluster.Msg) error {
 
 // applyVars publishes (or tombstones) the forwarded slots carried by one
 // MsgVars into the local shadows' variable cells, releasing any executor
-// spinning on them.
+// spinning on them. It is the single consumer of a MsgVars payload and
+// recycles the buffer into the cluster payload pool once decoded.
 func (n *node) applyVars(m cluster.Msg) error {
 	ups, err := txn.DecodeVarUpdates(m.Payload)
 	if err != nil {
 		return err
 	}
+	cluster.PutPayload(m.Payload)
 	for _, u := range ups {
 		t := n.byPos[u.Pos]
 		if t == nil {
@@ -369,10 +371,15 @@ func (n *node) hoistAndFlush(aborted []bool) ([]uint32, error) {
 		if len(ups) == 0 {
 			continue
 		}
+		// MsgVars payloads are pool-recycled: built on a pooled buffer here,
+		// returned by the consumer (applyVars) once decoded. Unlike the
+		// leader's batch-boundary buffers, a round-indexed reuse would be
+		// unsound — a receiver may buffer an early MsgVars across a whole
+		// round (pendingVars), so only the consumer knows when it is dead.
 		if err := n.tr.Send(cluster.Msg{
 			Type: cluster.MsgVars, From: n.id, To: d,
 			Batch: n.curBatch, Flag: n.curRound,
-			Payload: txn.AppendVarUpdates(nil, ups),
+			Payload: txn.AppendVarUpdates(cluster.GetPayload(), ups),
 		}); err != nil {
 			return nil, err
 		}

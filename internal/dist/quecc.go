@@ -23,6 +23,12 @@ import (
 type QueCCD struct {
 	g       *group
 	planner *core.Engine
+	// sendBuf is the reused MsgQueues encode buffer: all per-node payloads of
+	// one batch are appended into it back-to-back and sent as sub-slices.
+	// Reuse across batches is safe because every follower decodes its queue
+	// shipment before reporting MsgBatchDone, and the leader does not return
+	// from ExecBatch (let alone re-encode) until all reports are in.
+	sendBuf []byte
 }
 
 // NewQueCCD builds the distributed queue-oriented engine over the transport.
@@ -86,8 +92,14 @@ func (e *QueCCD) ExecBatch(txns []*txn.Txn) error {
 	plans := pb.NodePlans(len(g.nodes), func(part int) int {
 		return cluster.PartitionOwner(part, len(g.nodes))
 	})
+	e.sendBuf = e.sendBuf[:0]
 	for id := 1; id < len(g.nodes); id++ {
-		payload := txn.AppendShadowBatch(nil, plans[id])
+		lo := len(e.sendBuf)
+		e.sendBuf = txn.AppendShadowBatch(e.sendBuf, plans[id])
+		// A full three-index sub-slice: if a later append reallocates the
+		// buffer, this payload keeps pointing at the old array, whose bytes
+		// are final — in-flight payloads are never overwritten within a batch.
+		payload := e.sendBuf[lo:len(e.sendBuf):len(e.sendBuf)]
 		if err := g.tr.Send(cluster.Msg{
 			Type: cluster.MsgQueues, From: 0, To: id,
 			Batch: g.epoch, Flag: uint64(len(txns)), Payload: payload,

@@ -24,3 +24,18 @@ type Engine interface {
 	// Close releases engine resources (background goroutines, sockets).
 	Close()
 }
+
+// Pipeliner is implemented by engines that can overlap the planning of one
+// batch with the execution of the previous one (core.Engine with
+// Config.Pipeline). Submit plans the batch and launches its execution
+// asynchronously once the prior batch commits; Drain waits for the last
+// submitted batch. Both are driver-goroutine-only, like ExecBatch, and
+// execution errors from batch k surface on Submit k+1 or Drain.
+type Pipeliner interface {
+	Submit(txns []*txn.Txn) error
+	Drain() error
+	// Pipelined reports whether the pipelined driver is actually enabled —
+	// engines may carry the Submit/Drain methods structurally while the
+	// feature is off in their configuration.
+	Pipelined() bool
+}

@@ -1,0 +1,180 @@
+package engine_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// arenaSetter is implemented by every workload generator.
+type arenaSetter interface {
+	SetArena(*txn.Arena)
+}
+
+// runPipelined drives an engine the way the pipelined bench driver does:
+// NextBatch into a rotated two-arena pool, Submit each batch, Drain at the
+// end. The two-arena rotation is the documented minimum for the one-batch
+// overlap window (txn.Arena lifetime rule).
+func runPipelined(t *testing.T, eng *core.Engine, gen workload.Generator, nBatches, batchSize int) {
+	t.Helper()
+	setter, ok := gen.(arenaSetter)
+	if !ok {
+		t.Fatalf("generator %s does not support arenas", gen.Name())
+	}
+	arenas := [2]*txn.Arena{{}, {}}
+	for b := 0; b < nBatches; b++ {
+		a := arenas[b%2]
+		a.Reset()
+		setter.SetArena(a)
+		if err := eng.Submit(gen.NextBatch(batchSize)); err != nil {
+			t.Fatalf("submit batch %d: %v", b, err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestPipelinedMatchesSerial: for every mechanism x isolation combination,
+// the pipelined Submit/Drain driver (with arena-backed generation) must
+// produce the same final state hash and commit/abort accounting as serial
+// ExecBatch with heap-backed generation — on an abort-heavy YCSB stream and
+// on an abort-heavy TPC-C stream (30% invalid items: NewOrder abort storms
+// exercising speculation repair inside the overlap window).
+func TestPipelinedMatchesSerial(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 5, 150
+
+	workloads := []struct {
+		name string
+		mk   func() workload.Generator
+	}{
+		{"ycsb-aborts", func() workload.Generator {
+			return ycsb.MustNew(ycsb.Config{
+				Records: 2048, OpsPerTxn: 8, ReadRatio: 0.3, RMWRatio: 0.4,
+				Theta: 0.9, MultiPartitionRatio: 0.5, AbortRatio: 0.05,
+				Partitions: parts, Seed: 1789,
+			})
+		}},
+		{"tpcc-abort-storm", func() workload.Generator {
+			return tpcc.MustNew(tpcc.Config{
+				Warehouses: parts, Items: 1000, CustomersPerDistrict: 200,
+				InitialOrdersPerDistrict: 50, InvalidItemProb: 0.3, Seed: 1789,
+			})
+		}},
+	}
+	configs := []struct {
+		name      string
+		mechanism core.Mechanism
+		isolation core.Isolation
+	}{
+		{"spec-serializable", core.Speculative, core.Serializable},
+		{"spec-read-committed", core.Speculative, core.ReadCommitted},
+		{"cons-serializable", core.Conservative, core.Serializable},
+		{"cons-read-committed", core.Conservative, core.ReadCommitted},
+	}
+
+	for _, wl := range workloads {
+		for _, cfg := range configs {
+			t.Run(fmt.Sprintf("%s/%s", wl.name, cfg.name), func(t *testing.T) {
+				// Serial reference: heap-backed generation, ExecBatch.
+				gen := wl.mk()
+				refStore := storage.MustOpen(gen.StoreConfig(parts))
+				if err := gen.Load(refStore); err != nil {
+					t.Fatal(err)
+				}
+				ref, err := core.New(refStore, core.Config{
+					Planners: 2, Executors: 2, Mechanism: cfg.mechanism, Isolation: cfg.isolation,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				for b := 0; b < nBatches; b++ {
+					if err := ref.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+						t.Fatalf("serial batch %d: %v", b, err)
+					}
+				}
+				refSnap := ref.Stats().Snap(1)
+
+				// Pipelined run: fresh generator with the same seed,
+				// arena-backed, Submit/Drain.
+				gen2 := wl.mk()
+				store := storage.MustOpen(gen2.StoreConfig(parts))
+				if err := gen2.Load(store); err != nil {
+					t.Fatal(err)
+				}
+				eng, err := core.New(store, core.Config{
+					Planners: 2, Executors: 2, Mechanism: cfg.mechanism, Isolation: cfg.isolation,
+					Pipeline: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eng.Close()
+				runPipelined(t, eng, gen2, nBatches, batchSize)
+
+				if got, want := store.StateHash(), refStore.StateHash(); got != want {
+					t.Errorf("pipelined state hash %x != serial %x", got, want)
+				}
+				snap := eng.Stats().Snap(1)
+				if snap.Committed != refSnap.Committed || snap.UserAborts != refSnap.UserAborts {
+					t.Errorf("pipelined committed/aborts %d/%d != serial %d/%d",
+						snap.Committed, snap.UserAborts, refSnap.Committed, refSnap.UserAborts)
+				}
+				if total := snap.Committed + snap.UserAborts; total != nBatches*batchSize {
+					t.Errorf("committed+aborts = %d, want %d", total, nBatches*batchSize)
+				}
+				if wl.name == "tpcc-abort-storm" && snap.UserAborts == 0 {
+					t.Error("expected invalid-item aborts in the abort-storm stream")
+				}
+			})
+		}
+	}
+}
+
+// TestArenaStreamsMatchHeapStreams: a generator configured with an arena must
+// produce a byte-identical transaction stream to a heap-backed generator with
+// the same seed — the allocation strategy is invisible to the engines.
+func TestArenaStreamsMatchHeapStreams(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 4, 120
+	mks := []struct {
+		name string
+		mk   func() workload.Generator
+	}{
+		{"ycsb", func() workload.Generator {
+			return ycsb.MustNew(ycsb.Config{
+				Records: 1024, OpsPerTxn: 8, ReadRatio: 0.4, RMWRatio: 0.3,
+				Theta: 0.8, AbortRatio: 0.02, Partitions: parts, Seed: 99,
+			})
+		}},
+		{"tpcc", func() workload.Generator {
+			return tpcc.MustNew(tpcc.Config{
+				Warehouses: parts, Items: 500, CustomersPerDistrict: 100,
+				InitialOrdersPerDistrict: 40, Seed: 99,
+			})
+		}},
+	}
+	for _, m := range mks {
+		t.Run(m.name, func(t *testing.T) {
+			heap := m.mk()
+			arenaGen := m.mk()
+			arena := &txn.Arena{}
+			arenaGen.(arenaSetter).SetArena(arena)
+			for b := 0; b < nBatches; b++ {
+				arena.Reset()
+				want := txn.AppendBatch(nil, heap.NextBatch(batchSize))
+				got := txn.AppendBatch(nil, arenaGen.NextBatch(batchSize))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("batch %d: arena-backed stream diverges from heap-backed stream", b)
+				}
+			}
+		})
+	}
+}

@@ -189,6 +189,7 @@ type Snapshot struct {
 	UserAborts uint64
 	Retries    uint64
 	Messages   uint64
+	Bytes      uint64 // network payload bytes (filled by the bench harness from Transport.Bytes)
 	PlanNs     uint64
 	ExecNs     uint64
 	Elapsed    time.Duration

@@ -1,0 +1,151 @@
+package txn
+
+// Arena is a batch-lifetime allocator for transactions and the small slices
+// hanging off them (fragments, packed arguments, variable-slot lists). The
+// workload generators allocate thousands of *Txn / []Fragment / []uint64
+// values per batch; with an arena those come from a handful of reusable slabs
+// instead of individual heap objects, taking the generator off the GC's books
+// on the hot path.
+//
+// Lifetime rule: everything handed out by an arena is valid until the next
+// Reset call, and Reset may only be called once every transaction built from
+// the arena has finished executing (committed or aborted, stats observed).
+// The serial bench driver therefore resets after each ExecBatch returns; the
+// pipelined driver rotates two arenas, because batch k+1 is generated and
+// planned while batch k still executes (see docs/ARCHITECTURE.md,
+// "Pipelining & hot path").
+//
+// An Arena is single-goroutine, matching the workload.Generator contract.
+// The zero value is ready to use; a nil *Arena falls back to plain heap
+// allocation in every method, so generators can treat "no arena configured"
+// and "arena configured" identically.
+//
+// Slabs are chunked, never reallocated in place: a chunk is appended to only
+// while len < cap, so pointers and sub-slices handed out earlier stay valid
+// even as the arena grows. Reset rewinds the chunk cursors; chunks themselves
+// are retained and refilled front-to-back on the next batch.
+type Arena struct {
+	txns  chunked[Txn]
+	frags chunked[Fragment]
+	args  chunked[uint64]
+	slots chunked[uint8]
+}
+
+// Chunk sizes: transactions are big (embedded variable cells), fragments and
+// args are requested in small per-transaction runs. Sized so a default
+// 2000-transaction YCSB batch fits in a handful of chunks.
+const (
+	txnChunk  = 512
+	fragChunk = 8192
+	argChunk  = 8192
+	slotChunk = 4096
+)
+
+// chunked is a slab list with a fill cursor. Element pointers stay valid
+// until Reset because a chunk's backing array is never reallocated.
+type chunked[T any] struct {
+	chunks [][]T
+	cur    int // index of the chunk currently being filled
+}
+
+// alloc reserves a run of capacity n inside one chunk and returns it as a
+// zero-length slice (len 0, cap n) the caller may extend up to n without
+// touching neighboring reservations.
+func (c *chunked[T]) alloc(n, chunkSize int) []T {
+	for ; c.cur < len(c.chunks); c.cur++ {
+		if cap(c.chunks[c.cur])-len(c.chunks[c.cur]) >= n {
+			break
+		}
+	}
+	if c.cur == len(c.chunks) {
+		size := chunkSize
+		if n > size {
+			size = n
+		}
+		c.chunks = append(c.chunks, make([]T, 0, size))
+	}
+	ch := c.chunks[c.cur]
+	used := len(ch)
+	c.chunks[c.cur] = ch[:used+n]
+	return ch[used : used : used+n]
+}
+
+// Reset recycles every slab for the next batch. Used elements of the
+// pointer-bearing slabs are cleared so stale pointers (fragment Logic
+// closures, Args backing arrays, transaction back-pointers) do not keep dead
+// objects reachable across batches.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	rewind(&a.txns, true)
+	rewind(&a.frags, true)
+	rewind(&a.args, false)
+	rewind(&a.slots, false)
+}
+
+func rewind[T any](c *chunked[T], scrub bool) {
+	for i := range c.chunks {
+		if scrub {
+			clear(c.chunks[i])
+		}
+		c.chunks[i] = c.chunks[i][:0]
+	}
+	c.cur = 0
+}
+
+// NewTxn returns a zeroed transaction with arena lifetime. (Reset scrubs the
+// transaction slab, so a reserved element is always zero.)
+func (a *Arena) NewTxn() *Txn {
+	if a == nil {
+		return &Txn{}
+	}
+	buf := a.txns.alloc(1, txnChunk)[:1]
+	return &buf[0]
+}
+
+// FragBuf returns an empty fragment slice with the given capacity, a drop-in
+// replacement for make([]Fragment, 0, capacity). Appending beyond the
+// requested capacity falls back to the heap (correct, just no longer
+// arena-backed), so generators that only estimate their fragment count stay
+// correct.
+func (a *Arena) FragBuf(capacity int) []Fragment {
+	if a == nil {
+		return make([]Fragment, 0, capacity)
+	}
+	return a.frags.alloc(capacity, fragChunk)
+}
+
+// Args copies the given packed arguments into the arena and returns the
+// arena-backed slice, a replacement for []uint64{...} literals.
+func (a *Arena) Args(vals ...uint64) []uint64 {
+	if a == nil {
+		out := make([]uint64, len(vals))
+		copy(out, vals)
+		return out
+	}
+	return append(a.args.alloc(len(vals), argChunk), vals...)
+}
+
+// Slots copies the given variable-slot list into the arena, a replacement for
+// []uint8{...} literals (NeedVars / PubVars).
+func (a *Arena) Slots(vals ...uint8) []uint8 {
+	if a == nil {
+		out := make([]uint8, len(vals))
+		copy(out, vals)
+		return out
+	}
+	return append(a.slots.alloc(len(vals), slotChunk), vals...)
+}
+
+// SlotBuf returns a zeroed slot slice of length n with arena lifetime, a
+// replacement for make([]uint8, n). (The slot slab is not scrubbed on Reset,
+// so the reserved run is cleared here.)
+func (a *Arena) SlotBuf(n int) []uint8 {
+	if a == nil {
+		return make([]uint8, n)
+	}
+	buf := a.slots.alloc(n, slotChunk)[:n]
+	clear(buf)
+	return buf
+}

@@ -1,0 +1,86 @@
+package txn
+
+import "testing"
+
+// TestArenaReuse: allocations after Reset reuse the same chunk storage, and
+// transactions come back zeroed even after heavy runtime-state mutation.
+func TestArenaReuse(t *testing.T) {
+	a := &Arena{}
+	first := a.NewTxn()
+	first.ID = 7
+	first.Frags = a.FragBuf(2)
+	first.Frags = append(first.Frags, Fragment{Table: 1, Key: 1, Access: Read, Op: 1})
+	first.Frags = append(first.Frags, Fragment{Table: 1, Key: 2, Access: Update, Op: 2,
+		Args: a.Args(1, 2, 3), NeedVars: a.Slots(0, 1), PubVars: a.SlotBuf(1)})
+	first.Finish()
+	first.MarkAborted()
+	first.Publish(5, 99)
+
+	a.Reset()
+	second := a.NewTxn()
+	if second != first {
+		t.Fatalf("expected chunk reuse: %p != %p", second, first)
+	}
+	if second.ID != 0 || second.Frags != nil || second.Aborted() || second.VarReady(5) || second.HasAbortable() {
+		t.Fatalf("reused txn not zeroed: %+v aborted=%v", second, second.Aborted())
+	}
+	fr := a.FragBuf(2)
+	if cap(fr) != 2 || len(fr) != 0 {
+		t.Fatalf("FragBuf after reset: len=%d cap=%d", len(fr), cap(fr))
+	}
+}
+
+// TestArenaRunsAreDisjoint: consecutive reservations never overlap, and
+// appending within capacity does not touch a neighbor's storage.
+func TestArenaRunsAreDisjoint(t *testing.T) {
+	a := &Arena{}
+	bufA := a.FragBuf(3)
+	bufB := a.FragBuf(3)
+	bufA = append(bufA, Fragment{Op: 100}, Fragment{Op: 101}, Fragment{Op: 102})
+	bufB = append(bufB, Fragment{Op: 200})
+	if bufA[2].Op != 102 || bufB[0].Op != 200 {
+		t.Fatalf("overlapping reservations: %v / %v", bufA[2].Op, bufB[0].Op)
+	}
+	args1 := a.Args(10, 20)
+	args2 := a.Args(30)
+	if args1[1] != 20 || args2[0] != 30 {
+		t.Fatalf("overlapping arg reservations: %v %v", args1, args2)
+	}
+	s1 := a.Slots(1, 2, 3)
+	s2 := a.SlotBuf(2)
+	if s1[2] != 3 || s2[0] != 0 || s2[1] != 0 {
+		t.Fatalf("overlapping slot reservations: %v %v", s1, s2)
+	}
+}
+
+// TestArenaLargeRequest: a request larger than the chunk size gets its own
+// chunk and later small requests still succeed.
+func TestArenaLargeRequest(t *testing.T) {
+	a := &Arena{}
+	big := a.FragBuf(3 * fragChunk)
+	if cap(big) != 3*fragChunk {
+		t.Fatalf("big FragBuf cap=%d", cap(big))
+	}
+	small := a.FragBuf(4)
+	small = append(small, Fragment{Op: 1})
+	if small[0].Op != 1 {
+		t.Fatal("small request after big failed")
+	}
+	a.Reset()
+	if again := a.FragBuf(8); cap(again) < 8 {
+		t.Fatalf("post-reset FragBuf cap=%d", cap(again))
+	}
+}
+
+// TestArenaNil: a nil arena degrades to heap allocation everywhere.
+func TestArenaNil(t *testing.T) {
+	var a *Arena
+	a.Reset()
+	tx := a.NewTxn()
+	tx.Frags = a.FragBuf(1)
+	tx.Frags = append(tx.Frags, Fragment{Op: 1, Args: a.Args(5), NeedVars: a.Slots(1), PubVars: a.SlotBuf(2)})
+	tx.Finish()
+	if tx.Frags[0].Args[0] != 5 || len(tx.Frags[0].PubVars) != 2 {
+		t.Fatalf("nil-arena txn malformed: %+v", tx.Frags[0])
+	}
+}

@@ -8,15 +8,26 @@ import (
 )
 
 // The binary codec serializes transactions for the command-log WAL and for
-// shipping between cluster nodes. Layout (little endian):
+// shipping between cluster nodes. Layout (little endian; `uv` denotes an
+// unsigned LEB128 varint, binary.AppendUvarint):
 //
 //	txn:  id u64 | batchPos u32 | profile u8 | nFrags u16 | frags...
-//	frag: table u8 | key u64 | access u8 | abortable u8 | op u16 |
-//	      nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each) |
+//	frag: table u8 | key uv | access u8 | abortable u8 | op u16 |
+//	      nArgs u8 | args (uv each) | nNeed u8 | needVars (u8 each) |
 //	      nPub u8 | pubVars (u8 each)
+//
+// Keys and packed arguments are varint-encoded: most workload keys fit well
+// under 2^28 and most arguments are tiny (quantities, amounts, flags), so the
+// hot MsgQueues/MsgBatch payloads shrink to roughly half their fixed-width
+// size. Transaction ids stay fixed-width — they grow without bound over a
+// run, so a varint saves nothing once the stream is warm.
 //
 // Fragment logic is not serialized; receivers resolve opcodes through their
 // local Registry (Registry.Resolve).
+//
+// Decoders take network input: every read is bounds-checked and count fields
+// are validated against the bytes actually present before any allocation is
+// sized from them (see the Fuzz* targets in codec_fuzz_test.go).
 
 // appendTxnWith encodes the transaction header and its fragments; withSeq
 // selects the shadow layout (explicit per-fragment sequence numbers and the
@@ -39,12 +50,12 @@ func appendTxnWith(buf []byte, t *Txn, withSeq bool) []byte {
 			buf = append(buf, f.Seq)
 		}
 		buf = append(buf, byte(f.Table))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Key))
+		buf = binary.AppendUvarint(buf, uint64(f.Key))
 		buf = append(buf, byte(f.Access), boolByte(f.Abortable))
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(f.Op))
 		buf = append(buf, byte(len(f.Args)))
 		for _, a := range f.Args {
-			buf = binary.LittleEndian.AppendUint64(buf, a)
+			buf = binary.AppendUvarint(buf, a)
 		}
 		buf = append(buf, byte(len(f.NeedVars)))
 		buf = append(buf, f.NeedVars...)
@@ -61,94 +72,172 @@ func boolByte(b bool) byte {
 	return 0
 }
 
+// decoder is a bounds-checked cursor over untrusted input. Every accessor
+// reports ok=false instead of panicking when the buffer runs short.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) u8() (byte, bool) {
+	if d.remaining() < 1 {
+		return 0, false
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, true
+}
+
+func (d *decoder) u16() (uint16, bool) {
+	if d.remaining() < 2 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, true
+}
+
+func (d *decoder) u32() (uint32, bool) {
+	if d.remaining() < 4 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, true
+}
+
+func (d *decoder) u64() (uint64, bool) {
+	if d.remaining() < 8 {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, true
+}
+
+func (d *decoder) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	d.off += n
+	return v, true
+}
+
+func (d *decoder) bytes(n int) ([]byte, bool) {
+	if n < 0 || d.remaining() < n {
+		return nil, false
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b, true
+}
+
+// Minimum encoded sizes, used to validate count fields before sizing
+// allocations from them.
+const (
+	minFragBytes = 1 + 1 + 1 + 1 + 2 + 1 + 1 + 1 // table, key(≥1), access, abortable, op, three counts
+	minTxnBytes  = 8 + 4 + 1 + 2                 // id, batchPos, profile, nFrags
+)
+
 // decodeTxnWith decodes one transaction in either layout. The caller is
 // responsible for Finish/FinishShadow and logic resolution.
 func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
-	const hdr = 8 + 4 + 1
-	if len(buf) < hdr+2 {
-		return nil, 0, fmt.Errorf("txn: short buffer (%d bytes) decoding header", len(buf))
+	d := &decoder{buf: buf}
+	short := func(what string) (*Txn, int, error) {
+		return nil, 0, fmt.Errorf("txn: short buffer (%d bytes, offset %d) decoding %s", len(buf), d.off, what)
 	}
-	t := &Txn{
-		ID:       binary.LittleEndian.Uint64(buf),
-		BatchPos: binary.LittleEndian.Uint32(buf[8:]),
-		Profile:  buf[12],
+	id, ok1 := d.u64()
+	pos, ok2 := d.u32()
+	profile, ok3 := d.u8()
+	if !ok1 || !ok2 || !ok3 {
+		return short("header")
 	}
-	off := hdr
+	t := &Txn{ID: id, BatchPos: pos, Profile: profile}
 	if withSeq {
-		nFwd := int(buf[off])
-		off++
-		if len(buf[off:]) < nFwd*9+2 {
-			return nil, 0, fmt.Errorf("txn: short buffer decoding fwdvars")
+		nFwd, ok := d.u8()
+		if !ok || d.remaining() < int(nFwd)*9 {
+			return short("fwdvars")
 		}
 		if nFwd > 0 {
 			t.FwdVars = make([]VarRoute, nFwd)
 			for i := range t.FwdVars {
-				t.FwdVars[i].Slot = buf[off]
-				t.FwdVars[i].Dest = binary.LittleEndian.Uint64(buf[off+1:])
-				off += 9
+				t.FwdVars[i].Slot, _ = d.u8()
+				t.FwdVars[i].Dest, _ = d.u64()
 			}
 		}
 	}
-	n := int(binary.LittleEndian.Uint16(buf[off:]))
-	off += 2
-	fragHdr := 1 + 8 + 1 + 1 + 2 + 1
+	n16, ok := d.u16()
+	if !ok {
+		return short("fragment count")
+	}
+	n := int(n16)
+	minFrag := minFragBytes
 	if withSeq {
-		fragHdr++
+		minFrag++
+	}
+	if d.remaining() < n*minFrag {
+		return short("fragments")
 	}
 	t.Frags = make([]Fragment, n)
 	for i := 0; i < n; i++ {
 		f := &t.Frags[i]
-		if len(buf[off:]) < fragHdr {
-			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d header", i)
-		}
 		if withSeq {
-			f.Seq = buf[off]
-			off++
-		}
-		f.Table = storage.TableID(buf[off])
-		off++
-		f.Key = storage.Key(binary.LittleEndian.Uint64(buf[off:]))
-		off += 8
-		f.Access = AccessType(buf[off])
-		off++
-		f.Abortable = buf[off] == 1
-		off++
-		f.Op = OpCode(binary.LittleEndian.Uint16(buf[off:]))
-		off += 2
-		nArgs := int(buf[off])
-		off++
-		if len(buf[off:]) < nArgs*8+1 {
-			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d args", i)
-		}
-		if nArgs > 0 {
-			f.Args = make([]uint64, nArgs)
-			for j := 0; j < nArgs; j++ {
-				f.Args[j] = binary.LittleEndian.Uint64(buf[off:])
-				off += 8
+			if f.Seq, ok = d.u8(); !ok {
+				return short(fmt.Sprintf("fragment %d seq", i))
 			}
 		}
-		nNeed := int(buf[off])
-		off++
-		if len(buf[off:]) < nNeed+1 {
-			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d needvars", i)
+		table, ok1 := d.u8()
+		key, ok2 := d.uvarint()
+		access, ok3 := d.u8()
+		abortable, ok4 := d.u8()
+		op, ok5 := d.u16()
+		nArgs, ok6 := d.u8()
+		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 {
+			return short(fmt.Sprintf("fragment %d header", i))
+		}
+		f.Table = storage.TableID(table)
+		f.Key = storage.Key(key)
+		f.Access = AccessType(access)
+		f.Abortable = abortable == 1
+		f.Op = OpCode(op)
+		if nArgs > 0 {
+			if d.remaining() < int(nArgs) {
+				return short(fmt.Sprintf("fragment %d args", i))
+			}
+			f.Args = make([]uint64, nArgs)
+			for j := range f.Args {
+				if f.Args[j], ok = d.uvarint(); !ok {
+					return short(fmt.Sprintf("fragment %d arg %d", i, j))
+				}
+			}
+		}
+		nNeed, ok := d.u8()
+		if !ok {
+			return short(fmt.Sprintf("fragment %d needvars count", i))
 		}
 		if nNeed > 0 {
-			f.NeedVars = make([]uint8, nNeed)
-			copy(f.NeedVars, buf[off:off+nNeed])
-			off += nNeed
+			src, ok := d.bytes(int(nNeed))
+			if !ok {
+				return short(fmt.Sprintf("fragment %d needvars", i))
+			}
+			f.NeedVars = append([]uint8(nil), src...)
 		}
-		nPub := int(buf[off])
-		off++
-		if len(buf[off:]) < nPub {
-			return nil, 0, fmt.Errorf("txn: short buffer decoding fragment %d pubvars", i)
+		nPub, ok := d.u8()
+		if !ok {
+			return short(fmt.Sprintf("fragment %d pubvars count", i))
 		}
 		if nPub > 0 {
-			f.PubVars = make([]uint8, nPub)
-			copy(f.PubVars, buf[off:off+nPub])
-			off += nPub
+			src, ok := d.bytes(int(nPub))
+			if !ok {
+				return short(fmt.Sprintf("fragment %d pubvars", i))
+			}
+			f.PubVars = append([]uint8(nil), src...)
 		}
 	}
-	return t, off, nil
+	return t, d.off, nil
 }
 
 // AppendTxn appends the wire encoding of t to buf and returns the result.
@@ -171,12 +260,12 @@ func DecodeTxn(buf []byte) (*Txn, int, error) {
 // sequence numbers are explicit (they carry the global priority and cannot be
 // recovered from position), and the forwarded-variable routing table rides
 // along so the receiving node knows which published slots feed remote
-// consumers. Layout (little endian):
+// consumers. Layout (little endian; uv = unsigned varint):
 //
 //	shadow: id u64 | batchPos u32 | profile u8 |
 //	        nFwd u8 | (slot u8, destMask u64) each | nFrags u16 | sfrags...
-//	sfrag:  seq u8 | table u8 | key u64 | access u8 | abortable u8 |
-//	        op u16 | nArgs u8 | args (u64 each) | nNeed u8 | needVars (u8 each) |
+//	sfrag:  seq u8 | table u8 | key uv | access u8 | abortable u8 |
+//	        op u16 | nArgs u8 | args (uv each) | nNeed u8 | needVars (u8 each) |
 //	        nPub u8 | pubVars (u8 each)
 
 // AppendShadowTxn appends the wire encoding of a shadow transaction
@@ -206,6 +295,15 @@ func AppendShadowBatch(buf []byte, txns []*Txn) []byte {
 	return buf
 }
 
+// batchCap bounds a batch count field by the bytes actually present, so a
+// hostile count cannot size a huge allocation.
+func batchCap(n int, remaining int) int {
+	if maxTxns := remaining / minTxnBytes; n > maxTxns {
+		return maxTxns
+	}
+	return n
+}
+
 // DecodeShadowBatch decodes a count-prefixed shadow batch, returning the
 // transactions and bytes consumed.
 func DecodeShadowBatch(buf []byte) ([]*Txn, int, error) {
@@ -214,7 +312,7 @@ func DecodeShadowBatch(buf []byte) ([]*Txn, int, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	off := 4
-	txns := make([]*Txn, 0, n)
+	txns := make([]*Txn, 0, batchCap(n, len(buf)-off))
 	for i := 0; i < n; i++ {
 		t, used, err := DecodeShadowTxn(buf[off:])
 		if err != nil {
@@ -266,7 +364,7 @@ func DecodeVarUpdates(buf []byte) ([]VarUpdate, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	const entry = 4 + 1 + 1 + 8
-	if len(buf) < 4+n*entry {
+	if n < 0 || (len(buf)-4)/entry < n {
 		return nil, fmt.Errorf("txn: short buffer decoding %d var updates", n)
 	}
 	ups := make([]VarUpdate, n)
@@ -289,7 +387,7 @@ func DecodeBatch(buf []byte) ([]*Txn, int, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	off := 4
-	txns := make([]*Txn, 0, n)
+	txns := make([]*Txn, 0, batchCap(n, len(buf)-off))
 	for i := 0; i < n; i++ {
 		t, used, err := DecodeTxn(buf[off:])
 		if err != nil {

@@ -1,0 +1,105 @@
+package txn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The decoders consume network input (MsgQueues / MsgBatch / MsgVars
+// payloads), so they must reject arbitrary bytes gracefully: no panics, no
+// count-field-driven huge allocations, and on success a consistent
+// re-encodable structure. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzDecodeTxn ./internal/txn` explores further.
+
+func fuzzSeedTxn() *Txn {
+	t := &Txn{ID: 42, Profile: 3}
+	t.Frags = []Fragment{
+		{Table: 1, Key: 7, Access: Read, Op: 0x0100},
+		{Table: 1, Key: 1 << 40, Access: ReadModifyWrite, Op: 0x0102,
+			Args: []uint64{1, 1 << 33}, NeedVars: []uint8{0, 2}},
+		{Table: 2, Key: 300, Access: Read, Abortable: true, Op: 0x0103,
+			Args: []uint64{0}, PubVars: []uint8{1}},
+	}
+	t.Finish()
+	return t
+}
+
+func fuzzSeedShadow() *Txn {
+	s := &Txn{ID: 9, BatchPos: 5, FwdVars: []VarRoute{{Slot: 1, Dest: 0b110}}}
+	s.Frags = []Fragment{
+		{Seq: 2, Table: 1, Key: 1234567, Access: Read, Abortable: true,
+			Op: 0x0200, Args: []uint64{0, 4}, PubVars: []uint8{4}},
+	}
+	s.FinishShadow()
+	return s
+}
+
+func FuzzDecodeTxn(f *testing.F) {
+	f.Add(AppendTxn(nil, fuzzSeedTxn()))
+	f.Add(AppendBatch(nil, []*Txn{fuzzSeedTxn(), fuzzSeedTxn()}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, used, err := DecodeTxn(data)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("DecodeTxn consumed %d of %d bytes", used, len(data))
+		}
+		// A decoded transaction must re-encode and decode to the same
+		// structure (the re-encoding may differ byte-for-byte from hostile
+		// input — varints accept non-minimal forms — but must round-trip).
+		re := AppendTxn(nil, tx)
+		tx2, used2, err := DecodeTxn(re)
+		if err != nil || used2 != len(re) {
+			t.Fatalf("re-decode failed: %v (used %d of %d)", err, used2, len(re))
+		}
+		if !bytes.Equal(AppendTxn(nil, tx2), re) {
+			t.Fatal("re-encoding is not a fixpoint")
+		}
+	})
+}
+
+func FuzzDecodeShadowBatch(f *testing.F) {
+	f.Add(AppendShadowBatch(nil, []*Txn{fuzzSeedShadow()}))
+	f.Add(AppendShadowBatch(nil, []*Txn{fuzzSeedShadow(), fuzzSeedTxn()}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // count = 2^32-1, no payload
+	f.Add(bytes.Repeat([]byte{0x01}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		txns, used, err := DecodeShadowBatch(data)
+		if err != nil {
+			return
+		}
+		if used < 4 || used > len(data) {
+			t.Fatalf("DecodeShadowBatch consumed %d of %d bytes", used, len(data))
+		}
+		re := AppendShadowBatch(nil, txns)
+		txns2, used2, err := DecodeShadowBatch(re)
+		if err != nil || used2 != len(re) || len(txns2) != len(txns) {
+			t.Fatalf("re-decode failed: %v (%d txns, used %d of %d)", err, len(txns2), used2, len(re))
+		}
+	})
+}
+
+func FuzzDecodeVarUpdates(f *testing.F) {
+	f.Add(AppendVarUpdates(nil, []VarUpdate{{Pos: 3, Slot: 1, Val: 99}, {Pos: 7, Slot: 0, Dead: true}}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // huge count, no payload
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ups, err := DecodeVarUpdates(data)
+		if err != nil {
+			return
+		}
+		re := AppendVarUpdates(nil, ups)
+		ups2, err := DecodeVarUpdates(re)
+		if err != nil || len(ups2) != len(ups) {
+			t.Fatalf("re-decode failed: %v (%d of %d entries)", err, len(ups2), len(ups))
+		}
+		for i := range ups {
+			if ups[i] != ups2[i] {
+				t.Fatalf("entry %d: %+v != %+v", i, ups[i], ups2[i])
+			}
+		}
+	})
+}

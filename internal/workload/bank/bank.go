@@ -67,7 +67,13 @@ type Workload struct {
 	rng    *workload.RNG
 	reg    txn.Registry
 	nextID uint64
+	arena  *txn.Arena // nil = heap allocation
 }
+
+// SetArena makes subsequent NextBatch calls allocate transactions, fragments
+// and argument slices from a (the caller owns its Reset cadence; see
+// txn.Arena). Pass nil to return to heap allocation.
+func (w *Workload) SetArena(a *txn.Arena) { w.arena = a }
 
 var _ workload.Generator = (*Workload)(nil)
 
@@ -157,16 +163,18 @@ func (w *Workload) Transfer() *txn.Txn {
 		dst = w.rng.Uint64() % w.cfg.Accounts
 	}
 	amt := 1 + w.rng.Uint64()%w.cfg.MaxTransfer
-	t := &txn.Txn{ID: w.nextID}
+	t := w.arena.NewTxn()
+	t.ID = w.nextID
 	w.nextID++
-	t.Frags = []txn.Fragment{
-		{Table: TableID, Key: storage.Key(src), Access: txn.Read, Abortable: true,
-			Op: OpCheckBalance, Args: []uint64{amt}},
-		{Table: TableID, Key: storage.Key(src), Access: txn.ReadModifyWrite,
-			Op: OpDebit, Args: []uint64{amt}},
-		{Table: TableID, Key: storage.Key(dst), Access: txn.ReadModifyWrite,
-			Op: OpCredit, Args: []uint64{amt}},
-	}
+	frags := w.arena.FragBuf(3)
+	t.Frags = append(frags,
+		txn.Fragment{Table: TableID, Key: storage.Key(src), Access: txn.Read, Abortable: true,
+			Op: OpCheckBalance, Args: w.arena.Args(amt)},
+		txn.Fragment{Table: TableID, Key: storage.Key(src), Access: txn.ReadModifyWrite,
+			Op: OpDebit, Args: w.arena.Args(amt)},
+		txn.Fragment{Table: TableID, Key: storage.Key(dst), Access: txn.ReadModifyWrite,
+			Op: OpCredit, Args: w.arena.Args(amt)},
+	)
 	t.Finish()
 	if err := w.reg.Resolve(t); err != nil {
 		panic(err) // unreachable: all opcodes registered

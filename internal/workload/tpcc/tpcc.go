@@ -129,7 +129,7 @@ const (
 	oidSpan = uint64(1) << 24
 )
 
-func u64(b []byte, off int) uint64     { return binary.LittleEndian.Uint64(b[off:]) }
+func u64(b []byte, off int) uint64       { return binary.LittleEndian.Uint64(b[off:]) }
 func putU64(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
 
 // Config parameterizes the workload.
@@ -266,7 +266,17 @@ type Workload struct {
 	histSeq []uint64            // per warehouse history key counter
 	// delivery rotation
 	delivW, delivD int
+	arena          *txn.Arena // nil = heap allocation
+	// newOrder scratch (per-txn, reused; itemsOf entries stay heap-allocated
+	// because the district shadow retains them across batches)
+	lines     []orderLine
+	seenItems []int
 }
+
+// SetArena makes subsequent NextBatch calls allocate transactions, fragments
+// and argument slices from a (the caller owns its Reset cadence; see
+// txn.Arena). Pass nil to return to heap allocation.
+func (g *Workload) SetArena(a *txn.Arena) { g.arena = a }
 
 var _ workload.Generator = (*Workload)(nil)
 

@@ -1,6 +1,8 @@
 package tpcc
 
 import (
+	"slices"
+
 	"github.com/exploratory-systems/qotp/internal/txn"
 	"github.com/exploratory-systems/qotp/internal/workload"
 )
@@ -245,6 +247,14 @@ func (g *Workload) NextBatch(n int) []*txn.Txn {
 	return out
 }
 
+// orderLine is the per-line scratch of a NewOrder under construction.
+type orderLine struct {
+	item    int
+	supplyW int
+	qty     uint64
+	invalid bool
+}
+
 func (g *Workload) finish(t *txn.Txn, profile uint8) *txn.Txn {
 	t.ID = g.nextID
 	g.nextID++
@@ -272,21 +282,20 @@ func (g *Workload) newOrder() *txn.Txn {
 	olCnt := minOrderLines + g.rng.Intn(maxOrderLines-minOrderLines+1)
 	invalid := g.rng.Float64() < cfg.InvalidItemProb
 
-	type line struct {
-		item    int
-		supplyW int
-		qty     uint64
-		invalid bool
+	g.lines = g.lines[:0]
+	g.seenItems = g.seenItems[:0]
+	var items []int
+	if !invalid {
+		// items is retained by the district shadow (stockLevel reads it
+		// batches later), so it must not come from per-batch scratch.
+		items = make([]int, 0, olCnt)
 	}
-	lines := make([]line, olCnt)
-	seen := make(map[int]bool, olCnt)
-	items := make([]int, 0, olCnt)
-	for i := range lines {
+	for i := 0; i < olCnt; i++ {
 		item := int(g.rng.NURand(8191, 1, int64(cfg.Items)))
-		for seen[item] {
+		for slices.Contains(g.seenItems, item) {
 			item = 1 + g.rng.Intn(cfg.Items)
 		}
-		seen[item] = true
+		g.seenItems = append(g.seenItems, item)
 		supplyW := w
 		if cfg.Warehouses > 1 && g.rng.Float64() < cfg.RemoteStockProb {
 			supplyW = 1 + g.rng.Intn(cfg.Warehouses)
@@ -294,15 +303,18 @@ func (g *Workload) newOrder() *txn.Txn {
 				supplyW = 1 + g.rng.Intn(cfg.Warehouses)
 			}
 		}
-		lines[i] = line{item: item, supplyW: supplyW, qty: 1 + uint64(g.rng.Intn(10))}
-		items = append(items, item)
+		g.lines = append(g.lines, orderLine{item: item, supplyW: supplyW, qty: 1 + uint64(g.rng.Intn(10))})
+		if !invalid {
+			items = append(items, item)
+		}
 	}
+	lines := g.lines
 	if invalid {
 		lines[olCnt-1].invalid = true
 	}
 
-	t := &txn.Txn{}
-	frags := make([]txn.Fragment, 0, 3+3*olCnt+3)
+	t := g.arena.NewTxn()
+	frags := g.arena.FragBuf(3 + 3*olCnt + 3)
 	// Abortable item reads first (conservative-execution ordering rule).
 	// Each line reads its *supplying* warehouse's ITEM replica (replicas are
 	// identical, so the price is the same either way): a remote order line
@@ -317,14 +329,14 @@ func (g *Workload) newOrder() *txn.Txn {
 		}
 		frags = append(frags, txn.Fragment{
 			Table: TableItem, Key: g.keyItem(ln.supplyW, ln.item), Access: txn.Read,
-			Abortable: true, Op: OpItemRead, Args: []uint64{inv, slot},
-			PubVars: []uint8{uint8(slot)},
+			Abortable: true, Op: OpItemRead, Args: g.arena.Args(inv, slot),
+			PubVars: g.arena.Slots(uint8(slot)),
 		})
 	}
 	frags = append(frags,
-		txn.Fragment{Table: TableWarehouse, Key: g.keyWarehouse(w), Access: txn.Read, Op: OpWarehouseTax, PubVars: []uint8{0}},
-		txn.Fragment{Table: TableCustomer, Key: g.keyCustomer(w, d, c), Access: txn.Read, Op: OpCustomerDiscount, PubVars: []uint8{2}},
-		txn.Fragment{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.ReadModifyWrite, Op: OpDistrictNewOrder, PubVars: []uint8{1}},
+		txn.Fragment{Table: TableWarehouse, Key: g.keyWarehouse(w), Access: txn.Read, Op: OpWarehouseTax, PubVars: g.arena.Slots(0)},
+		txn.Fragment{Table: TableCustomer, Key: g.keyCustomer(w, d, c), Access: txn.Read, Op: OpCustomerDiscount, PubVars: g.arena.Slots(2)},
+		txn.Fragment{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.ReadModifyWrite, Op: OpDistrictNewOrder, PubVars: g.arena.Slots(1)},
 	)
 	for _, ln := range lines {
 		remote := uint64(0)
@@ -333,13 +345,13 @@ func (g *Workload) newOrder() *txn.Txn {
 		}
 		frags = append(frags, txn.Fragment{
 			Table: TableStock, Key: g.keyStock(ln.supplyW, ln.item),
-			Access: txn.ReadModifyWrite, Op: OpStockUpdate, Args: []uint64{ln.qty, remote},
+			Access: txn.ReadModifyWrite, Op: OpStockUpdate, Args: g.arena.Args(ln.qty, remote),
 		})
 	}
 	entryD := g.nextID // deterministic virtual timestamp
 	frags = append(frags,
 		txn.Fragment{Table: TableOrders, Key: g.keyOrder(w, d, oid), Access: txn.Insert,
-			Op: OpOrderInsert, Args: []uint64{uint64(c), entryD, uint64(olCnt)}},
+			Op: OpOrderInsert, Args: g.arena.Args(uint64(c), entryD, uint64(olCnt))},
 		txn.Fragment{Table: TableNewOrder, Key: g.keyNewOrder(w, d, oid), Access: txn.Insert,
 			Op: OpNewOrderInsert},
 	)
@@ -347,8 +359,8 @@ func (g *Workload) newOrder() *txn.Txn {
 		slot := uint64(3 + i)
 		frags = append(frags, txn.Fragment{
 			Table: TableOrderLine, Key: g.keyOrderLine(w, d, oid, i+1), Access: txn.Insert,
-			Op: OpOrderLineInsert, Args: []uint64{uint64(ln.item), uint64(ln.supplyW), ln.qty, slot},
-			NeedVars: []uint8{0, 1, 2, uint8(slot)},
+			Op: OpOrderLineInsert, Args: g.arena.Args(uint64(ln.item), uint64(ln.supplyW), ln.qty, slot),
+			NeedVars: g.arena.Slots(0, 1, 2, uint8(slot)),
 		})
 	}
 	t.Frags = frags
@@ -384,17 +396,18 @@ func (g *Workload) payment() *txn.Txn {
 	hseq := g.histSeq[w-1]
 	g.histSeq[w-1]++
 
-	t := &txn.Txn{}
-	t.Frags = []txn.Fragment{
-		{Table: TableWarehouse, Key: g.keyWarehouse(w), Access: txn.ReadModifyWrite,
-			Op: OpWarehousePay, Args: []uint64{amt}},
-		{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.ReadModifyWrite,
-			Op: OpDistrictPay, Args: []uint64{amt}},
-		{Table: TableCustomer, Key: g.keyCustomer(cw, cd, c), Access: txn.ReadModifyWrite,
-			Op: OpCustomerPay, Args: []uint64{amt, g.nextID}},
-		{Table: TableHistory, Key: g.keyHistory(w, hseq), Access: txn.Insert,
-			Op: OpHistoryInsert, Args: []uint64{amt, uint64(w), uint64(d), uint64(c)}},
-	}
+	t := g.arena.NewTxn()
+	frags := g.arena.FragBuf(4)
+	t.Frags = append(frags,
+		txn.Fragment{Table: TableWarehouse, Key: g.keyWarehouse(w), Access: txn.ReadModifyWrite,
+			Op: OpWarehousePay, Args: g.arena.Args(amt)},
+		txn.Fragment{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.ReadModifyWrite,
+			Op: OpDistrictPay, Args: g.arena.Args(amt)},
+		txn.Fragment{Table: TableCustomer, Key: g.keyCustomer(cw, cd, c), Access: txn.ReadModifyWrite,
+			Op: OpCustomerPay, Args: g.arena.Args(amt, g.nextID)},
+		txn.Fragment{Table: TableHistory, Key: g.keyHistory(w, hseq), Access: txn.Insert,
+			Op: OpHistoryInsert, Args: g.arena.Args(amt, uint64(w), uint64(d), uint64(c))},
+	)
 	return g.finish(t, ProfilePayment)
 }
 
@@ -407,11 +420,18 @@ func (g *Workload) orderStatus() *txn.Txn {
 	c := int(g.rng.NURand(1023, 1, int64(cfg.CustomersPerDistrict)))
 	sh := g.shadow[w-1][d-1]
 
-	t := &txn.Txn{}
-	frags := []txn.Fragment{
-		{Table: TableCustomer, Key: g.keyCustomer(w, d, c), Access: txn.Read, Op: OpCustomerRead},
+	t := g.arena.NewTxn()
+	capHint := 1
+	oid, haveOrder := sh.lastOrderOf[c]
+	haveOrder = haveOrder && oid < sh.batchStart
+	if haveOrder {
+		capHint += 1 + sh.olCnt[oid]
 	}
-	if oid, ok := sh.lastOrderOf[c]; ok && oid < sh.batchStart {
+	frags := g.arena.FragBuf(capHint)
+	frags = append(frags, txn.Fragment{
+		Table: TableCustomer, Key: g.keyCustomer(w, d, c), Access: txn.Read, Op: OpCustomerRead,
+	})
+	if haveOrder {
 		frags = append(frags, txn.Fragment{
 			Table: TableOrders, Key: g.keyOrder(w, d, oid), Access: txn.Read, Op: OpOrderRead,
 		})
@@ -444,13 +464,17 @@ func (g *Workload) delivery() *txn.Txn {
 	carrier := uint64(1 + g.rng.Intn(10))
 	now := g.nextID
 
-	t := &txn.Txn{}
+	t := g.arena.NewTxn()
+	districtReadOnly := func() *txn.Txn {
+		frags := g.arena.FragBuf(1)
+		t.Frags = append(frags, txn.Fragment{
+			Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.Read, Op: OpDistrictRead,
+		})
+		return g.finish(t, ProfileDelivery)
+	}
 	if sh.nextDeliv >= sh.batchStart || sh.nextDeliv >= sh.nextOID {
 		// Nothing deliverable: bookkeeping read only.
-		t.Frags = []txn.Fragment{
-			{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.Read, Op: OpDistrictRead},
-		}
-		return g.finish(t, ProfileDelivery)
+		return districtReadOnly()
 	}
 	oid := sh.nextDeliv
 	// Skip order ids that never materialized (aborted NewOrders).
@@ -462,10 +486,7 @@ func (g *Workload) delivery() *txn.Txn {
 	}
 	if oid >= sh.batchStart {
 		sh.nextDeliv = oid
-		t.Frags = []txn.Fragment{
-			{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.Read, Op: OpDistrictRead},
-		}
-		return g.finish(t, ProfileDelivery)
+		return districtReadOnly()
 	}
 	olCnt := sh.olCnt[oid]
 	sh.nextDeliv = oid + 1
@@ -476,29 +497,29 @@ func (g *Workload) delivery() *txn.Txn {
 	// the same way the loader/newOrder assigned it.
 	cid := g.customerOfOrder(w, d, oid)
 
-	frags := make([]txn.Fragment, 0, 4+olCnt)
+	frags := g.arena.FragBuf(4 + olCnt)
 	frags = append(frags,
 		txn.Fragment{Table: TableNewOrder, Key: g.keyNewOrder(w, d, oid), Access: txn.ReadModifyWrite,
 			Op: OpNewOrderDeliver},
 		txn.Fragment{Table: TableOrders, Key: g.keyOrder(w, d, oid), Access: txn.ReadModifyWrite,
-			Op: OpOrderDeliver, Args: []uint64{carrier}},
+			Op: OpOrderDeliver, Args: g.arena.Args(carrier)},
 	)
 	for ol := 1; ol <= olCnt; ol++ {
 		slot := uint64(3 + ol - 1)
 		frags = append(frags, txn.Fragment{
 			Table: TableOrderLine, Key: g.keyOrderLine(w, d, oid, ol), Access: txn.ReadModifyWrite,
-			Op: OpOrderLineDeliver, Args: []uint64{now, slot}, PubVars: []uint8{uint8(slot)},
+			Op: OpOrderLineDeliver, Args: g.arena.Args(now, slot), PubVars: g.arena.Slots(uint8(slot)),
 		})
 	}
-	needs := make([]uint8, olCnt)
+	needs := g.arena.SlotBuf(olCnt)
 	for i := range needs {
 		needs[i] = uint8(3 + i)
 	}
 	frags = append(frags,
 		txn.Fragment{Table: TableCustomer, Key: g.keyCustomer(w, d, cid), Access: txn.ReadModifyWrite,
-			Op: OpCustomerDeliver, Args: []uint64{uint64(olCnt)}, NeedVars: needs},
+			Op: OpCustomerDeliver, Args: g.arena.Args(uint64(olCnt)), NeedVars: needs},
 		txn.Fragment{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.ReadModifyWrite,
-			Op: OpDistrictDeliver, Args: []uint64{oid + 1}},
+			Op: OpDistrictDeliver, Args: g.arena.Args(oid + 1)},
 	)
 	t.Frags = frags
 	return g.finish(t, ProfileDelivery)
@@ -523,25 +544,30 @@ func (g *Workload) stockLevel() *txn.Txn {
 	threshold := uint64(10 + g.rng.Intn(11))
 	sh := g.shadow[w-1][d-1]
 
-	t := &txn.Txn{}
-	frags := []txn.Fragment{
-		{Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.Read, Op: OpDistrictRead},
-	}
-	distinct := make(map[int]bool)
+	t := g.arena.NewTxn()
 	lo := uint64(1)
 	if sh.batchStart > 21 {
 		lo = sh.batchStart - 21
 	}
+	// First pass: collect the distinct items (scratch slice, no per-txn map)
+	// so the fragment buffer can be sized exactly.
+	g.seenItems = g.seenItems[:0]
 	for oid := lo; oid < sh.batchStart; oid++ {
 		for _, item := range sh.itemsOf[oid] {
-			if !distinct[item] {
-				distinct[item] = true
-				frags = append(frags, txn.Fragment{
-					Table: TableStock, Key: g.keyStock(w, item), Access: txn.Read,
-					Op: OpStockCheck, Args: []uint64{threshold},
-				})
+			if !slices.Contains(g.seenItems, item) {
+				g.seenItems = append(g.seenItems, item)
 			}
 		}
+	}
+	frags := g.arena.FragBuf(1 + len(g.seenItems))
+	frags = append(frags, txn.Fragment{
+		Table: TableDistrict, Key: g.keyDistrict(w, d), Access: txn.Read, Op: OpDistrictRead,
+	})
+	for _, item := range g.seenItems {
+		frags = append(frags, txn.Fragment{
+			Table: TableStock, Key: g.keyStock(w, item), Access: txn.Read,
+			Op: OpStockCheck, Args: g.arena.Args(threshold),
+		})
 	}
 	t.Frags = frags
 	return g.finish(t, ProfileStockLevel)

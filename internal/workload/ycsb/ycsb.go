@@ -9,6 +9,7 @@ package ycsb
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/txn"
@@ -102,6 +103,8 @@ type Workload struct {
 	dist   workload.Dist // per-partition index distribution
 	reg    txn.Registry
 	nextID uint64
+	arena  *txn.Arena    // nil = heap allocation
+	seen   []storage.Key // per-txn duplicate-key scratch
 }
 
 var _ workload.Generator = (*Workload)(nil)
@@ -133,6 +136,11 @@ func MustNew(cfg Config) *Workload {
 
 // Name implements workload.Generator.
 func (w *Workload) Name() string { return "ycsb" }
+
+// SetArena makes subsequent NextBatch calls allocate transactions, fragments
+// and argument slices from a (the caller owns its Reset cadence; see
+// txn.Arena). Pass nil to return to heap allocation.
+func (w *Workload) SetArena(a *txn.Arena) { w.arena = a }
 
 // Config returns the normalized configuration.
 func (w *Workload) Config() Config { return w.cfg }
@@ -215,7 +223,8 @@ func (w *Workload) NextBatch(n int) []*txn.Txn {
 
 func (w *Workload) nextTxn() *txn.Txn {
 	cfg := &w.cfg
-	t := &txn.Txn{ID: w.nextID}
+	t := w.arena.NewTxn()
+	t.ID = w.nextID
 	w.nextID++
 
 	multi := cfg.MultiPartitionRatio > 0 && w.rng.Float64() < cfg.MultiPartitionRatio
@@ -232,7 +241,7 @@ func (w *Workload) nextTxn() *txn.Txn {
 		abortAt = w.rng.Intn(cfg.OpsPerTxn)
 	}
 
-	frags := make([]txn.Fragment, 0, cfg.OpsPerTxn+1)
+	frags := w.arena.FragBuf(cfg.OpsPerTxn + 1)
 	if abortAt >= 0 {
 		// Abortable check first (conservative execution requires abortable
 		// fragments to precede all writes).
@@ -240,15 +249,17 @@ func (w *Workload) nextTxn() *txn.Txn {
 		frags = append(frags, txn.Fragment{
 			Table: TableID, Key: w.keyIn(part),
 			Access: txn.Read, Abortable: true,
-			Op: OpCheck, Args: []uint64{1},
+			Op: OpCheck, Args: w.arena.Args(1),
 		})
 	}
-	seen := make(map[storage.Key]struct{}, cfg.OpsPerTxn)
+	// Duplicate-key scratch: a linear scan over at most OpsPerTxn keys beats
+	// a per-transaction map both in time and in allocations.
+	w.seen = w.seen[:0]
 	for op := 0; op < cfg.OpsPerTxn; op++ {
 		part := (basePart + op%nParts) % cfg.Partitions
 		key := w.keyIn(part)
 		for tries := 0; ; tries++ {
-			if _, dup := seen[key]; !dup {
+			if !slices.Contains(w.seen, key) {
 				break
 			}
 			if tries < 64 {
@@ -259,7 +270,7 @@ func (w *Workload) nextTxn() *txn.Txn {
 				key = storage.Key((uint64(key) + uint64(cfg.Partitions)) % w.cfg.Records)
 			}
 		}
-		seen[key] = struct{}{}
+		w.seen = append(w.seen, key)
 		r := w.rng.Float64()
 		switch {
 		case r < cfg.ReadRatio:
@@ -269,12 +280,12 @@ func (w *Workload) nextTxn() *txn.Txn {
 		case r < cfg.ReadRatio+cfg.RMWRatio:
 			frags = append(frags, txn.Fragment{
 				Table: TableID, Key: key, Access: txn.ReadModifyWrite,
-				Op: OpRMW, Args: []uint64{1},
+				Op: OpRMW, Args: w.arena.Args(1),
 			})
 		default:
 			frags = append(frags, txn.Fragment{
 				Table: TableID, Key: key, Access: txn.Update,
-				Op: OpUpdate, Args: []uint64{t.ID},
+				Op: OpUpdate, Args: w.arena.Args(t.ID),
 			})
 		}
 	}

@@ -106,6 +106,9 @@ type QueCCOptions struct {
 	// Logger, when non-nil, receives each batch before commit (see the
 	// wal package).
 	Logger core.BatchLogger
+	// Pipeline enables the Submit/Drain driver: planning of batch k+1
+	// overlaps execution of batch k (see core.Config.Pipeline).
+	Pipeline bool
 }
 
 // NewQueCC creates the paper's queue-oriented deterministic engine.
@@ -122,13 +125,14 @@ func NewQueCC(db *DB, opts QueCCOptions) (Engine, error) {
 		Mechanism: opts.Mechanism,
 		Isolation: opts.Isolation,
 		Logger:    opts.Logger,
+		Pipeline:  opts.Pipeline,
 	})
 }
 
 // Protocols lists the centralized protocol names accepted by New.
 func Protocols() []string {
 	return []string{
-		"quecc", "quecc-cons", "quecc-rc",
+		"quecc", "quecc-cons", "quecc-rc", "quecc-pipe",
 		"hstore", "calvin",
 		"2pl-nowait", "2pl-waitdie", "silo", "tictoc", "mvto",
 	}
@@ -144,6 +148,8 @@ func New(name string, db *DB, threads int) (Engine, error) {
 		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, Mechanism: Conservative})
 	case "quecc-rc":
 		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, Isolation: ReadCommitted})
+	case "quecc-pipe":
+		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, Pipeline: true})
 	case "hstore":
 		return hstore.New(db, threads)
 	case "calvin":
