@@ -103,6 +103,11 @@ func BenchmarkE12_DistScaling(b *testing.B) { runSpecs(b, findExp(b, "E12").Spec
 // arena-allocation ablation (compare the allocs/txn metric across drivers).
 func BenchmarkE14_Pipeline(b *testing.B) { runSpecs(b, findExp(b, "E14").Specs) }
 
+// BenchmarkE15_DistPipeline — distributed serial vs pipelined leader
+// (QueCC-D/Calvin-D; plan/encode of batch k+1 hidden under the cluster's
+// execution and message latency of batch k).
+func BenchmarkE15_DistPipeline(b *testing.B) { runSpecs(b, findExp(b, "E15").Specs) }
+
 // BenchmarkPlanningVsExecution profiles the two phases of the queue engine
 // (an ablation of the paper's Figure 1 pipeline).
 func BenchmarkPlanningVsExecution(b *testing.B) {

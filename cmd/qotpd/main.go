@@ -7,10 +7,16 @@
 // with remote NewOrder lines, whose item prices are forwarded across nodes in
 // the MsgVars round — cross-node data dependencies over real sockets.
 //
+// With -pipeline the leader runs the Submit/Drain pipelined driver: batch
+// k+1 is planned and encoded while the cluster executes batch k over the
+// sockets — the leader-side overlap, verified against the same serial
+// reference.
+//
 // Usage:
 //
 //	qotpd -nodes 4 -batches 10 -batch 2000
 //	qotpd -nodes 4 -workload tpcc -warehouses 8 -remote 0.1
+//	qotpd -nodes 4 -pipeline
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 		wl         = flag.String("workload", "ycsb", "workload: ycsb or tpcc")
 		warehouses = flag.Int("warehouses", 0, "tpcc warehouses (default 2x nodes; must be >= nodes)")
 		remote     = flag.Float64("remote", 0.1, "tpcc remote order-line fraction (cross-node data dependencies)")
+		pipeline   = flag.Bool("pipeline", false, "pipelined leader: plan/encode batch k+1 while the cluster executes batch k")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -122,15 +129,27 @@ func main() {
 	// in the benchmarks.
 	multi := &fanTransport{transports: transports}
 	gen := mkGen()
-	eng, err := dist.NewQueCCD(multi, gen, parts, *execs)
+	var opts []dist.Option
+	if *pipeline {
+		opts = append(opts, dist.ArgPipeline)
+	}
+	eng, err := dist.NewQueCCD(multi, gen, parts, *execs, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
 	for b := 0; b < *batches; b++ {
-		if err := eng.ExecBatch(gen.NextBatch(*batchSize)); err != nil {
+		if *pipeline {
+			err = eng.Submit(gen.NextBatch(*batchSize))
+		} else {
+			err = eng.ExecBatch(gen.NextBatch(*batchSize))
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if err := eng.Drain(); err != nil {
+		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
 	snap := eng.Stats().Snap(elapsed)

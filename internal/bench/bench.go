@@ -33,8 +33,11 @@ import (
 type Spec struct {
 	// Engine selects the protocol: quecc, quecc-cons, quecc-rc, quecc-pipe,
 	// hstore, calvin, 2pl-nowait, 2pl-waitdie, silo, tictoc, mvto, quecc-d,
-	// calvin-d, hstore-d. quecc-pipe is the queue engine with the pipelined
-	// Submit/Drain driver (planning of batch k+1 overlaps execution of k).
+	// quecc-d-pipe, calvin-d, calvin-d-pipe, hstore-d. quecc-pipe is the
+	// queue engine with the pipelined Submit/Drain driver (planning of batch
+	// k+1 overlaps execution of k); quecc-d-pipe / calvin-d-pipe are the
+	// distributed engines with the pipelined leader (the leader plans and
+	// encodes batch k+1 while the cluster executes batch k).
 	Engine string
 	// Workload selects the generator: ycsb, tpcc, bank.
 	Workload string
@@ -177,12 +180,16 @@ func Run(s Spec) (Result, error) {
 		switch s.Engine {
 		case "quecc-d":
 			eng, err = dist.NewQueCCD(tr, gen, s.Partitions, s.Threads)
+		case "quecc-d-pipe":
+			eng, err = dist.NewQueCCD(tr, gen, s.Partitions, s.Threads, dist.ArgPipeline)
 		case "calvin-d":
 			eng, err = dist.NewCalvinD(tr, gen, s.Partitions, s.Threads, dist.ArgAbortEval)
+		case "calvin-d-pipe":
+			eng, err = dist.NewCalvinD(tr, gen, s.Partitions, s.Threads, dist.ArgAbortEval, dist.ArgPipeline)
 		case "hstore-d":
 			eng, err = dist.NewHStoreD(tr, gen, s.Partitions, s.Threads)
 		default:
-			return Result{}, fmt.Errorf("bench: engine %q is not distributed (set Nodes=0 or pick quecc-d/calvin-d/hstore-d)", s.Engine)
+			return Result{}, fmt.Errorf("bench: engine %q is not distributed (set Nodes=0 or pick quecc-d/quecc-d-pipe/calvin-d/calvin-d-pipe/hstore-d)", s.Engine)
 		}
 		if err != nil {
 			return Result{}, err
@@ -202,14 +209,18 @@ func Run(s Spec) (Result, error) {
 	}
 	defer eng.Close()
 
-	// Arena-backed generation for the centralized engines: the serial driver
-	// rotates two arenas anyway (harmless), matching the pipelined driver's
-	// requirement that batch k's arena survive until k+1 has been submitted
-	// (txn.Arena lifetime rule). Distributed engines keep heap generation —
-	// the leader's shadows and shipped queues have their own lifetimes.
+	// Arena-backed generation, rotating two arenas: batch k's arena is Reset
+	// only when batch k+2 is generated, by which point batch k has fully
+	// finished under both the serial and the pipelined drivers (txn.Arena
+	// lifetime rule). This covers the centralized engines and the
+	// deterministic distributed leaders — their shipments copy everything
+	// they keep (NodePlans / localShadows shadow copies, encoded payloads)
+	// before Submit returns, so the generator's transactions die with the
+	// batch. H-Store-D keeps heap generation: its per-transaction 2PC
+	// payloads alias fragment args with no batch-level reuse point.
 	type arenaSetter interface{ SetArena(*txn.Arena) }
 	var arenas [2]*txn.Arena
-	if setter, ok := gen.(arenaSetter); ok && s.Nodes == 0 && !s.NoArena {
+	if setter, ok := gen.(arenaSetter); ok && s.Engine != "hstore-d" && !s.NoArena {
 		arenas[0], arenas[1] = &txn.Arena{}, &txn.Arena{}
 		setter.SetArena(arenas[0])
 	}

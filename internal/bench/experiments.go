@@ -33,7 +33,7 @@ var DefaultScale = Scale{Batches: 6, BatchSize: 2000, YCSBRecs: 1 << 16, Threads
 // transactions per spec so the JSON trajectory is non-degenerate.
 var SmokeScale = Scale{Batches: 3, BatchSize: 500, YCSBRecs: 1 << 13, Threads: 2}
 
-// Experiments returns the full registry (E1–E14), sized by sc.
+// Experiments returns the full registry (E1–E15), sized by sc.
 func Experiments(sc Scale) []Experiment {
 	ycsbBase := func(theta, mpRatio float64, mpCount, ops int, readRatio float64) Spec {
 		s := Spec{
@@ -318,6 +318,43 @@ func Experiments(sc Scale) []Experiment {
 		Artifact: "Pipelined vs serial batches + allocation ablation (paper §3: planners overlap executors)",
 		Expect:   "arena cuts allocs/txn severalfold; pipelined txn/s >= serial (gain needs multicore)",
 		Specs:    e14,
+	})
+
+	// E15 — distributed leader pipelining (the HA follow-up's speculative
+	// pipelining, one layer above E14): serial vs pipelined leader on
+	// QueCC-D (YCSB, and TPC-C with cross-node order lines) over 2 and 4
+	// nodes with 200us hops, plus a Calvin-D pair. The pipelined leader
+	// plans and encodes batch k+1 while the cluster executes and
+	// verdict-repairs batch k, so plan+encode time hides under execution
+	// *and message latency* — unlike E14, the win does not need a second
+	// core, only a cluster that is busy while the leader would otherwise
+	// sit in the planner. allocs/txn doubles as the hot-path gauge for the
+	// follower decode arenas and the TPC-C ring-buffer shadow state.
+	var e15 []NamedSpec
+	hop := 200 * time.Microsecond
+	for _, nodes := range []int{2, 4} {
+		y := ycsbBase(0, 0.2, 2, 10, 0.5)
+		y.BatchSize = sc.BatchSize / 2
+		tp := tpccBase(8)
+		tp.TPCC.RemoteStockProb = 0.1
+		e15 = append(e15,
+			NamedSpec{fmt.Sprintf("quecc-d/ycsb/n=%d", nodes), dist(y, "quecc-d", nodes, hop)},
+			NamedSpec{fmt.Sprintf("quecc-d-pipe/ycsb/n=%d", nodes), dist(y, "quecc-d-pipe", nodes, hop)},
+			NamedSpec{fmt.Sprintf("quecc-d/tpcc/n=%d", nodes), dist(tp, "quecc-d", nodes, hop)},
+			NamedSpec{fmt.Sprintf("quecc-d-pipe/tpcc/n=%d", nodes), dist(tp, "quecc-d-pipe", nodes, hop)},
+		)
+	}
+	cv := ycsbBase(0, 0.2, 2, 10, 0.5)
+	cv.BatchSize = sc.BatchSize / 2
+	e15 = append(e15,
+		NamedSpec{"calvin-d/ycsb/n=4", dist(cv, "calvin-d", 4, hop)},
+		NamedSpec{"calvin-d-pipe/ycsb/n=4", dist(cv, "calvin-d-pipe", 4, hop)},
+	)
+	exps = append(exps, Experiment{
+		ID:       "E15",
+		Artifact: "Distributed serial vs pipelined leader (QueCC-D/Calvin-D, 2-4 nodes, 200us hops)",
+		Expect:   "pipelined leader >= serial (plan/encode hidden under cluster rounds); identical msgs/txn; allocs/txn near zero on the deterministic engines",
+		Specs:    e15,
 	})
 
 	return exps

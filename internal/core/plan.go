@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/txn"
@@ -82,6 +81,14 @@ type varFlow struct {
 // engines use the routes to drive the MsgVars forwarding round that carries
 // cross-node data dependencies.
 func (pb *PlannedBatch) NodePlans(n int, owner func(part int) int) [][]*txn.Txn {
+	return pb.NodePlansArena(n, owner, nil)
+}
+
+// NodePlansArena is NodePlans with the shadow transactions and their
+// fragment slices allocated from a (nil = heap). The pipelined distributed
+// leader rotates two plan arenas: a batch's shadows must survive until it
+// commits, one batch behind the batch being prepared.
+func (pb *PlannedBatch) NodePlansArena(n int, owner func(part int) int, a *txn.Arena) [][]*txn.Txn {
 	picked := make([]map[*txn.Txn][]*txn.Fragment, n)
 	for i := range picked {
 		picked[i] = make(map[*txn.Txn][]*txn.Fragment)
@@ -124,7 +131,7 @@ func (pb *PlannedBatch) NodePlans(n int, owner func(part int) int) [][]*txn.Txn 
 
 	out := make([][]*txn.Txn, n)
 	for node := range out {
-		out[node] = buildShadows(pb.Txns, picked[node], node, flows)
+		out[node] = buildShadows(pb.Txns, picked[node], node, flows, a)
 	}
 	return out
 }
@@ -141,16 +148,24 @@ func fwdRoutes(fl *varFlow, node int) []txn.VarRoute {
 // buildShadows materializes shadow transactions (batch order, fragments in
 // sequence order) from a per-transaction fragment selection, attaching the
 // node's forwarding routes.
-func buildShadows(txns []*txn.Txn, picked map[*txn.Txn][]*txn.Fragment, node int, flows map[*txn.Txn]*varFlow) []*txn.Txn {
+func buildShadows(txns []*txn.Txn, picked map[*txn.Txn][]*txn.Fragment, node int, flows map[*txn.Txn]*varFlow, a *txn.Arena) []*txn.Txn {
 	shadows := make([]*txn.Txn, 0, len(picked))
 	for _, t := range txns {
 		frags, ok := picked[t]
 		if !ok {
 			continue
 		}
-		sort.Slice(frags, func(i, j int) bool { return frags[i].Seq < frags[j].Seq })
-		s := &txn.Txn{ID: t.ID, BatchPos: t.BatchPos, Profile: t.Profile}
-		s.Frags = make([]txn.Fragment, len(frags))
+		// Insertion sort by sequence: fragment lists are short (queue order
+		// already clusters them) and sort.Slice's reflective swapper would
+		// allocate per call.
+		for i := 1; i < len(frags); i++ {
+			for j := i; j > 0 && frags[j].Seq < frags[j-1].Seq; j-- {
+				frags[j], frags[j-1] = frags[j-1], frags[j]
+			}
+		}
+		s := a.NewTxn()
+		s.ID, s.BatchPos, s.Profile = t.ID, t.BatchPos, t.Profile
+		s.Frags = a.FragBuf(len(frags))[:len(frags)]
 		for i, f := range frags {
 			s.Frags[i] = *f
 		}

@@ -28,14 +28,22 @@ import (
 // verdict-fixpoint rounds as QueCC-D; without it a single reconnaissance
 // repair round is used (exact only for abort predicates that do not read
 // state written earlier in the same batch).
+//
+// With ArgPipeline the engine implements the Submit/Drain driver: the leader
+// sequences, validates and wire-encodes batch k+1 while the cluster executes
+// batch k, broadcasting k+1 the moment k commits (see QueCCD for the shared
+// driver semantics).
 type CalvinD struct {
 	g        *group
 	abortFix bool
-	// sendBuf is the reused MsgBatch encode buffer. The broadcast shares one
-	// payload slice across all followers; reuse at the next batch is safe
-	// because every follower decodes the batch before reporting its round
-	// done, and the leader does not return from ExecBatch until then.
-	sendBuf []byte
+	pipe     pipeDriver
+	// sendBufs are the reused MsgBatch encode buffers. A broadcast shares one
+	// payload slice across all followers (never pool-returned); the pair is
+	// rotated per batch so batch k+1 can be encoded while batch k's broadcast
+	// is still being decoded, and a buffer is only reused at batch k+2's
+	// prepare — after batch k fully drained.
+	sendBufs [2][]byte
+	bufIdx   int
 }
 
 // NewCalvinD builds the distributed Calvin-style engine over the transport.
@@ -46,8 +54,11 @@ func NewCalvinD(tr cluster.Transport, gen workload.Generator, partitions, worker
 	}
 	e := &CalvinD{g: g}
 	for _, o := range opts {
-		if o == ArgAbortEval {
+		switch o {
+		case ArgAbortEval:
 			e.abortFix = true
+		case ArgPipeline:
+			e.pipe.enabled = true
 		}
 	}
 	g.startFollowers(e.followerHandle)
@@ -55,7 +66,12 @@ func NewCalvinD(tr cluster.Transport, gen workload.Generator, partitions, worker
 }
 
 // Name implements the engine interface.
-func (e *CalvinD) Name() string { return fmt.Sprintf("calvin-d/%d", len(e.g.nodes)) }
+func (e *CalvinD) Name() string {
+	if e.pipe.enabled {
+		return fmt.Sprintf("calvin-d-pipe/%d", len(e.g.nodes))
+	}
+	return fmt.Sprintf("calvin-d/%d", len(e.g.nodes))
+}
 
 // Stats implements the engine interface.
 func (e *CalvinD) Stats() *metrics.Stats { return e.g.Stats() }
@@ -63,59 +79,105 @@ func (e *CalvinD) Stats() *metrics.Stats { return e.g.Stats() }
 // Stores returns the per-node stores for state verification.
 func (e *CalvinD) Stores() []*storage.Store { return e.g.Stores() }
 
-// Close implements the engine interface.
-func (e *CalvinD) Close() { e.g.close() }
+// Close implements the engine interface: drains any in-flight pipelined
+// batch, then shuts the follower loops down.
+func (e *CalvinD) Close() {
+	_ = e.Drain()
+	e.g.close()
+}
 
-// ExecBatch implements the engine interface, leader-side.
-func (e *CalvinD) ExecBatch(txns []*txn.Txn) error {
-	if len(txns) == 0 {
-		return nil
-	}
-	g := e.g
-	leader := g.nodes[0]
-	start := time.Now()
-	if err := g.usable(); err != nil {
-		return err
-	}
+// calvinShipment is one prepared batch: the sequenced transactions and their
+// broadcast payload. Preparation touches no protocol state, so it may
+// overlap an executing batch; the leader's local shadows are derived at ship
+// time because they allocate from the node's batch decode arena.
+type calvinShipment struct {
+	txns    []*txn.Txn
+	start   time.Time
+	payload []byte
+}
 
+// prepare sequences, validates and wire-encodes one batch (the Calvin
+// sequencer's input-replication step, minus the sends).
+func (e *CalvinD) prepare(txns []*txn.Txn) (calvinShipment, error) {
+	s := calvinShipment{txns: txns, start: time.Now()}
 	// Sequencing: batch positions are the deterministic serial order.
 	for i, t := range txns {
 		t.BatchPos = uint32(i)
 	}
-	if err := checkForwarding(txns, leader.store, len(g.nodes)); err != nil {
-		return err
+	if err := checkForwarding(txns, e.g.nodes[0].store, len(e.g.nodes)); err != nil {
+		return s, err
 	}
 	if err := checkVerdictSafe(txns); err != nil {
-		return err
+		return s, err
 	}
+	idx := e.bufIdx
+	e.bufIdx ^= 1
+	e.sendBufs[idx] = txn.AppendBatch(e.sendBufs[idx][:0], txns)
+	s.payload = e.sendBufs[idx]
+	return s, nil
+}
 
-	// Batch broadcast: every node receives the whole batch and derives its
-	// local share itself (the Calvin model — sequencers replicate input).
-	e.sendBuf = txn.AppendBatch(e.sendBuf[:0], txns)
-	payload := e.sendBuf
+// ship broadcasts a prepared batch and installs the leader's local shadows.
+// It touches protocol state, so the previous batch must have fully drained
+// first; a send failure strands followers mid-protocol and stops the group.
+func (e *CalvinD) ship(s calvinShipment) error {
+	g := e.g
+	leader := g.nodes[0]
 	if err := g.broadcast(cluster.Msg{
-		Type: cluster.MsgBatch, Batch: g.epoch, Flag: uint64(len(txns)), Payload: payload,
+		Type: cluster.MsgBatch, Batch: g.epoch, Flag: uint64(len(s.txns)), Payload: s.payload,
 	}); err != nil {
+		g.stopped.Store(true)
 		return err
 	}
-	leader.install(localShadows(txns, leader.store, leader.id, len(g.nodes), true), len(txns))
+	a := leader.beginBatchArena()
+	leader.install(localShadows(s.txns, leader.store, leader.id, len(g.nodes), true, a), len(s.txns))
+	return nil
+}
 
-	aborted, err := g.leaderVerdictRounds(len(txns), leader.runRoundLocks, e.abortFix)
+// runRounds drives a shipped batch's verdict rounds to commit and folds the
+// outcome into the stats.
+func (e *CalvinD) runRounds(s calvinShipment) error {
+	g := e.g
+	aborted, err := g.leaderVerdictRounds(len(s.txns), g.nodes[0].runRoundLocks, e.abortFix)
 	if err != nil {
 		return err
 	}
-	g.finishBatch(len(txns), countTrue(aborted), uint64(time.Since(start).Nanoseconds()), func(committed int) {
-		g.stats.Latency.ObserveN(time.Since(start), committed)
+	g.finishBatch(len(s.txns), countTrue(aborted), uint64(time.Since(s.start).Nanoseconds()), func(committed int) {
+		g.stats.Latency.ObserveN(time.Since(s.start), committed)
 	})
 	return nil
 }
 
+// ExecBatch implements the engine interface, leader-side. Any batch still in
+// flight from the pipelined driver is drained first.
+func (e *CalvinD) ExecBatch(txns []*txn.Txn) error {
+	return execSequence(&e.pipe, e.g, len(txns) == 0,
+		func() (calvinShipment, error) { return e.prepare(txns) }, e.ship, e.runRounds)
+}
+
+// Submit is the pipelined driver API (requires the ArgPipeline option); see
+// QueCCD.Submit and submitSequence for the shared semantics.
+func (e *CalvinD) Submit(txns []*txn.Txn) error {
+	return submitSequence(&e.pipe, e.g, len(txns) == 0,
+		func() (calvinShipment, error) { return e.prepare(txns) }, e.ship, e.runRounds)
+}
+
+// Drain waits for the batch launched by the last Submit (if any) and returns
+// its execution error. A no-op on an idle engine.
+func (e *CalvinD) Drain() error { return e.pipe.drain() }
+
+// Pipelined reports whether the Submit/Drain driver is enabled.
+func (e *CalvinD) Pipelined() bool { return e.pipe.enabled }
+
 // followerHandle processes one protocol message on a follower node. Round
 // execution runs on a separate goroutine (runFollowerRound) so this loop
-// stays free to apply forwarded variables mid-round.
+// stays free to apply forwarded variables mid-round. The batch broadcast and
+// the node's derived local shadows are decoded/built in the node's rotating
+// batch arena.
 func (e *CalvinD) followerHandle(n *node, m cluster.Msg) error {
 	if m.Type == cluster.MsgBatch {
-		full, _, err := txn.DecodeBatch(m.Payload)
+		a := n.beginBatchArena()
+		full, _, err := txn.DecodeBatchArena(m.Payload, a)
 		if err != nil {
 			return err
 		}
@@ -125,7 +187,7 @@ func (e *CalvinD) followerHandle(n *node, m cluster.Msg) error {
 			}
 		}
 		n.execWG.Wait() // previous batch fully finished
-		n.install(localShadows(full, n.store, n.id, n.nNodes, true), int(m.Flag))
+		n.install(localShadows(full, n.store, n.id, n.nNodes, true, a), int(m.Flag))
 		if err := n.startRound(m.Batch, 0); err != nil {
 			return err
 		}
@@ -141,19 +203,23 @@ func (e *CalvinD) followerHandle(n *node, m cluster.Msg) error {
 
 // localShadows derives one node's shadow transactions from a full batch: for
 // every transaction with fragments homed on the node, a copy holding exactly
-// those fragments with original sequence numbers. With withRoutes, shadows
-// are tagged with the node's forwarded-variable routes — every Calvin node
-// holds the whole batch, so routes are derived locally instead of shipped
-// (the Calvin trade: replicate the input, re-derive the distribution).
-// H-Store-D passes false: its 2PC path seeds cross-participant values at the
-// coordinator (seedCrossVars) and never consults routes.
-func localShadows(txns []*txn.Txn, store *storage.Store, nodeID, nodes int, withRoutes bool) []*txn.Txn {
+// those fragments with original sequence numbers, allocated from a (nil =
+// heap; the Calvin nodes pass their batch decode arena). With withRoutes,
+// shadows are tagged with the node's forwarded-variable routes — every
+// Calvin node holds the whole batch, so routes are derived locally instead
+// of shipped (the Calvin trade: replicate the input, re-derive the
+// distribution). H-Store-D passes withRoutes=false and a nil arena: its 2PC
+// path seeds cross-participant values at the coordinator (seedCrossVars),
+// never consults routes, and its per-transaction shadows have no batch-
+// boundary lifetime.
+func localShadows(txns []*txn.Txn, store *storage.Store, nodeID, nodes int, withRoutes bool, a *txn.Arena) []*txn.Txn {
 	nodeOf := func(f *txn.Fragment) int {
 		return cluster.PartitionOwner(store.PartitionOf(f.Key), nodes)
 	}
 	var shadows []*txn.Txn
+	var local []int
 	for _, t := range txns {
-		var local []int
+		local = local[:0]
 		for i := range t.Frags {
 			if nodeOf(&t.Frags[i]) == nodeID {
 				local = append(local, i)
@@ -162,8 +228,9 @@ func localShadows(txns []*txn.Txn, store *storage.Store, nodeID, nodes int, with
 		if len(local) == 0 {
 			continue
 		}
-		s := &txn.Txn{ID: t.ID, BatchPos: t.BatchPos, Profile: t.Profile}
-		s.Frags = make([]txn.Fragment, len(local))
+		s := a.NewTxn()
+		s.ID, s.BatchPos, s.Profile = t.ID, t.BatchPos, t.Profile
+		s.Frags = a.FragBuf(len(local))[:len(local)]
 		for i, fi := range local {
 			s.Frags[i] = t.Frags[fi]
 		}
@@ -352,13 +419,14 @@ func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var ctx txn.FragCtx // per-worker reusable fragment context
 			for {
 				if int(done.Load()) >= len(states) {
 					return
 				}
 				select {
 				case st := <-ready:
-					err := n.runTxnFrags(st.t, aborted, &proposals[w], &failed)
+					err := n.runTxnFrags(st.t, aborted, &proposals[w], &failed, &ctx)
 					release(st)
 					if err != nil {
 						firstErr.CompareAndSwap(nil, err)
@@ -386,9 +454,9 @@ func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 
 // runTxnFrags runs one shadow transaction's fragments in sequence order under
 // held locks, with the shared verdict-round fragment semantics.
-func (n *node) runTxnFrags(t *txn.Txn, aborted []bool, proposals *[]uint32, failed *atomic.Bool) error {
+func (n *node) runTxnFrags(t *txn.Txn, aborted []bool, proposals *[]uint32, failed *atomic.Bool, ctx *txn.FragCtx) error {
 	for i := range t.Frags {
-		if err := n.runFrag(&t.Frags[i], aborted, proposals, failed); err != nil {
+		if err := n.runFrag(&t.Frags[i], aborted, proposals, failed, ctx); err != nil {
 			return err
 		}
 	}

@@ -101,6 +101,16 @@ type Option uint8
 // same batch.
 const ArgAbortEval Option = 1
 
+// ArgPipeline enables the leader-side Submit/Drain pipelined driver on the
+// deterministic engines (QueCC-D, Calvin-D): Submit validates, plans and
+// wire-encodes its batch immediately — overlapping the cluster's execution
+// and verdict repair of the previously submitted batch — and ships it only
+// once that batch has committed. The follower protocol, message rounds and
+// commit order are exactly those of the serial driver (pinned by
+// TestPipelinedMessageRoundsUnchanged); only the leader's plan/encode time
+// is hidden under the cluster's execution and message latency.
+const ArgPipeline Option = 2
+
 // shutdownFlag marks the leader's shutdown notice to follower loops.
 const shutdownFlag = ^uint64(0)
 
@@ -114,23 +124,46 @@ type insertRef struct {
 	key   storage.Key
 }
 
+// imgRef locates one record's before-image inside its partition log's byte
+// slab. Pointer-free map values plus clear() (which keeps bucket capacity)
+// make the steady-state log maintenance allocation-free.
+type imgRef struct {
+	off, n uint32
+}
+
 // partLog is one partition's rollback log: pre-batch before-images of every
-// record written this batch plus the records created this batch. Sharding
-// the log by partition keeps the queue-oriented hot path lock-free in
-// practice — a QueCC-D worker owns its partitions exclusively, so its log
-// mutexes are uncontended; only Calvin-D's lock-scheduled workers can ever
-// meet on one (two transactions of the same partition on different workers).
+// record written this batch plus the records created this batch. Images live
+// in one reusable byte slab (reset per batch) addressed by offset — the slab
+// may reallocate while growing, so sub-slices are never stored. Sharding the
+// log by partition keeps the queue-oriented hot path lock-free in practice —
+// a QueCC-D worker owns its partitions exclusively, so its log mutexes are
+// uncontended; only Calvin-D's lock-scheduled workers can ever meet on one
+// (two transactions of the same partition on different workers).
 type partLog struct {
 	mu      sync.Mutex
-	images  map[*storage.Record][]byte
+	images  map[*storage.Record]imgRef
+	slab    []byte
 	inserts []insertRef
+}
+
+// logImage captures rec's before-image if this is its first write of the
+// batch. Must be called with lg.mu held.
+func (lg *partLog) logImage(rec *storage.Record) {
+	if _, logged := lg.images[rec]; logged {
+		return
+	}
+	off := uint32(len(lg.slab))
+	lg.slab = append(lg.slab, rec.Val...)
+	lg.images[rec] = imgRef{off: off, n: uint32(len(rec.Val))}
 }
 
 // varsKey addresses forwarded-variable traffic: one execution round of one
 // batch. MsgVars can arrive before the round's trigger message (queue
 // shipment, batch broadcast or taint set) because peer-to-peer channels are
-// independent of the leader's channel; early messages are buffered under
-// their key and applied when the round starts.
+// independent of the leader's channel; early messages are decoded on receipt
+// (copy-on-apply: the pooled payload is recycled immediately, never parked
+// across a round) and the updates buffered under their key until the round
+// starts.
 type varsKey struct {
 	batch uint64
 	round uint64
@@ -160,13 +193,26 @@ type node struct {
 	// Forwarding state. byPos resolves MsgVars entries to shadows; hoisted
 	// holds the route-tagged publisher fragments executed in the pre-queue
 	// pass; curBatch/curRound identify the active round; pendingVars buffers
-	// early MsgVars; execWG tracks the in-flight round goroutine.
+	// early MsgVars, already decoded (copy-on-apply); execWG tracks the
+	// in-flight round goroutine.
 	byPos       map[uint32]*txn.Txn
 	hoisted     []*txn.Fragment
 	curBatch    uint64
 	curRound    uint64
-	pendingVars map[varsKey][]cluster.Msg
+	pendingVars map[varsKey][]txn.VarUpdate
 	execWG      sync.WaitGroup
+
+	// decodeArenas back the node's batch-lifetime decode allocations (shadow
+	// transactions from MsgQueues/MsgBatch, MsgVars scratch): two rotating
+	// arenas, one reset per beginBatchArena call at the next batch's
+	// installation. One arena would suffice under the shipping protocol —
+	// batch b's shipment only leaves the leader after batch b-1's commit acks
+	// are in, so a node never decodes b while b-1 is live — but the rotation
+	// mirrors the generator-side double-buffer discipline and keeps a whole
+	// batch of slack between a shadow's last use and its slab's reuse.
+	decodeArenas [2]txn.Arena
+	decodeIdx    int
+	curArena     *txn.Arena
 }
 
 func newNode(id int, tr cluster.Transport, gen workload.Generator, partitions, workers int, stopped *atomic.Bool) (*node, error) {
@@ -186,15 +232,28 @@ func newNode(id int, tr cluster.Transport, gen workload.Generator, partitions, w
 		logs:        make([]partLog, partitions),
 		byPos:       make(map[uint32]*txn.Txn),
 		curBatch:    ^uint64(0),
-		pendingVars: make(map[varsKey][]cluster.Msg),
+		pendingVars: make(map[varsKey][]txn.VarUpdate),
 	}
 	for p := range n.logs {
-		n.logs[p].images = make(map[*storage.Record][]byte)
+		n.logs[p].images = make(map[*storage.Record]imgRef)
 	}
 	return n, nil
 }
 
 func (n *node) ownsPart(part int) bool { return cluster.PartitionOwner(part, n.nNodes) == n.id }
+
+// beginBatchArena rotates the node's decode arenas at a batch boundary:
+// the returned arena is Reset and becomes the batch's decode allocator
+// (shadow transactions, MsgVars scratch — see node.decodeArenas for why the
+// reset cannot free live shadows). Callers must invoke it before decoding a
+// batch's shipment, on the goroutine that owns the node's protocol state.
+func (n *node) beginBatchArena() *txn.Arena {
+	a := &n.decodeArenas[n.decodeIdx]
+	n.decodeIdx ^= 1
+	a.Reset()
+	n.curArena = a
+	return a
+}
 
 // install accepts a batch's local shadow transactions and rebuilds the
 // per-partition execution queues. Walking shadows in batch order and
@@ -257,47 +316,59 @@ func fwdDest(t *txn.Txn, slot uint8) uint64 {
 
 // startRound begins one execution round: it stamps the round identity,
 // resets the shadows' runtime state (variable cells, abort flags) and applies
-// any forwarded variables that arrived before the round's trigger message
-// (a bad buffered message is as fatal as a bad on-time one — swallowing it
-// would leave a consumer spinning on a slot that never resolves). The caller
-// must have completed the previous round (execWG drained) and — for repair
-// rounds — rolled the partitions back first.
+// any forwarded variables that arrived (and were decoded) before the round's
+// trigger message. The caller must have completed the previous round (execWG
+// drained) and — for repair rounds — rolled the partitions back first.
 func (n *node) startRound(batch, round uint64) error {
 	n.curBatch, n.curRound = batch, round
 	for _, t := range n.shadows {
 		t.Reset()
 	}
 	key := varsKey{batch, round}
-	for _, m := range n.pendingVars[key] {
-		if err := n.applyVars(m); err != nil {
-			return err
-		}
+	if pending, ok := n.pendingVars[key]; ok {
+		delete(n.pendingVars, key)
+		return n.applyUpdates(pending)
 	}
-	delete(n.pendingVars, key)
 	return nil
 }
 
-// deliverVars routes an incoming MsgVars to the current round's shadows, or
-// buffers it when the round it belongs to has not started here yet.
+// deliverVars routes an incoming MsgVars to the current round's shadows, or —
+// when the round it belongs to has not started here yet — decodes it
+// immediately and buffers the updates (copy-on-apply). Either way the pooled
+// payload is recycled on receipt, so MsgVars buffers never outlive the
+// message loop iteration that received them: round and batch boundaries are
+// safe payload-reuse points for every sender.
 func (n *node) deliverVars(m cluster.Msg) error {
 	if m.Batch == n.curBatch && m.Flag == n.curRound {
 		return n.applyVars(m)
 	}
-	key := varsKey{m.Batch, m.Flag}
-	n.pendingVars[key] = append(n.pendingVars[key], m)
-	return nil
-}
-
-// applyVars publishes (or tombstones) the forwarded slots carried by one
-// MsgVars into the local shadows' variable cells, releasing any executor
-// spinning on them. It is the single consumer of a MsgVars payload and
-// recycles the buffer into the cluster payload pool once decoded.
-func (n *node) applyVars(m cluster.Msg) error {
+	// Heap decode, not curArena: the buffered updates may belong to a future
+	// batch and must survive the arena rotation at its installation.
 	ups, err := txn.DecodeVarUpdates(m.Payload)
 	if err != nil {
 		return err
 	}
 	cluster.PutPayload(m.Payload)
+	key := varsKey{m.Batch, m.Flag}
+	n.pendingVars[key] = append(n.pendingVars[key], ups...)
+	return nil
+}
+
+// applyVars decodes one on-time MsgVars (into the batch's decode arena — the
+// updates are round-scoped scratch) and applies it. It is the single consumer
+// of the payload and recycles the buffer into the cluster payload pool.
+func (n *node) applyVars(m cluster.Msg) error {
+	ups, err := txn.DecodeVarUpdatesArena(m.Payload, n.curArena)
+	if err != nil {
+		return err
+	}
+	cluster.PutPayload(m.Payload)
+	return n.applyUpdates(ups)
+}
+
+// applyUpdates publishes (or tombstones) forwarded slots into the local
+// shadows' variable cells, releasing any executor spinning on them.
+func (n *node) applyUpdates(ups []txn.VarUpdate) error {
 	for _, u := range ups {
 		t := n.byPos[u.Pos]
 		if t == nil {
@@ -323,6 +394,7 @@ func (n *node) hoistAndFlush(aborted []bool) ([]uint32, error) {
 		return nil, nil
 	}
 	var props []uint32
+	var ctx txn.FragCtx // reused across fragments: an escaping per-call ctx would cost one heap object per publisher
 	out := make([][]txn.VarUpdate, n.nNodes)
 	for _, f := range n.hoisted {
 		t := f.Txn
@@ -334,7 +406,7 @@ func (n *node) hoistAndFlush(aborted []bool) ([]uint32, error) {
 		if rec == nil {
 			return nil, fmt.Errorf("dist: node %d: missing record table=%d key=%d (txn %d frag %d)", n.id, f.Table, f.Key, t.ID, f.Seq)
 		}
-		ctx := txn.FragCtx{T: t, F: f, Val: rec.Val}
+		ctx = txn.FragCtx{T: t, F: f, Val: rec.Val}
 		err := f.Logic(&ctx)
 		failed := false
 		if f.Abortable && err == txn.ErrAbort {
@@ -372,10 +444,10 @@ func (n *node) hoistAndFlush(aborted []bool) ([]uint32, error) {
 			continue
 		}
 		// MsgVars payloads are pool-recycled: built on a pooled buffer here,
-		// returned by the consumer (applyVars) once decoded. Unlike the
-		// leader's batch-boundary buffers, a round-indexed reuse would be
-		// unsound — a receiver may buffer an early MsgVars across a whole
-		// round (pendingVars), so only the consumer knows when it is dead.
+		// returned by the receiver as soon as it decodes — immediately on
+		// receipt, whether the round has started there or not (deliverVars
+		// copy-on-apply buffering). No payload survives a message-loop
+		// iteration at the receiver, so the pool turns over within the round.
 		if err := n.tr.Send(cluster.Msg{
 			Type: cluster.MsgVars, From: n.id, To: d,
 			Batch: n.curBatch, Flag: n.curRound,
@@ -390,6 +462,7 @@ func (n *node) hoistAndFlush(aborted []bool) ([]uint32, error) {
 func (n *node) clearLogs() {
 	for p := range n.logs {
 		clear(n.logs[p].images)
+		n.logs[p].slab = n.logs[p].slab[:0]
 		n.logs[p].inserts = n.logs[p].inserts[:0]
 	}
 }
@@ -437,6 +510,7 @@ func (n *node) runRound(aborted []bool) ([]uint32, error) {
 		go func(w int) {
 			defer wg.Done()
 			var heads []queueCursor
+			var ctx txn.FragCtx // per-worker reusable fragment context
 			for i := w; i < len(owned); i += workers {
 				heads = append(heads, queueCursor{frags: n.queues[owned[i]]})
 			}
@@ -456,7 +530,7 @@ func (n *node) runRound(aborted []bool) ([]uint32, error) {
 				}
 				f := heads[best].frags[heads[best].pos]
 				heads[best].pos++
-				if err := n.runFrag(f, aborted, &proposals[w], &failed); err != nil {
+				if err := n.runFrag(f, aborted, &proposals[w], &failed, &ctx); err != nil {
 					fail(err)
 					return
 				}
@@ -487,7 +561,10 @@ type queueCursor struct {
 // the inter-round rollback. failed is the round's abort signal: data-
 // dependency waits bail out when another worker has already errored (or the
 // engine is closing), so a failure surfaces instead of wedging the round.
-func (n *node) runFrag(f *txn.Fragment, aborted []bool, proposals *[]uint32, failed *atomic.Bool) error {
+// ctx is the caller's reusable fragment context (one per worker): passing it
+// in keeps the per-fragment context off the heap, which on TPC-C is worth
+// ~a dozen allocations per transaction per round.
+func (n *node) runFrag(f *txn.Fragment, aborted []bool, proposals *[]uint32, failed *atomic.Bool, ctx *txn.FragCtx) error {
 	if f.Hoisted {
 		return nil // executed (and proposed) by the pre-queue publisher pass
 	}
@@ -545,14 +622,12 @@ func (n *node) runFrag(f *txn.Fragment, aborted []bool, proposals *[]uint32, fai
 	if !dead && f.Access.IsWrite() && f.Access != txn.Insert {
 		lg := &n.logs[n.store.PartitionOf(f.Key)]
 		lg.mu.Lock()
-		if _, logged := lg.images[rec]; !logged {
-			lg.images[rec] = append([]byte(nil), rec.Val...)
-		}
+		lg.logImage(rec)
 		lg.mu.Unlock()
 	}
 
-	ctx := txn.FragCtx{T: t, F: f, Val: rec.Val}
-	err := f.Logic(&ctx)
+	*ctx = txn.FragCtx{T: t, F: f, Val: rec.Val}
+	err := f.Logic(ctx)
 	if f.Abortable {
 		if err == txn.ErrAbort {
 			*proposals = append(*proposals, t.BatchPos)
@@ -582,7 +657,7 @@ func (n *node) rollback() {
 	for p := range n.logs {
 		lg := &n.logs[p]
 		for rec, img := range lg.images {
-			copy(rec.Val, img)
+			copy(rec.Val, lg.slab[img.off:img.off+img.n])
 		}
 		for _, ins := range lg.inserts {
 			n.store.Table(ins.table).Remove(ins.key)
@@ -906,6 +981,97 @@ func (g *group) leaderRound(want cluster.MsgType, aborted []bool, run func([]boo
 		return nil, nil, r.err
 	}
 	return r.props, reports, nil
+}
+
+// pipeDriver is the leader-side state of the pipelined Submit/Drain driver
+// (ArgPipeline) shared by the deterministic distributed engines: the
+// completion channel of the batch whose verdict rounds are currently running
+// in the background. Touched only by the driver goroutine, like ExecBatch.
+type pipeDriver struct {
+	enabled  bool
+	inflight chan error
+}
+
+// launch runs one shipped batch's verdict rounds in the background. Any
+// error there is protocol-fatal — the cluster is mid-batch and cannot be
+// resynchronized — so the group is stopped before the error is parked for
+// drain, keeping the no-divergent-commits guarantee of group.usable.
+func (p *pipeDriver) launch(stopped *atomic.Bool, run func() error) {
+	ch := make(chan error, 1)
+	p.inflight = ch
+	go func() {
+		err := run()
+		if err != nil {
+			stopped.Store(true)
+		}
+		ch <- err
+	}()
+}
+
+// drain waits for the batch launched by the last Submit (if any) and returns
+// its execution error. A no-op when nothing is in flight.
+func (p *pipeDriver) drain() error {
+	if p.inflight == nil {
+		return nil
+	}
+	err := <-p.inflight
+	p.inflight = nil
+	return err
+}
+
+// execSequence is the serial driver shared by the deterministic engines:
+// drain any in-flight pipelined batch, then prepare, ship and run one batch
+// synchronously. S is the engine's shipment type.
+func execSequence[S any](p *pipeDriver, g *group, empty bool, prepare func() (S, error), ship func(S) error, run func(S) error) error {
+	if err := p.drain(); err != nil {
+		return err
+	}
+	if empty {
+		return nil
+	}
+	if err := g.usable(); err != nil {
+		return err
+	}
+	s, err := prepare()
+	if err != nil {
+		return err
+	}
+	if err := ship(s); err != nil {
+		return err
+	}
+	return run(s)
+}
+
+// submitSequence is the pipelined driver shared by the deterministic
+// engines: prepare immediately — overlapping the in-flight batch's
+// execution — then drain it, ship, and launch this batch's rounds in the
+// background. Prepare errors are reported only after the previous batch's
+// outcome, which takes precedence.
+func submitSequence[S any](p *pipeDriver, g *group, empty bool, prepare func() (S, error), ship func(S) error, run func(S) error) error {
+	if !p.enabled {
+		return fmt.Errorf("dist: Submit requires the ArgPipeline option")
+	}
+	var s S
+	var prepErr error
+	if !empty {
+		s, prepErr = prepare()
+	}
+	// The previous batch must commit before this one may ship (and before
+	// the group's protocol state — epoch, leader queues — is touched).
+	if err := p.drain(); err != nil {
+		return err
+	}
+	if prepErr != nil || empty {
+		return prepErr
+	}
+	if err := g.usable(); err != nil {
+		return err
+	}
+	if err := ship(s); err != nil {
+		return err
+	}
+	p.launch(&g.stopped, func() error { return run(s) })
+	return nil
 }
 
 // usable rejects batches on a dead group. stopped releases executors by

@@ -180,7 +180,7 @@ func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
 		for owner, claims := range owners {
 			shadow := t
 			if !tc.single || owner != 0 {
-				shadows := localShadows([]*txn.Txn{t}, store, owner, len(g.nodes), false)
+				shadows := localShadows([]*txn.Txn{t}, store, owner, len(g.nodes), false, nil)
 				shadow = shadows[0]
 			}
 			if owner == 0 {

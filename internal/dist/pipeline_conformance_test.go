@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/engine"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// pipeEngine is the surface of the pipelined distributed engines.
+type pipeEngine interface {
+	distEngine
+	engine.Pipeliner
+}
+
+func pipeFactories() []struct {
+	name  string
+	build func(tr cluster.Transport, gen workload.Generator, workers int) (pipeEngine, error)
+} {
+	return []struct {
+		name  string
+		build func(tr cluster.Transport, gen workload.Generator, workers int) (pipeEngine, error)
+	}{
+		{"quecc-d-pipe", func(tr cluster.Transport, gen workload.Generator, workers int) (pipeEngine, error) {
+			return NewQueCCD(tr, gen, testParts, workers, ArgPipeline)
+		}},
+		{"calvin-d-pipe", func(tr cluster.Transport, gen workload.Generator, workers int) (pipeEngine, error) {
+			return NewCalvinD(tr, gen, testParts, workers, ArgAbortEval, ArgPipeline)
+		}},
+	}
+}
+
+// pipelineWorkloads are the distributed pipeline conformance matrix: an
+// abort-heavy multi-partition YCSB stream, TPC-C with heavy cross-node
+// forwarding (remote order lines exercise the MsgVars round inside the
+// overlap window), and the 30%-invalid-item TPC-C abort storm (remote
+// publishers abort, tombstones feed the taint rounds, verdict repair runs
+// while the leader is already planning the next batch).
+func pipelineWorkloads() []struct {
+	name string
+	mk   func() workload.Generator
+} {
+	return []struct {
+		name string
+		mk   func() workload.Generator
+	}{
+		{"ycsb-aborts", func() workload.Generator {
+			return ycsb.MustNew(ycsb.Config{
+				Records: 1024, OpsPerTxn: 6, ReadRatio: 0.3, RMWRatio: 0.4,
+				Theta: 0.8, MultiPartitionRatio: 0.5, MultiPartitionCount: 3,
+				AbortRatio: 0.05, Partitions: testParts, Seed: 611,
+			})
+		}},
+		{"tpcc-forwarding", mkDistTPCC(0.5, -1, 77)},
+		{"tpcc-abort-storm", mkDistTPCC(0.6, 0.3, 5)},
+	}
+}
+
+// runPipelined drives a pipelined distributed engine the way the bench
+// driver does: arena-backed generation rotating two arenas, Submit per
+// batch, Drain at the end.
+func runPipelined(t *testing.T, eng pipeEngine, gen workload.Generator, nBatches, batchSize int) {
+	t.Helper()
+	type arenaSetter interface{ SetArena(*txn.Arena) }
+	arenas := [2]*txn.Arena{{}, {}}
+	for b := 0; b < nBatches; b++ {
+		a := arenas[b%2]
+		a.Reset()
+		gen.(arenaSetter).SetArena(a)
+		if err := eng.Submit(gen.NextBatch(batchSize)); err != nil {
+			t.Fatalf("submit batch %d: %v", b, err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDistPipelinedMatchesSerial: the pipelined leader must reproduce the
+// serial single-node state hash (and the commit/abort accounting) on 2-4
+// nodes across the conformance matrix. This is the distributed extension of
+// the core pipeline conformance suite: batch k+1 is planned and encoded
+// while batch k is mid-execution — including mid-verdict-repair — and the
+// result must be indistinguishable from the strictly serial driver.
+func TestDistPipelinedMatchesSerial(t *testing.T) {
+	const nBatches, batchSize = 4, 150
+	for _, wl := range pipelineWorkloads() {
+		want, tables := serialReference(t, wl.mk, nBatches, batchSize)
+		for _, f := range pipeFactories() {
+			for _, nodes := range []int{2, 3, 4} {
+				t.Run(fmt.Sprintf("%s/%s/n%d", wl.name, f.name, nodes), func(t *testing.T) {
+					tr := cluster.NewChanTransport(nodes, 0)
+					defer tr.Close()
+					gen := wl.mk()
+					eng, err := f.build(tr, gen, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer eng.Close()
+					if !eng.Pipelined() {
+						t.Fatal("engine does not report the pipelined driver enabled")
+					}
+					runPipelined(t, eng, gen, nBatches, batchSize)
+					if got := ClusterStateHash(eng.Stores(), tables); got != want {
+						t.Errorf("pipelined cluster state %x != serial reference %x", got, want)
+					}
+					snap := eng.Stats().Snap(1)
+					if snap.Committed+snap.UserAborts != uint64(nBatches*batchSize) {
+						t.Errorf("committed(%d)+aborts(%d) != %d", snap.Committed, snap.UserAborts, nBatches*batchSize)
+					}
+					if wl.name == "tpcc-abort-storm" && snap.UserAborts == 0 {
+						t.Error("expected invalid-item aborts in the abort-storm stream")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPipelinedMessageRoundsUnchanged pins that leader pipelining adds zero
+// message rounds: the pipelined driver must send exactly as many messages as
+// the serial driver for the same stream — overlap buys time, never traffic.
+func TestPipelinedMessageRoundsUnchanged(t *testing.T) {
+	const nodes, nBatches, batchSize = 4, 3, 200
+	mk := mkDistTPCC(0.5, -1, 77) // forwarding rounds included
+	runPipe := func(build func(tr cluster.Transport, gen workload.Generator, workers int) (pipeEngine, error)) uint64 {
+		tr := cluster.NewChanTransport(nodes, 0)
+		defer tr.Close()
+		gen := mk()
+		eng, err := build(tr, gen, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		pre := tr.Messages()
+		runPipelined(t, eng, gen, nBatches, batchSize)
+		return tr.Messages() - pre
+	}
+	serial := []distFactory{distFactories()[0], distFactories()[1]} // quecc-d, calvin-d
+	for i, f := range pipeFactories() {
+		t.Run(f.name, func(t *testing.T) {
+			want := runCountingMessages(t, serial[i], mk, nodes, nBatches, batchSize)
+			if got := runPipe(f.build); got != want {
+				t.Errorf("pipelined driver sent %d messages, serial driver %d — pipelining must add zero rounds", got, want)
+			}
+		})
+	}
+}
+
+// TestSubmitRequiresPipeline: the Submit/Drain API must reject engines built
+// without ArgPipeline instead of silently running serial.
+func TestSubmitRequiresPipeline(t *testing.T) {
+	tr := cluster.NewChanTransport(2, 0)
+	defer tr.Close()
+	gen := ycsb.MustNew(ycsb.Config{Records: 64, OpsPerTxn: 2, Partitions: testParts, Seed: 1})
+	eng, err := NewQueCCD(tr, gen, testParts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Submit(gen.NextBatch(4)); err == nil || !strings.Contains(err.Error(), "ArgPipeline") {
+		t.Errorf("Submit without ArgPipeline: got %v, want ArgPipeline error", err)
+	}
+	if eng.Pipelined() {
+		t.Error("engine without ArgPipeline reports Pipelined")
+	}
+}
+
+// TestPipelinedMixedDrivers: ExecBatch on a pipelined engine must drain the
+// in-flight batch first, so the two driver APIs can be mixed from one
+// goroutine without reordering commits.
+func TestPipelinedMixedDrivers(t *testing.T) {
+	const nBatches, batchSize = 4, 120
+	mk := pipelineWorkloads()[0].mk
+	want, tables := serialReference(t, mk, nBatches, batchSize)
+	tr := cluster.NewChanTransport(3, 0)
+	defer tr.Close()
+	gen := mk()
+	eng, err := NewQueCCD(tr, gen, testParts, 2, ArgPipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for b := 0; b < nBatches; b++ {
+		batch := gen.NextBatch(batchSize)
+		if b%2 == 0 {
+			err = eng.Submit(batch)
+		} else {
+			err = eng.ExecBatch(batch)
+		}
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ClusterStateHash(eng.Stores(), tables); got != want {
+		t.Errorf("mixed-driver cluster state %x != serial reference %x", got, want)
+	}
+}

@@ -20,22 +20,38 @@ import (
 // commit out, acks back, plus one taint exchange per abort-repair round —
 // independent of how many transactions the batch carries. That constant is
 // the paper's §2.2 claim made executable.
+//
+// With the ArgPipeline option the engine additionally implements the
+// Submit/Drain driver: the leader plans and NodePlan-encodes batch k+1 while
+// the cluster executes and verdict-repairs batch k, then ships k+1 the
+// moment k commits — the HA follow-up paper's leader-side pipelining,
+// mirroring core.Config.Pipeline one layer up.
 type QueCCD struct {
 	g       *group
 	planner *core.Engine
-	// sendBuf is the reused MsgQueues encode buffer: all per-node payloads of
-	// one batch are appended into it back-to-back and sent as sub-slices.
-	// Reuse across batches is safe because every follower decodes its queue
-	// shipment before reporting MsgBatchDone, and the leader does not return
-	// from ExecBatch (let alone re-encode) until all reports are in.
-	sendBuf []byte
+	pipe    pipeDriver
+	// sendBufs are the reused MsgQueues encode buffers: all per-node payloads
+	// of one batch are appended into one buffer back-to-back and sent as
+	// sub-slices. The pair is rotated per batch, so batch k+1 can be encoded
+	// (pipelined driver) while batch k's payloads are still being decoded by
+	// followers; a buffer is only reused at batch k+2's prepare, by which
+	// point batch k has fully drained — every follower decoded its shipment
+	// before reporting round 0 done.
+	sendBufs [2][]byte
+	bufIdx   int
+	// planArenas back NodePlans' shadow transactions on the same two-batch
+	// rotation: a batch's leader shadows (plans[0]) live until it commits,
+	// which strictly precedes the prepare that reuses their arena.
+	planArenas [2]txn.Arena
+	planIdx    int
 }
 
 // NewQueCCD builds the distributed queue-oriented engine over the transport.
 // The generator supplies each node's schema, initial load and opcode
 // registry; partitions is the global partition count (spread round-robin
-// across nodes); workers is the per-node executor count.
-func NewQueCCD(tr cluster.Transport, gen workload.Generator, partitions, workers int) (*QueCCD, error) {
+// across nodes); workers is the per-node executor count. ArgPipeline enables
+// the Submit/Drain pipelined leader.
+func NewQueCCD(tr cluster.Transport, gen workload.Generator, partitions, workers int, opts ...Option) (*QueCCD, error) {
 	g, err := newGroup(tr, gen, partitions, workers)
 	if err != nil {
 		return nil, err
@@ -45,12 +61,22 @@ func NewQueCCD(tr cluster.Transport, gen workload.Generator, partitions, workers
 		return nil, err
 	}
 	e := &QueCCD{g: g, planner: planner}
+	for _, o := range opts {
+		if o == ArgPipeline {
+			e.pipe.enabled = true
+		}
+	}
 	g.startFollowers(e.followerHandle)
 	return e, nil
 }
 
 // Name implements the engine interface.
-func (e *QueCCD) Name() string { return fmt.Sprintf("quecc-d/%d", len(e.g.nodes)) }
+func (e *QueCCD) Name() string {
+	if e.pipe.enabled {
+		return fmt.Sprintf("quecc-d-pipe/%d", len(e.g.nodes))
+	}
+	return fmt.Sprintf("quecc-d/%d", len(e.g.nodes))
+}
 
 // Stats implements the engine interface.
 func (e *QueCCD) Stats() *metrics.Stats { return e.g.Stats() }
@@ -58,73 +84,138 @@ func (e *QueCCD) Stats() *metrics.Stats { return e.g.Stats() }
 // Stores returns the per-node stores for state verification.
 func (e *QueCCD) Stores() []*storage.Store { return e.g.Stores() }
 
-// Close implements the engine interface.
-func (e *QueCCD) Close() { e.g.close() }
+// Close implements the engine interface: any batch still in flight from the
+// pipelined driver is drained first (its error, if any, is lost — call Drain
+// to observe it), then the follower loops are shut down.
+func (e *QueCCD) Close() {
+	_ = e.Drain()
+	e.g.close()
+}
 
-// ExecBatch implements the engine interface, leader-side.
-func (e *QueCCD) ExecBatch(txns []*txn.Txn) error {
-	if len(txns) == 0 {
-		return nil
-	}
+// queccShipment is one prepared batch: the per-node shadow plans and their
+// wire payloads, ready to ship. Everything in it is independent of the
+// group's protocol state, so preparation may overlap an executing batch.
+type queccShipment struct {
+	n        int
+	start    time.Time
+	plans    [][]*txn.Txn
+	payloads [][]byte // per node id; sub-slices of one sendBufs entry
+}
+
+// prepare runs the leader-local, protocol-state-free half of a batch:
+// validation, planning, node-splitting, and wire encoding into the batch's
+// send buffer. Planning time is mirrored into the cluster stats (the private
+// planner engine's stats are not otherwise visible).
+func (e *QueCCD) prepare(txns []*txn.Txn) (queccShipment, error) {
 	g := e.g
-	leader := g.nodes[0]
-	start := time.Now()
-	if err := g.usable(); err != nil {
-		return err
-	}
-	if err := checkForwarding(txns, leader.store, len(g.nodes)); err != nil {
-		return err
+	s := queccShipment{n: len(txns), start: time.Now()}
+	if err := checkForwarding(txns, g.nodes[0].store, len(g.nodes)); err != nil {
+		return s, err
 	}
 	if err := checkVerdictSafe(txns); err != nil {
-		return err
+		return s, err
 	}
-
-	// Planning phase: one PlannedBatch, split into per-node queue shipments
-	// (with forwarded-variable routes attached) in a single pass over the
-	// planned queues. Planning time is mirrored into the cluster stats (the
-	// private planner engine's stats are not otherwise visible).
 	planStart := time.Now()
 	pb, err := e.planner.Plan(txns)
 	if err != nil {
-		return err
+		return s, err
 	}
 	g.stats.PlanNs.Add(uint64(time.Since(planStart).Nanoseconds()))
-	plans := pb.NodePlans(len(g.nodes), func(part int) int {
+	pa := &e.planArenas[e.planIdx]
+	e.planIdx ^= 1
+	pa.Reset()
+	s.plans = pb.NodePlansArena(len(g.nodes), func(part int) int {
 		return cluster.PartitionOwner(part, len(g.nodes))
-	})
-	e.sendBuf = e.sendBuf[:0]
+	}, pa)
+	idx := e.bufIdx
+	e.bufIdx ^= 1
+	buf := e.sendBufs[idx][:0]
+	s.payloads = make([][]byte, len(g.nodes))
 	for id := 1; id < len(g.nodes); id++ {
-		lo := len(e.sendBuf)
-		e.sendBuf = txn.AppendShadowBatch(e.sendBuf, plans[id])
+		lo := len(buf)
+		buf = txn.AppendShadowBatch(buf, s.plans[id])
 		// A full three-index sub-slice: if a later append reallocates the
 		// buffer, this payload keeps pointing at the old array, whose bytes
 		// are final — in-flight payloads are never overwritten within a batch.
-		payload := e.sendBuf[lo:len(e.sendBuf):len(e.sendBuf)]
+		s.payloads[id] = buf[lo:len(buf):len(buf)]
+	}
+	e.sendBufs[idx] = buf
+	return s, nil
+}
+
+// ship transfers a prepared batch to the followers and installs the leader's
+// share. It touches protocol state (epoch, queues, decode arena), so the
+// previous batch must have fully drained first. A send failure strands
+// followers mid-protocol, so it stops the group.
+func (e *QueCCD) ship(s queccShipment) error {
+	g := e.g
+	leader := g.nodes[0]
+	for id := 1; id < len(g.nodes); id++ {
 		if err := g.tr.Send(cluster.Msg{
 			Type: cluster.MsgQueues, From: 0, To: id,
-			Batch: g.epoch, Flag: uint64(len(txns)), Payload: payload,
+			Batch: g.epoch, Flag: uint64(s.n), Payload: s.payloads[id],
 		}); err != nil {
+			g.stopped.Store(true)
 			return err
 		}
 	}
-	leader.install(plans[0], len(txns))
+	leader.beginBatchArena()
+	leader.install(s.plans[0], s.n)
+	return nil
+}
 
-	aborted, err := g.leaderVerdictRounds(len(txns), leader.runRound, true)
+// runRounds drives a shipped batch's verdict rounds to commit and folds the
+// outcome into the stats.
+func (e *QueCCD) runRounds(s queccShipment) error {
+	g := e.g
+	aborted, err := g.leaderVerdictRounds(s.n, g.nodes[0].runRound, true)
 	if err != nil {
 		return err
 	}
-	g.finishBatch(len(txns), countTrue(aborted), uint64(time.Since(start).Nanoseconds()), func(committed int) {
-		g.stats.Latency.ObserveN(time.Since(start), committed)
+	g.finishBatch(s.n, countTrue(aborted), uint64(time.Since(s.start).Nanoseconds()), func(committed int) {
+		g.stats.Latency.ObserveN(time.Since(s.start), committed)
 	})
 	return nil
 }
 
+// ExecBatch implements the engine interface, leader-side. Any batch still in
+// flight from the pipelined driver is drained first, so ExecBatch and Submit
+// may be mixed (from the same goroutine).
+func (e *QueCCD) ExecBatch(txns []*txn.Txn) error {
+	return execSequence(&e.pipe, e.g, len(txns) == 0,
+		func() (queccShipment, error) { return e.prepare(txns) }, e.ship, e.runRounds)
+}
+
+// Submit is the pipelined driver API (requires the ArgPipeline option): it
+// plans and encodes the batch immediately — overlapping the cluster's
+// execution of the previously submitted batch — then, once that batch has
+// committed, ships this one and launches its verdict rounds in the
+// background (submitSequence). Errors from the previous batch surface here
+// (or in Drain). Determinism is preserved because preparation touches no
+// protocol or storage state and batches still ship, execute and commit
+// strictly in submission order — the follower protocol cannot tell the
+// drivers apart. Not safe for concurrent use (one driver goroutine, like
+// ExecBatch).
+func (e *QueCCD) Submit(txns []*txn.Txn) error {
+	return submitSequence(&e.pipe, e.g, len(txns) == 0,
+		func() (queccShipment, error) { return e.prepare(txns) }, e.ship, e.runRounds)
+}
+
+// Drain waits for the batch launched by the last Submit (if any) and returns
+// its execution error. A no-op on an idle engine.
+func (e *QueCCD) Drain() error { return e.pipe.drain() }
+
+// Pipelined reports whether the Submit/Drain driver is enabled.
+func (e *QueCCD) Pipelined() bool { return e.pipe.enabled }
+
 // followerHandle processes one protocol message on a follower node. Round
 // execution runs on a separate goroutine (runFollowerRound) so this loop
-// stays free to apply forwarded variables mid-round.
+// stays free to apply forwarded variables mid-round. Queue shipments are
+// decoded into the node's rotating batch arena, so the per-shadow-txn and
+// per-fragment heap allocations of the decode path disappear.
 func (e *QueCCD) followerHandle(n *node, m cluster.Msg) error {
 	if m.Type == cluster.MsgQueues {
-		shadows, _, err := txn.DecodeShadowBatch(m.Payload)
+		shadows, _, err := txn.DecodeShadowBatchArena(m.Payload, n.beginBatchArena())
 		if err != nil {
 			return err
 		}

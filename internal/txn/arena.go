@@ -1,11 +1,13 @@
 package txn
 
 // Arena is a batch-lifetime allocator for transactions and the small slices
-// hanging off them (fragments, packed arguments, variable-slot lists). The
-// workload generators allocate thousands of *Txn / []Fragment / []uint64
-// values per batch; with an arena those come from a handful of reusable slabs
-// instead of individual heap objects, taking the generator off the GC's books
-// on the hot path.
+// hanging off them (fragments, packed arguments, variable-slot lists,
+// forwarding routes, forwarded-variable updates). The workload generators
+// allocate thousands of *Txn / []Fragment / []uint64 values per batch — and
+// the distributed follower decode path (DecodeShadowBatchArena and friends)
+// materializes the same shapes from the wire; with an arena those come from a
+// handful of reusable slabs instead of individual heap objects, taking both
+// hot paths off the GC's books.
 //
 // Lifetime rule: everything handed out by an arena is valid until the next
 // Reset call, and Reset may only be called once every transaction built from
@@ -25,20 +27,24 @@ package txn
 // even as the arena grows. Reset rewinds the chunk cursors; chunks themselves
 // are retained and refilled front-to-back on the next batch.
 type Arena struct {
-	txns  chunked[Txn]
-	frags chunked[Fragment]
-	args  chunked[uint64]
-	slots chunked[uint8]
+	txns   chunked[Txn]
+	frags  chunked[Fragment]
+	args   chunked[uint64]
+	slots  chunked[uint8]
+	routes chunked[VarRoute]
+	ups    chunked[VarUpdate]
 }
 
 // Chunk sizes: transactions are big (embedded variable cells), fragments and
 // args are requested in small per-transaction runs. Sized so a default
 // 2000-transaction YCSB batch fits in a handful of chunks.
 const (
-	txnChunk  = 512
-	fragChunk = 8192
-	argChunk  = 8192
-	slotChunk = 4096
+	txnChunk   = 512
+	fragChunk  = 8192
+	argChunk   = 8192
+	slotChunk  = 4096
+	routeChunk = 1024
+	upChunk    = 1024
 )
 
 // chunked is a slab list with a fill cursor. Element pointers stay valid
@@ -82,6 +88,8 @@ func (a *Arena) Reset() {
 	rewind(&a.frags, true)
 	rewind(&a.args, false)
 	rewind(&a.slots, false)
+	rewind(&a.routes, false)
+	rewind(&a.ups, false)
 }
 
 func rewind[T any](c *chunked[T], scrub bool) {
@@ -148,4 +156,34 @@ func (a *Arena) SlotBuf(n int) []uint8 {
 	buf := a.slots.alloc(n, slotChunk)[:n]
 	clear(buf)
 	return buf
+}
+
+// ArgBuf returns a packed-argument slice of length n with arena lifetime, a
+// replacement for make([]uint64, n) on decode paths. The slab is not scrubbed
+// on Reset, so the caller must assign every element.
+func (a *Arena) ArgBuf(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
+	}
+	return a.args.alloc(n, argChunk)[:n]
+}
+
+// RouteBuf returns a forwarding-route slice of length n with arena lifetime,
+// a replacement for make([]VarRoute, n) on decode paths. The caller must
+// assign every element.
+func (a *Arena) RouteBuf(n int) []VarRoute {
+	if a == nil {
+		return make([]VarRoute, n)
+	}
+	return a.routes.alloc(n, routeChunk)[:n]
+}
+
+// VarUpdateBuf returns a forwarded-variable update slice of length n with
+// arena lifetime, a replacement for make([]VarUpdate, n) on decode paths.
+// The caller must assign every element.
+func (a *Arena) VarUpdateBuf(n int) []VarUpdate {
+	if a == nil {
+		return make([]VarUpdate, n)
+	}
+	return a.ups.alloc(n, upChunk)[:n]
 }

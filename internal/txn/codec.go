@@ -142,9 +142,11 @@ const (
 	minTxnBytes  = 8 + 4 + 1 + 2                 // id, batchPos, profile, nFrags
 )
 
-// decodeTxnWith decodes one transaction in either layout. The caller is
-// responsible for Finish/FinishShadow and logic resolution.
-func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
+// decodeTxnWith decodes one transaction in either layout, allocating the
+// transaction and its slices from a (nil a = plain heap allocation; the
+// decoded structure is identical either way). The caller is responsible for
+// Finish/FinishShadow and logic resolution.
+func decodeTxnWith(buf []byte, withSeq bool, a *Arena) (*Txn, int, error) {
 	d := &decoder{buf: buf}
 	short := func(what string) (*Txn, int, error) {
 		return nil, 0, fmt.Errorf("txn: short buffer (%d bytes, offset %d) decoding %s", len(buf), d.off, what)
@@ -155,14 +157,15 @@ func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 	if !ok1 || !ok2 || !ok3 {
 		return short("header")
 	}
-	t := &Txn{ID: id, BatchPos: pos, Profile: profile}
+	t := a.NewTxn()
+	t.ID, t.BatchPos, t.Profile = id, pos, profile
 	if withSeq {
 		nFwd, ok := d.u8()
 		if !ok || d.remaining() < int(nFwd)*9 {
 			return short("fwdvars")
 		}
 		if nFwd > 0 {
-			t.FwdVars = make([]VarRoute, nFwd)
+			t.FwdVars = a.RouteBuf(int(nFwd))
 			for i := range t.FwdVars {
 				t.FwdVars[i].Slot, _ = d.u8()
 				t.FwdVars[i].Dest, _ = d.u64()
@@ -181,7 +184,7 @@ func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 	if d.remaining() < n*minFrag {
 		return short("fragments")
 	}
-	t.Frags = make([]Fragment, n)
+	t.Frags = a.FragBuf(n)[:n]
 	for i := 0; i < n; i++ {
 		f := &t.Frags[i]
 		if withSeq {
@@ -207,7 +210,7 @@ func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 			if d.remaining() < int(nArgs) {
 				return short(fmt.Sprintf("fragment %d args", i))
 			}
-			f.Args = make([]uint64, nArgs)
+			f.Args = a.ArgBuf(int(nArgs))
 			for j := range f.Args {
 				if f.Args[j], ok = d.uvarint(); !ok {
 					return short(fmt.Sprintf("fragment %d arg %d", i, j))
@@ -223,7 +226,7 @@ func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 			if !ok {
 				return short(fmt.Sprintf("fragment %d needvars", i))
 			}
-			f.NeedVars = append([]uint8(nil), src...)
+			f.NeedVars = a.Slots(src...)
 		}
 		nPub, ok := d.u8()
 		if !ok {
@@ -234,7 +237,7 @@ func decodeTxnWith(buf []byte, withSeq bool) (*Txn, int, error) {
 			if !ok {
 				return short(fmt.Sprintf("fragment %d pubvars", i))
 			}
-			f.PubVars = append([]uint8(nil), src...)
+			f.PubVars = a.Slots(src...)
 		}
 	}
 	return t, d.off, nil
@@ -246,7 +249,7 @@ func AppendTxn(buf []byte, t *Txn) []byte { return appendTxnWith(buf, t, false) 
 // DecodeTxn decodes one transaction from buf, returning the transaction and
 // the number of bytes consumed. The caller resolves logic via a Registry.
 func DecodeTxn(buf []byte) (*Txn, int, error) {
-	t, off, err := decodeTxnWith(buf, false)
+	t, off, err := decodeTxnWith(buf, false, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -277,7 +280,7 @@ func AppendShadowTxn(buf []byte, t *Txn) []byte { return appendTxnWith(buf, t, t
 // fragment sequence numbers (FinishShadow, not Finish). The caller resolves
 // logic via a Registry.
 func DecodeShadowTxn(buf []byte) (*Txn, int, error) {
-	t, off, err := decodeTxnWith(buf, true)
+	t, off, err := decodeTxnWith(buf, true, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -307,6 +310,16 @@ func batchCap(n int, remaining int) int {
 // DecodeShadowBatch decodes a count-prefixed shadow batch, returning the
 // transactions and bytes consumed.
 func DecodeShadowBatch(buf []byte) ([]*Txn, int, error) {
+	return DecodeShadowBatchArena(buf, nil)
+}
+
+// DecodeShadowBatchArena is DecodeShadowBatch with the transactions and their
+// slices allocated from a (nil = heap). The decoded structure is
+// byte-identical on re-encode either way — the allocator choice is invisible
+// to the engines (pinned by FuzzDecodeShadowBatchArena). Arena lifetime rule:
+// a may be Reset only after every decoded transaction has finished executing;
+// the distributed nodes rotate two per-batch decode arenas for this.
+func DecodeShadowBatchArena(buf []byte, a *Arena) ([]*Txn, int, error) {
 	if len(buf) < 4 {
 		return nil, 0, fmt.Errorf("txn: short buffer decoding shadow batch header")
 	}
@@ -314,10 +327,11 @@ func DecodeShadowBatch(buf []byte) ([]*Txn, int, error) {
 	off := 4
 	txns := make([]*Txn, 0, batchCap(n, len(buf)-off))
 	for i := 0; i < n; i++ {
-		t, used, err := DecodeShadowTxn(buf[off:])
+		t, used, err := decodeTxnWith(buf[off:], true, a)
 		if err != nil {
 			return nil, 0, fmt.Errorf("shadow txn %d/%d: %w", i, n, err)
 		}
+		t.FinishShadow()
 		txns = append(txns, t)
 		off += used
 	}
@@ -359,6 +373,14 @@ func AppendVarUpdates(buf []byte, ups []VarUpdate) []byte {
 
 // DecodeVarUpdates decodes a MsgVars payload.
 func DecodeVarUpdates(buf []byte) ([]VarUpdate, error) {
+	return DecodeVarUpdatesArena(buf, nil)
+}
+
+// DecodeVarUpdatesArena is DecodeVarUpdates with the update slice allocated
+// from a (nil = heap). The slice shares the arena's batch lifetime, so it
+// suits round-scoped scratch (dist applyVars); updates buffered across
+// batches must use the heap variant.
+func DecodeVarUpdatesArena(buf []byte, a *Arena) ([]VarUpdate, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("txn: short buffer decoding var updates header")
 	}
@@ -367,7 +389,7 @@ func DecodeVarUpdates(buf []byte) ([]VarUpdate, error) {
 	if n < 0 || (len(buf)-4)/entry < n {
 		return nil, fmt.Errorf("txn: short buffer decoding %d var updates", n)
 	}
-	ups := make([]VarUpdate, n)
+	ups := a.VarUpdateBuf(n)
 	off := 4
 	for i := range ups {
 		ups[i].Pos = binary.LittleEndian.Uint32(buf[off:])
@@ -382,6 +404,13 @@ func DecodeVarUpdates(buf []byte) ([]VarUpdate, error) {
 // DecodeBatch decodes a count-prefixed batch, returning the transactions and
 // bytes consumed.
 func DecodeBatch(buf []byte) ([]*Txn, int, error) {
+	return DecodeBatchArena(buf, nil)
+}
+
+// DecodeBatchArena is DecodeBatch with the transactions and their slices
+// allocated from a (nil = heap); see DecodeShadowBatchArena for the lifetime
+// rule.
+func DecodeBatchArena(buf []byte, a *Arena) ([]*Txn, int, error) {
 	if len(buf) < 4 {
 		return nil, 0, fmt.Errorf("txn: short buffer decoding batch header")
 	}
@@ -389,10 +418,11 @@ func DecodeBatch(buf []byte) ([]*Txn, int, error) {
 	off := 4
 	txns := make([]*Txn, 0, batchCap(n, len(buf)-off))
 	for i := 0; i < n; i++ {
-		t, used, err := DecodeTxn(buf[off:])
+		t, used, err := decodeTxnWith(buf[off:], false, a)
 		if err != nil {
 			return nil, 0, fmt.Errorf("txn %d/%d: %w", i, n, err)
 		}
+		t.Finish()
 		txns = append(txns, t)
 		off += used
 	}

@@ -103,3 +103,68 @@ func FuzzDecodeVarUpdates(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeShadowBatchArena pins that the allocator choice is invisible:
+// for any input, arena-backed and heap-backed shadow-batch decoding must
+// agree on success/failure and — via re-encoding — produce byte-identical
+// structures. The distributed follower decode path relies on exactly this
+// equivalence when it swaps the heap for its rotating batch arenas.
+func FuzzDecodeShadowBatchArena(f *testing.F) {
+	f.Add(AppendShadowBatch(nil, []*Txn{fuzzSeedShadow()}))
+	f.Add(AppendShadowBatch(nil, []*Txn{fuzzSeedShadow(), fuzzSeedTxn()}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x01}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		heapTxns, heapUsed, heapErr := DecodeShadowBatch(data)
+		arena := &Arena{}
+		arenaTxns, arenaUsed, arenaErr := DecodeShadowBatchArena(data, arena)
+		if (heapErr == nil) != (arenaErr == nil) {
+			t.Fatalf("decode disagreement: heap err=%v, arena err=%v", heapErr, arenaErr)
+		}
+		if heapErr != nil {
+			return
+		}
+		if heapUsed != arenaUsed || len(heapTxns) != len(arenaTxns) {
+			t.Fatalf("heap used %d/%d txns, arena used %d/%d txns", heapUsed, len(heapTxns), arenaUsed, len(arenaTxns))
+		}
+		if !bytes.Equal(AppendShadowBatch(nil, heapTxns), AppendShadowBatch(nil, arenaTxns)) {
+			t.Fatal("arena-backed decode re-encodes differently from heap-backed decode")
+		}
+		// A second decode after Reset must reuse the slabs and still agree
+		// (the rotating-arena lifecycle the distributed nodes run).
+		arena.Reset()
+		again, _, err := DecodeShadowBatchArena(data, arena)
+		if err != nil {
+			t.Fatalf("re-decode after Reset: %v", err)
+		}
+		if !bytes.Equal(AppendShadowBatch(nil, heapTxns), AppendShadowBatch(nil, again)) {
+			t.Fatal("decode into a Reset arena diverges")
+		}
+	})
+}
+
+// FuzzDecodeVarUpdatesArena: same equivalence for the MsgVars payload
+// decoder the forwarding round's applyVars scratch uses.
+func FuzzDecodeVarUpdatesArena(f *testing.F) {
+	f.Add(AppendVarUpdates(nil, []VarUpdate{{Pos: 3, Slot: 1, Val: 99}, {Pos: 7, Slot: 0, Dead: true}}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		heapUps, heapErr := DecodeVarUpdates(data)
+		arenaUps, arenaErr := DecodeVarUpdatesArena(data, &Arena{})
+		if (heapErr == nil) != (arenaErr == nil) {
+			t.Fatalf("decode disagreement: heap err=%v, arena err=%v", heapErr, arenaErr)
+		}
+		if heapErr != nil {
+			return
+		}
+		if len(heapUps) != len(arenaUps) {
+			t.Fatalf("heap decoded %d updates, arena %d", len(heapUps), len(arenaUps))
+		}
+		for i := range heapUps {
+			if heapUps[i] != arenaUps[i] {
+				t.Fatalf("entry %d: heap %+v != arena %+v", i, heapUps[i], arenaUps[i])
+			}
+		}
+	})
+}

@@ -243,17 +243,140 @@ func (g *Workload) keyHistory(w int, seq uint64) storage.Key {
 	return storage.Key(seq*uint64(g.cfg.Warehouses) + uint64(w-1))
 }
 
+// ring is a growable circular buffer over a dense, monotonically advancing
+// uint64 key range [base, base+n) — the flattened replacement for the
+// generator's per-district oid-keyed shadow maps. put appends at the high
+// end (zero-filling any skipped keys), get reads inside the window, and
+// advanceTo drops entries below a key as the window moves on. Every
+// operation is allocation-free except the amortized doubling grow, which is
+// what takes the old per-order map inserts off the generation hot path.
+type ring[T any] struct {
+	buf  []T
+	base uint64 // key of buf[head]
+	head int    // index of base within buf
+	n    int    // live entries: keys [base, base+n)
+}
+
+func (r *ring[T]) get(k uint64) (v T, ok bool) {
+	if k < r.base || k-r.base >= uint64(r.n) {
+		return v, false
+	}
+	return r.buf[(r.head+int(k-r.base))%len(r.buf)], true
+}
+
+// at returns a pointer to the entry for key k, which must be inside the
+// window (compaction helper).
+func (r *ring[T]) at(k uint64) *T {
+	return &r.buf[(r.head+int(k-r.base))%len(r.buf)]
+}
+
+// put stores v under key k, which must be >= base; keys between the current
+// high end and k are zero-filled (oids consumed by aborted NewOrders).
+func (r *ring[T]) put(k uint64, v T) {
+	if k < r.base {
+		panic("tpcc: ring put below window base")
+	}
+	if d := k - r.base; d < uint64(r.n) {
+		r.buf[(r.head+int(d))%len(r.buf)] = v
+		return
+	}
+	need := int(k-r.base) + 1
+	r.grow(need)
+	var zero T
+	for i := r.n; i < need-1; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.buf[(r.head+need-1)%len(r.buf)] = v
+	r.n = need
+}
+
+func (r *ring[T]) grow(need int) {
+	if need <= len(r.buf) {
+		return
+	}
+	nc := 2 * len(r.buf)
+	if nc < need {
+		nc = need
+	}
+	if nc < 64 {
+		nc = 64
+	}
+	nb := make([]T, nc)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+// advanceTo drops every entry with key < k (no-op when k <= base).
+func (r *ring[T]) advanceTo(k uint64) {
+	if k <= r.base {
+		return
+	}
+	if d := k - r.base; d < uint64(r.n) {
+		r.head = (r.head + int(d)) % len(r.buf)
+		r.n -= int(d)
+	} else {
+		r.head, r.n = 0, 0
+	}
+	r.base = k
+}
+
+// ordInfo is one order's delivery bookkeeping. olCnt == 0 marks an oid that
+// never materialized (its NewOrder carried an invalid item and aborted).
+type ordInfo struct {
+	olCnt uint8
+	cust  uint32
+}
+
+// itemSpan locates one order's item list inside the district's flat itemBuf.
+type itemSpan struct {
+	off, n uint32
+}
+
 // districtShadow is the generator's deterministic mirror of per-district
 // order bookkeeping (the planner-side knowledge deterministic databases
-// require).
+// require). The former oid-keyed maps (olCnt/itemsOf/custOf) are flattened
+// into ring buffers over the dense oid space, and the per-customer
+// lastOrderOf map into a plain slice, so steady-state generation allocates
+// nothing here:
+//
+//   - ords covers [ords.base, nextOID) and advances with delivery — exactly
+//     the undelivered backlog plus the gaps aborted NewOrders left.
+//   - items covers [items.base, nextOID), trimmed each batch to the
+//     stock-level window (the last 21 pre-batch orders); spans point into
+//     itemBuf, the flat item-id storage compacted at the same boundary.
+//   - lastOrder[c-1] packs customer c's most recent order as oid<<8|olCnt
+//     (0 = none): order-status needs both and must not depend on ring
+//     entries that delivery has already evicted.
 type districtShadow struct {
-	nextOID     uint64 // next order id to assign
-	nextDeliv   uint64 // next order id to deliver
-	batchStart  uint64 // first oid of the current batch (delivery barrier)
-	olCnt       map[uint64]int
-	itemsOf     map[uint64][]int // oid -> distinct item ids (stock-level)
-	lastOrderOf map[int]uint64   // customer -> last order id (order-status)
-	custOf      map[uint64]int   // oid -> customer (delivery planning)
+	nextOID    uint64 // next order id to assign
+	nextDeliv  uint64 // next order id to deliver
+	batchStart uint64 // first oid of the current batch (delivery barrier)
+	// materialized counts the orders that ever committed (non-aborted
+	// NewOrders plus the initial load): ring entries are evicted as delivery
+	// advances, so CheckConsistency needs this to pin the total ORDERS
+	// cardinality against the store.
+	materialized uint64
+	ords         ring[ordInfo]
+	items        ring[itemSpan]
+	itemBuf      []int32
+	lastOrder    []uint64
+}
+
+// trimItems advances the stock-level window to lo and compacts itemBuf so it
+// holds only the surviving spans' items. Spans are laid out in ascending oid
+// (= ascending offset) order, so the in-place copy moves every run left.
+func (sh *districtShadow) trimItems(lo uint64) {
+	sh.items.advanceTo(lo)
+	w := uint32(0)
+	for k := sh.items.base; k < sh.items.base+uint64(sh.items.n); k++ {
+		sp := sh.items.at(k)
+		copy(sh.itemBuf[w:], sh.itemBuf[sp.off:sp.off+sp.n])
+		sp.off = w
+		w += sp.n
+	}
+	sh.itemBuf = sh.itemBuf[:w]
 }
 
 // Workload implements workload.Generator for TPC-C.
@@ -267,8 +390,7 @@ type Workload struct {
 	// delivery rotation
 	delivW, delivD int
 	arena          *txn.Arena // nil = heap allocation
-	// newOrder scratch (per-txn, reused; itemsOf entries stay heap-allocated
-	// because the district shadow retains them across batches)
+	// newOrder / stockLevel scratch (per-txn, reused)
 	lines     []orderLine
 	seenItems []int
 }
@@ -293,13 +415,10 @@ func New(cfg Config) (*Workload, error) {
 		g.shadow[w] = make([]*districtShadow, districtsPerWarehouse)
 		for d := range g.shadow[w] {
 			g.shadow[w][d] = &districtShadow{
-				nextOID:     uint64(cfg.InitialOrdersPerDistrict) + 1,
-				nextDeliv:   uint64(cfg.InitialOrdersPerDistrict)*7/10 + 1,
-				batchStart:  uint64(cfg.InitialOrdersPerDistrict) + 1,
-				olCnt:       make(map[uint64]int),
-				itemsOf:     make(map[uint64][]int),
-				lastOrderOf: make(map[int]uint64),
-				custOf:      make(map[uint64]int),
+				nextOID:    uint64(cfg.InitialOrdersPerDistrict) + 1,
+				nextDeliv:  uint64(cfg.InitialOrdersPerDistrict)*7/10 + 1,
+				batchStart: uint64(cfg.InitialOrdersPerDistrict) + 1,
+				lastOrder:  make([]uint64, cfg.CustomersPerDistrict),
 			}
 		}
 	}
@@ -411,8 +530,9 @@ func (g *Workload) Load(s *storage.Store) error {
 			for o := uint64(1); o < sh.nextOID; o++ {
 				cid := int(o)%cfg.CustomersPerDistrict + 1
 				olCnt := minOrderLines + int(load.Uint64()%(maxOrderLines-minOrderLines+1))
-				sh.olCnt[o] = olCnt
-				items := make([]int, 0, olCnt)
+				sh.ords.put(o, ordInfo{olCnt: uint8(olCnt), cust: uint32(cid)})
+				sh.materialized++
+				itemOff := uint32(len(sh.itemBuf))
 				v = buf[:ordersSize]
 				clear(v)
 				putU64(v, offOCid, uint64(cid))
@@ -433,7 +553,7 @@ func (g *Workload) Load(s *storage.Store) error {
 
 				for ol := 1; ol <= olCnt; ol++ {
 					item := 1 + int(load.Uint64()%uint64(cfg.Items))
-					items = append(items, item)
+					sh.itemBuf = append(sh.itemBuf, int32(item))
 					v = buf[:orderLineSize]
 					clear(v)
 					putU64(v, offOlIid, uint64(item))
@@ -445,8 +565,8 @@ func (g *Workload) Load(s *storage.Store) error {
 					}
 					s.Table(TableOrderLine).Insert(g.keyOrderLine(w, d, o, ol), v)
 				}
-				sh.itemsOf[o] = items
-				sh.lastOrderOf[cid] = o
+				sh.items.put(o, itemSpan{off: itemOff, n: uint32(olCnt)})
+				sh.lastOrder[cid-1] = o<<8 | uint64(olCnt)
 			}
 		}
 	}

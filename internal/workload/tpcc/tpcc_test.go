@@ -236,3 +236,32 @@ func TestStockLevelReadsEarlierBatchesOnly(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerationAllocsPerTxn pins the generator's hot-path allocation budget:
+// with an arena, steady-state TPC-C generation must stay below 5 heap
+// allocations per transaction (the ring-buffer shadow state replaced the
+// ~20 allocs/txn the oid-keyed bookkeeping maps used to cost). Rings and
+// scratch slices grow amortized, so a warmup drives them to steady state
+// before measuring.
+func TestGenerationAllocsPerTxn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	g := MustNew(testConfig(2))
+	arenas := [2]*txn.Arena{{}, {}}
+	batch := 0
+	gen := func() {
+		a := arenas[batch%2]
+		batch++
+		a.Reset()
+		g.SetArena(a)
+		g.NextBatch(500)
+	}
+	for i := 0; i < 20; i++ { // warmup: rings, arenas and scratch reach size
+		gen()
+	}
+	perBatch := testing.AllocsPerRun(10, gen)
+	if perTxn := perBatch / 500; perTxn >= 5 {
+		t.Errorf("TPC-C generation costs %.1f allocs/txn, want < 5", perTxn)
+	}
+}

@@ -223,7 +223,15 @@ func (g *Workload) Registry() txn.Registry {
 func (g *Workload) NextBatch(n int) []*txn.Txn {
 	for w := range g.shadow {
 		for d := range g.shadow[w] {
-			g.shadow[w][d].batchStart = g.shadow[w][d].nextOID
+			sh := g.shadow[w][d]
+			sh.batchStart = sh.nextOID
+			// Trim the stock-level item window to the last 21 pre-batch
+			// orders and compact the flat item storage behind it.
+			lo := uint64(1)
+			if sh.batchStart > 21 {
+				lo = sh.batchStart - 21
+			}
+			sh.trimItems(lo)
 		}
 	}
 	out := make([]*txn.Txn, 0, n)
@@ -284,12 +292,6 @@ func (g *Workload) newOrder() *txn.Txn {
 
 	g.lines = g.lines[:0]
 	g.seenItems = g.seenItems[:0]
-	var items []int
-	if !invalid {
-		// items is retained by the district shadow (stockLevel reads it
-		// batches later), so it must not come from per-batch scratch.
-		items = make([]int, 0, olCnt)
-	}
 	for i := 0; i < olCnt; i++ {
 		item := int(g.rng.NURand(8191, 1, int64(cfg.Items)))
 		for slices.Contains(g.seenItems, item) {
@@ -304,9 +306,6 @@ func (g *Workload) newOrder() *txn.Txn {
 			}
 		}
 		g.lines = append(g.lines, orderLine{item: item, supplyW: supplyW, qty: 1 + uint64(g.rng.Intn(10))})
-		if !invalid {
-			items = append(items, item)
-		}
 	}
 	lines := g.lines
 	if invalid {
@@ -366,14 +365,21 @@ func (g *Workload) newOrder() *txn.Txn {
 	t.Frags = frags
 
 	// Shadow bookkeeping. An invalid-item NewOrder aborts deterministically,
-	// so the order never materializes: record nothing for readers but keep
-	// the oid consumed (ids may have gaps, exactly like aborted sequences in
-	// production systems).
+	// so the order never materializes: its ring entries stay zero (olCnt 0 =
+	// never materialized) but the oid stays consumed — ids may have gaps,
+	// exactly like aborted sequences in production systems.
 	if !invalid {
-		sh.olCnt[oid] = olCnt
-		sh.itemsOf[oid] = items
-		sh.lastOrderOf[c] = oid
-		sh.custOf[oid] = c
+		off := uint32(len(sh.itemBuf))
+		for _, ln := range lines {
+			sh.itemBuf = append(sh.itemBuf, int32(ln.item))
+		}
+		sh.ords.put(oid, ordInfo{olCnt: uint8(olCnt), cust: uint32(c)})
+		sh.items.put(oid, itemSpan{off: off, n: uint32(olCnt)})
+		sh.lastOrder[c-1] = oid<<8 | uint64(olCnt)
+		sh.materialized++
+	} else {
+		sh.ords.put(oid, ordInfo{})
+		sh.items.put(oid, itemSpan{})
 	}
 	return g.finish(t, ProfileNewOrder)
 }
@@ -422,10 +428,13 @@ func (g *Workload) orderStatus() *txn.Txn {
 
 	t := g.arena.NewTxn()
 	capHint := 1
-	oid, haveOrder := sh.lastOrderOf[c]
-	haveOrder = haveOrder && oid < sh.batchStart
+	// The packed lastOrder entry carries oid and ol_cnt together, so
+	// order-status never needs ring entries delivery may have evicted.
+	packed := sh.lastOrder[c-1]
+	oid, olCnt := packed>>8, int(packed&0xff)
+	haveOrder := packed != 0 && oid < sh.batchStart
 	if haveOrder {
-		capHint += 1 + sh.olCnt[oid]
+		capHint += 1 + olCnt
 	}
 	frags := g.arena.FragBuf(capHint)
 	frags = append(frags, txn.Fragment{
@@ -435,7 +444,7 @@ func (g *Workload) orderStatus() *txn.Txn {
 		frags = append(frags, txn.Fragment{
 			Table: TableOrders, Key: g.keyOrder(w, d, oid), Access: txn.Read, Op: OpOrderRead,
 		})
-		for ol := 1; ol <= sh.olCnt[oid]; ol++ {
+		for ol := 1; ol <= olCnt; ol++ {
 			frags = append(frags, txn.Fragment{
 				Table: TableOrderLine, Key: g.keyOrderLine(w, d, oid, ol), Access: txn.Read, Op: OpOrderLineRead,
 			})
@@ -477,25 +486,26 @@ func (g *Workload) delivery() *txn.Txn {
 		return districtReadOnly()
 	}
 	oid := sh.nextDeliv
-	// Skip order ids that never materialized (aborted NewOrders).
+	// Skip order ids that never materialized (aborted NewOrders): their ring
+	// entries are zero.
+	var info ordInfo
 	for oid < sh.batchStart {
-		if _, ok := sh.olCnt[oid]; ok {
+		if info, _ = sh.ords.get(oid); info.olCnt > 0 {
 			break
 		}
 		oid++
 	}
 	if oid >= sh.batchStart {
 		sh.nextDeliv = oid
+		sh.ords.advanceTo(oid)
 		return districtReadOnly()
 	}
-	olCnt := sh.olCnt[oid]
-	sh.nextDeliv = oid + 1
-
-	// The delivered order's customer comes from shadow knowledge? No — it is
-	// stored in the ORDERS row; deterministic planning needs it at plan time,
-	// so the generator tracks it via lastOrderOf bookkeeping. We re-derive it
-	// the same way the loader/newOrder assigned it.
+	olCnt := int(info.olCnt)
+	// The delivered order's customer comes from the ring (deterministic
+	// planning needs it at plan time, exactly as the old custOf map did).
 	cid := g.customerOfOrder(w, d, oid)
+	sh.nextDeliv = oid + 1
+	sh.ords.advanceTo(sh.nextDeliv)
 
 	frags := g.arena.FragBuf(4 + olCnt)
 	frags = append(frags,
@@ -525,11 +535,11 @@ func (g *Workload) delivery() *txn.Txn {
 	return g.finish(t, ProfileDelivery)
 }
 
-// customerOf tracks order->customer assignments for delivery planning.
+// customerOfOrder resolves an order's customer for delivery planning.
 func (g *Workload) customerOfOrder(w, d int, oid uint64) int {
 	sh := g.shadow[w-1][d-1]
-	if cid, ok := sh.custOf[oid]; ok {
-		return cid
+	if info, ok := sh.ords.get(oid); ok && info.cust != 0 {
+		return int(info.cust)
 	}
 	// Initial orders used the deterministic permutation oid -> customer.
 	return int(oid)%g.cfg.CustomersPerDistrict + 1
@@ -550,11 +560,16 @@ func (g *Workload) stockLevel() *txn.Txn {
 		lo = sh.batchStart - 21
 	}
 	// First pass: collect the distinct items (scratch slice, no per-txn map)
-	// so the fragment buffer can be sized exactly.
+	// so the fragment buffer can be sized exactly. The item window ring is
+	// trimmed to exactly this oid range at every batch boundary.
 	g.seenItems = g.seenItems[:0]
 	for oid := lo; oid < sh.batchStart; oid++ {
-		for _, item := range sh.itemsOf[oid] {
-			if !slices.Contains(g.seenItems, item) {
+		sp, ok := sh.items.get(oid)
+		if !ok {
+			continue
+		}
+		for _, it := range sh.itemBuf[sp.off : sp.off+sp.n] {
+			if item := int(it); !slices.Contains(g.seenItems, item) {
 				g.seenItems = append(g.seenItems, item)
 			}
 		}
