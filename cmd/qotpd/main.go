@@ -12,22 +12,39 @@
 // sockets — the leader-side overlap, verified against the same serial
 // reference.
 //
+// With -serve the daemon opens a client port in front of the distributed
+// leader: the batch-native cluster is driven not by a harness loop but by
+// remote clients submitting single transactions over TCP (serve.RemoteClient),
+// which the leader's batch former groups into deterministic batches
+// (group commit on -batch / -maxdelay triggers) and answers one outcome per
+// transaction. -clients/-ctxns size the demo load; -loop picks closed
+// (submit, wait, repeat) or open (submit continuously against the bounded
+// queue). With -clients 1 the submission order is deterministic, so the
+// cluster state is additionally verified against the serial reference over
+// the full wire path.
+//
 // Usage:
 //
 //	qotpd -nodes 4 -batches 10 -batch 2000
 //	qotpd -nodes 4 -workload tpcc -warehouses 8 -remote 0.1
 //	qotpd -nodes 4 -pipeline
+//	qotpd -nodes 2 -serve -clients 8 -ctxns 1000 -loop open
+//	qotpd -nodes 2 -serve -clients 1 -pipeline
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"sync"
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/cluster"
 	"github.com/exploratory-systems/qotp/internal/core"
 	"github.com/exploratory-systems/qotp/internal/dist"
+	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/workload"
 	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
@@ -38,12 +55,17 @@ func main() {
 	var (
 		nodes      = flag.Int("nodes", 2, "cluster size")
 		batches    = flag.Int("batches", 5, "number of batches")
-		batchSize  = flag.Int("batch", 2000, "transactions per batch")
+		batchSize  = flag.Int("batch", 2000, "transactions per batch (MaxBatch in -serve mode)")
 		execs      = flag.Int("executors", 2, "executors per node")
 		wl         = flag.String("workload", "ycsb", "workload: ycsb or tpcc")
 		warehouses = flag.Int("warehouses", 0, "tpcc warehouses (default 2x nodes; must be >= nodes)")
 		remote     = flag.Float64("remote", 0.1, "tpcc remote order-line fraction (cross-node data dependencies)")
 		pipeline   = flag.Bool("pipeline", false, "pipelined leader: plan/encode batch k+1 while the cluster executes batch k")
+		serveMode  = flag.Bool("serve", false, "open a TCP client port in front of the leader and drive it with remote clients")
+		clients    = flag.Int("clients", 8, "concurrent remote clients (-serve mode)")
+		ctxns      = flag.Int("ctxns", 1000, "transactions submitted per client (-serve mode)")
+		loop       = flag.String("loop", "closed", "client loop in -serve mode: closed or open")
+		maxDelay   = flag.Duration("maxdelay", time.Millisecond, "batch former MaxDelay (-serve mode)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -51,6 +73,12 @@ func main() {
 	}
 	if *batches < 1 || *batchSize < 1 || *execs < 1 {
 		log.Fatal("qotpd: -batches, -batch and -executors must be >= 1")
+	}
+	if *serveMode && (*clients < 1 || *ctxns < 1) {
+		log.Fatal("qotpd: -clients and -ctxns must be >= 1")
+	}
+	if *loop != "closed" && *loop != "open" {
+		log.Fatalf("qotpd: -loop must be closed or open, got %q", *loop)
 	}
 
 	var parts int
@@ -85,49 +113,51 @@ func main() {
 		log.Fatalf("qotpd: unknown workload %q (have ycsb, tpcc)", *wl)
 	}
 
-	// Serial reference for verification.
-	refGen := mkGen()
-	refStore := storage.MustOpen(refGen.StoreConfig(parts))
-	if err := refGen.Load(refStore); err != nil {
-		log.Fatal(err)
-	}
-	refEng, err := core.New(refStore, core.Config{Planners: 1, Executors: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for b := 0; b < *batches; b++ {
-		if err := refEng.ExecBatch(refGen.NextBatch(*batchSize)); err != nil {
+	// Serial reference for verification. A deterministic submission order is
+	// required, so it applies to the harness mode and to -serve with a single
+	// closed-loop client; concurrent clients interleave nondeterministically
+	// and are verified by outcome accounting instead.
+	verifiable := !*serveMode || (*clients == 1 && *loop == "closed")
+	var refStore *storage.Store
+	if verifiable {
+		refGen := mkGen()
+		refStore = storage.MustOpen(refGen.StoreConfig(parts))
+		if err := refGen.Load(refStore); err != nil {
 			log.Fatal(err)
+		}
+		refEng, err := core.New(refStore, core.Config{Planners: 1, Executors: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := *batches * *batchSize
+		if *serveMode {
+			total = *clients * *ctxns
+		}
+		for total > 0 {
+			n := min(total, *batchSize)
+			total -= n
+			if err := refEng.ExecBatch(refGen.NextBatch(n)); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
-	// Real TCP transports on loopback: bind with :0, then share addresses.
-	// qotpd demonstrates the wire path in one process; production deploys one
-	// TCPTransport per host with a static address list.
-	addrs := make([]string, *nodes)
-	for i := range addrs {
-		addrs[i] = "127.0.0.1:0"
+	// Real TCP transports on loopback (cluster.StartLoopbackTCP): bind with
+	// :0, share addresses, connect the mesh. qotpd demonstrates the wire
+	// path in one process; production deploys one TCPTransport per host with
+	// a static address list.
+	multi, err := cluster.StartLoopbackTCP(*nodes)
+	if err != nil {
+		log.Fatal(err)
 	}
-	transports := make([]*cluster.TCPTransport, *nodes)
-	for i := range transports {
-		transports[i] = cluster.NewTCPTransport(i, addrs)
-		if err := transports[i].Start(); err != nil {
-			log.Fatal(err)
-		}
-		addrs[i] = transports[i].Addr()
-		fmt.Printf("node %d listening on %s\n", i, addrs[i])
-	}
-	for _, tr := range transports {
-		if err := tr.Connect(); err != nil {
-			log.Fatal(err)
-		}
-		defer tr.Close()
+	defer multi.Close()
+	for i, addr := range multi.Addrs() {
+		fmt.Printf("node %d listening on %s\n", i, addr)
 	}
 
 	// QueCC-D drives all nodes; node 0's transport carries the leader role.
 	// The engine is transport-agnostic: the same code ran over ChanTransport
 	// in the benchmarks.
-	multi := &fanTransport{transports: transports}
 	gen := mkGen()
 	var opts []dist.Option
 	if *pipeline {
@@ -137,6 +167,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *serveMode {
+		srv, err := serve.New(eng, serve.Config{MaxBatch: *batchSize, MaxDelay: *maxDelay, Block: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		serveClients(srv, gen, *clients, *ctxns, *batchSize, *loop == "open")
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+		verifyHash(eng, mkGen, parts, refStore)
+		return
+	}
+
 	start := time.Now()
 	for b := 0; b < *batches; b++ {
 		if *pipeline {
@@ -155,7 +199,16 @@ func main() {
 	snap := eng.Stats().Snap(elapsed)
 	fmt.Printf("\ncommitted %d txns in %v over TCP — %.0f txn/s, %d messages\n",
 		snap.Committed, elapsed.Round(time.Millisecond), snap.Throughput, multi.Messages())
+	verifyHash(eng, mkGen, parts, refStore)
+}
 
+// verifyHash checks the cluster state against the serial reference when one
+// exists (nil refStore = nondeterministic submission order, skip).
+func verifyHash(eng *dist.QueCCD, mkGen func() workload.Generator, parts int, refStore *storage.Store) {
+	if refStore == nil {
+		fmt.Println("state-hash verification skipped: concurrent clients have no deterministic reference order")
+		return
+	}
 	var tables []storage.TableID
 	for _, ts := range mkGen().StoreConfig(parts).Tables {
 		tables = append(tables, ts.ID)
@@ -168,36 +221,85 @@ func main() {
 	fmt.Printf("cluster state hash %x matches the serial reference — deterministic over real sockets\n", got)
 }
 
-// fanTransport adapts N per-node TCP transports (one per "host", here all
-// in-process) to the single Transport interface the engine drives.
-type fanTransport struct {
-	transports []*cluster.TCPTransport
-}
-
-func (f *fanTransport) Nodes() int { return len(f.transports) }
-
-func (f *fanTransport) Send(m cluster.Msg) error { return f.transports[m.From].Send(m) }
-
-func (f *fanTransport) Recv(id int) (cluster.Msg, bool) { return f.transports[id].Recv(id) }
-
-func (f *fanTransport) Messages() uint64 {
-	var n uint64
-	for _, tr := range f.transports {
-		n += tr.Messages()
+// serveClients opens the client port and drives it with remote clients over
+// real TCP, then reports per-transaction latency percentiles (enqueue to
+// commit) and outcome accounting.
+func serveClients(srv *serve.Server, gen workload.Generator, clients, ctxns, genChunk int, open bool) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
 	}
-	return n
-}
+	ts := serve.ServeTCP(lis, srv, gen.Registry())
+	defer ts.Close()
+	fmt.Printf("client port listening on %s (%d clients x %d txns, %s loop)\n",
+		ts.Addr(), clients, ctxns, map[bool]string{true: "open", false: "closed"}[open])
 
-func (f *fanTransport) Bytes() uint64 {
-	var n uint64
-	for _, tr := range f.transports {
-		n += tr.Bytes()
+	// One generator feeds all clients: pre-generate and split round-robin so
+	// the offered work is the same deterministic stream the harness would
+	// run, chunked exactly as the serial reference generated it (see
+	// workload.GenStream for why the chunking matters).
+	stream := workload.GenStream(gen, clients*ctxns, genChunk)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed, aborted, failed := 0, 0, 0
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rc, err := serve.DialTCP(ts.Addr().String())
+			if err != nil {
+				log.Fatalf("client %d: %v", c, err)
+			}
+			defer rc.Close()
+			ctx := context.Background()
+			var futs []*serve.Future
+			ok, ab, bad := 0, 0, 0
+			count := func(out serve.Outcome) {
+				switch {
+				case out.Err != nil:
+					bad++
+				case out.Committed:
+					ok++
+				default:
+					ab++
+				}
+			}
+			for i := c; i < len(stream); i += clients {
+				if open {
+					fut, err := rc.Submit(ctx, stream[i])
+					if err != nil {
+						log.Fatalf("client %d submit: %v", c, err)
+					}
+					futs = append(futs, fut)
+					continue
+				}
+				out, err := rc.Exec(ctx, stream[i])
+				if err != nil {
+					log.Fatalf("client %d exec: %v", c, err)
+				}
+				count(out)
+			}
+			for _, fut := range futs {
+				count(fut.Outcome())
+			}
+			mu.Lock()
+			committed += ok
+			aborted += ab
+			failed += bad
+			mu.Unlock()
+		}(c)
 	}
-	return n
-}
+	wg.Wait()
+	elapsed := time.Since(start)
 
-func (f *fanTransport) Close() {
-	for _, tr := range f.transports {
-		tr.Close()
+	if committed+aborted+failed != len(stream) || failed > 0 {
+		log.Fatalf("outcome accounting broken: committed=%d aborted=%d failed=%d of %d",
+			committed, aborted, failed, len(stream))
 	}
+	snap := srv.Stats().Snap(elapsed)
+	fmt.Printf("\n%d committed, %d aborted by logic in %v — %.0f txn/s through the client port\n",
+		committed, aborted, elapsed.Round(time.Millisecond), snap.Throughput)
+	fmt.Printf("per-txn latency (enqueue->commit): mean=%v p50=%v p99=%v p999=%v\n",
+		snap.MeanLat, snap.P50, snap.P99, snap.P999)
 }

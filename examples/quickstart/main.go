@@ -1,20 +1,31 @@
-// Quickstart: open a database, run one batch through the queue-oriented
-// engine, and print the two-phase flow of the paper's Figure 1 (planning
-// into priority queues, queue-oriented execution, batch commit).
+// Quickstart: the client API over the queue-oriented engine. Open a
+// database, start a Client (the batch former), submit transactions from a
+// few concurrent sessions, and read per-transaction outcomes — while
+// underneath, submissions are grouped into the deterministic batches of the
+// paper's Figure 1 (planning into priority queues, queue-oriented execution,
+// batch commit).
+//
+// The batch interface the experiments drive directly — eng.ExecBatch on a
+// generator batch — is still there underneath; see the README's "harness
+// interface" section.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"github.com/exploratory-systems/qotp"
 )
 
 func main() {
-	// A small YCSB-style table: 8 partitions, zipfian access.
+	// A small YCSB-style table: 8 partitions, zipfian access, with a 2%
+	// abort rate so per-transaction verdicts are visible.
 	gen, err := qotp.NewYCSB(qotp.YCSBConfig{
 		Records: 8192, Partitions: 8, OpsPerTxn: 8,
-		ReadRatio: 0.5, RMWRatio: 0.25, Theta: 0.9, Seed: 1,
+		ReadRatio: 0.5, RMWRatio: 0.25, Theta: 0.9, AbortRatio: 0.02, Seed: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -24,42 +35,68 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The engine: 2 planners, 4 executors, pipelined so forming batch k+1
+	// overlaps executing batch k.
 	eng, err := qotp.NewQueCC(db, qotp.QueCCOptions{
 		Planners: 2, Executors: 4,
 		Mechanism: qotp.Speculative, Isolation: qotp.Serializable,
+		Pipeline: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
 
-	fmt.Println("queue-oriented transaction processing — Figure 1 flow")
-	fmt.Println()
-	fmt.Println("  [clients] --batch--> [2 planners] --priority queues--> [4 executors] --batch commit-->")
-	fmt.Println()
-
-	const batchSize = 5000
-	before := qotp.StateHash(db)
-	batch := gen.NextBatch(batchSize)
-	fmt.Printf("phase 0  batch formed:      %d transactions (%d fragments)\n", len(batch), countFrags(batch))
-	if err := eng.ExecBatch(batch); err != nil {
+	// The client: submissions are grouped into deterministic batches on
+	// size/time triggers (group commit); the bounded queue pushes back when
+	// the engine falls behind.
+	cli, err := qotp.NewClient(eng, qotp.ClientOptions{
+		MaxBatch: 1024, MaxDelay: time.Millisecond, Block: true,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	snap := eng.Stats().Snap(1)
-	fmt.Printf("phase 1  planning:          fragments routed into per-partition priority queues (%.2fms)\n",
-		float64(snap.PlanNs)/1e6)
-	fmt.Printf("phase 2  execution:         queues drained in priority order, zero locks (%.2fms)\n",
-		float64(snap.ExecNs)/1e6)
-	fmt.Printf("commit   batch epoch advanced: %d committed, %d aborted by logic\n",
-		snap.Committed, snap.UserAborts)
-	fmt.Printf("state    hash %x -> %x (deterministic: same input batch always yields this hash)\n",
-		before, qotp.StateHash(db))
-}
 
-func countFrags(batch []*qotp.Txn) int {
-	n := 0
-	for _, t := range batch {
-		n += len(t.Frags)
+	fmt.Println("queue-oriented transaction processing — the serving path")
+	fmt.Println()
+	fmt.Println("  [sessions] --Submit--> [batch former] --batch--> [2 planners] --queues--> [4 executors] --commit--> Futures resolve")
+	fmt.Println()
+
+	const sessions, perSession = 4, 2000
+	stream := gen.NextBatch(sessions * perSession)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed, aborted := 0, 0
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := cli.Session()
+			for i := s; i < len(stream); i += sessions {
+				out, err := sess.Exec(context.Background(), stream[i])
+				if err != nil {
+					log.Fatalf("session %d: %v", s, err)
+				}
+				mu.Lock()
+				if out.Committed {
+					committed++
+				} else {
+					aborted++
+				}
+				mu.Unlock()
+			}
+		}(s)
 	}
-	return n
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := cli.Snapshot()
+	fmt.Printf("%d sessions submitted %d transactions in %v (%.0f txn/s)\n",
+		sessions, len(stream), elapsed.Round(time.Millisecond), float64(len(stream))/elapsed.Seconds())
+	fmt.Printf("outcomes: %d committed, %d aborted by their own logic\n", committed, aborted)
+	fmt.Printf("per-txn latency (enqueue->commit): p50=%v p99=%v p999=%v\n", snap.P50, snap.P99, snap.P999)
+	if err := cli.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state hash %x — deterministic: replaying the same batches yields this hash\n", qotp.StateHash(db))
 }

@@ -6,8 +6,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/calvin"
@@ -18,6 +20,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/hstore"
 	"github.com/exploratory-systems/qotp/internal/metrics"
 	"github.com/exploratory-systems/qotp/internal/mvto"
+	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/silo"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/tictoc"
@@ -67,6 +70,22 @@ type Spec struct {
 	// list). Centralized runs use arenas by default; this knob exists so the
 	// allocation experiments (E14) can measure the old behavior.
 	NoArena bool
+	// Clients > 0 drives the run through the serving path (serve.Server over
+	// the engine) instead of the batch harness: that many concurrent client
+	// goroutines submit single transactions, the batch former groups them
+	// (ClientMaxBatch/ClientMaxDelay), and latency is the honest per-txn
+	// enqueue-to-commit time — the batch driver's shared-commit-point
+	// ObserveN cannot distinguish transactions within a batch.
+	Clients int
+	// OpenLoop submits without waiting for outcomes (arrivals not gated on
+	// completions; the bounded queue supplies backpressure). Default is the
+	// closed loop: each client waits for its transaction's outcome before
+	// submitting the next.
+	OpenLoop bool
+	// ClientMaxBatch/ClientMaxDelay tune the batch former (defaults:
+	// BatchSize and 1ms).
+	ClientMaxBatch int
+	ClientMaxDelay time.Duration
 }
 
 func (s *Spec) normalize() error {
@@ -94,6 +113,12 @@ func (s *Spec) normalize() error {
 	}
 	if s.Partitions == 0 {
 		s.Partitions = 2 * s.Threads
+	}
+	if s.ClientMaxBatch == 0 {
+		s.ClientMaxBatch = s.BatchSize
+	}
+	if s.ClientMaxDelay == 0 {
+		s.ClientMaxDelay = time.Millisecond
 	}
 	return nil
 }
@@ -209,6 +234,10 @@ func Run(s Spec) (Result, error) {
 	}
 	defer eng.Close()
 
+	if s.Clients > 0 {
+		return runClients(s, gen, eng, tr)
+	}
+
 	// Arena-backed generation, rotating two arenas: batch k's arena is Reset
 	// only when batch k+2 is generated, by which point batch k has fully
 	// finished under both the serial and the pipelined drivers (txn.Arena
@@ -288,6 +317,106 @@ func Run(s Spec) (Result, error) {
 		snap.Bytes = tr.Bytes() - preBytes
 	}
 	res := Result{Spec: s, Engine: eng.Name(), Snapshot: snap}
+	if processed := snap.Committed + snap.UserAborts; processed > 0 {
+		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(processed)
+	}
+	if snap.Messages > 0 {
+		res.BytesPerMsg = float64(snap.Bytes) / float64(snap.Messages)
+	}
+	return res, nil
+}
+
+// runClients drives one spec through the serving path: s.Clients concurrent
+// goroutines submit the same deterministic stream the batch driver would
+// execute, one transaction at a time, through a serve.Server over the
+// engine. The reported latency histogram holds one enqueue-to-commit sample
+// per transaction. Generation is heap-backed: a submitted transaction's
+// lifetime is unbounded (it ends at its batch's commit, which the generator
+// cannot see), so the arena batch-lifetime rule does not apply.
+func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Transport) (Result, error) {
+	srv, err := serve.New(eng, serve.Config{
+		MaxBatch: s.ClientMaxBatch,
+		MaxDelay: s.ClientMaxDelay,
+		Block:    true, // the harness measures service time, not shed load
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer srv.Close()
+
+	genBatch := func(n int) []*txn.Txn { return workload.GenStream(gen, n, s.BatchSize) }
+	drive := func(stream []*txn.Txn) error {
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		errs := make(chan error, s.Clients)
+		for c := 0; c < s.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				sess := srv.Session()
+				if s.OpenLoop {
+					futs := make([]*serve.Future, 0, (len(stream)+s.Clients-1)/s.Clients)
+					for i := c; i < len(stream); i += s.Clients {
+						fut, err := sess.Submit(ctx, stream[i])
+						if err != nil {
+							errs <- err
+							return
+						}
+						futs = append(futs, fut)
+					}
+					for _, fut := range futs {
+						if out := fut.Outcome(); out.Err != nil {
+							errs <- out.Err
+							return
+						}
+					}
+					return
+				}
+				for i := c; i < len(stream); i += s.Clients {
+					if _, err := sess.Exec(ctx, stream[i]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return err
+		default:
+			return nil
+		}
+	}
+
+	if err := drive(genBatch(s.WarmupBatches * s.BatchSize)); err != nil {
+		return Result{}, fmt.Errorf("bench: client warmup: %w", err)
+	}
+	srv.Stats().Reset()
+	var preMsgs, preBytes uint64
+	if tr != nil {
+		preMsgs = tr.Messages()
+		preBytes = tr.Bytes()
+	}
+	stream := genBatch(s.Batches * s.BatchSize)
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+	if err := drive(stream); err != nil {
+		return Result{}, fmt.Errorf("bench: client run: %w", err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&memAfter)
+	snap := srv.Stats().Snap(elapsed)
+	if tr != nil {
+		snap.Messages = tr.Messages() - preMsgs
+		snap.Bytes = tr.Bytes() - preBytes
+	}
+	loop := "closed"
+	if s.OpenLoop {
+		loop = "open"
+	}
+	res := Result{Spec: s, Engine: fmt.Sprintf("%s+client/%s/c=%d", eng.Name(), loop, s.Clients), Snapshot: snap}
 	if processed := snap.Committed + snap.UserAborts; processed > 0 {
 		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(processed)
 	}

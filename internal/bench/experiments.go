@@ -33,7 +33,7 @@ var DefaultScale = Scale{Batches: 6, BatchSize: 2000, YCSBRecs: 1 << 16, Threads
 // transactions per spec so the JSON trajectory is non-degenerate.
 var SmokeScale = Scale{Batches: 3, BatchSize: 500, YCSBRecs: 1 << 13, Threads: 2}
 
-// Experiments returns the full registry (E1–E15), sized by sc.
+// Experiments returns the full registry (E1–E16), sized by sc.
 func Experiments(sc Scale) []Experiment {
 	ycsbBase := func(theta, mpRatio float64, mpCount, ops int, readRatio float64) Spec {
 		s := Spec{
@@ -357,6 +357,46 @@ func Experiments(sc Scale) []Experiment {
 		Specs:    e15,
 	})
 
+	// E16 — the serving path (closed vs open loop): N concurrent client
+	// goroutines submit single transactions through the batch former
+	// (serve.Server) instead of the batch harness. Latency is measured per
+	// transaction from enqueue to its batch's commit — the number the batch
+	// driver cannot produce (ObserveN gives every transaction in a batch the
+	// same commit-point latency; the batch-harness row is kept as that
+	// baseline). The closed loop gates each client's next submission on its
+	// previous outcome (latency ~= one group-commit cycle); the open loop
+	// submits continuously against the bounded queue, so p99/p999 expose
+	// queueing delay on top of the forming delay. The quecc-pipe rows form
+	// batch k+1 while batch k executes; the distributed rows put the former
+	// in front of the QueCC-D leader with 200us message hops.
+	mkClient := func(clients int, open bool) func(Spec) Spec {
+		return func(s Spec) Spec {
+			s.Clients = clients
+			s.OpenLoop = open
+			s.ClientMaxBatch = sc.BatchSize
+			s.ClientMaxDelay = time.Millisecond
+			return s
+		}
+	}
+	e16 := ycsbBase(0.6, 0, 1, 8, 0.5)
+	e16d := ycsbBase(0.6, 0.2, 2, 8, 0.5)
+	e16d.BatchSize = sc.BatchSize / 2
+	exps = append(exps, Experiment{
+		ID:       "E16",
+		Artifact: "Serving path: group-commit client API, open vs closed loop (per-txn p50/p99/p999)",
+		Expect:   "closed-loop p50 ~= one group-commit cycle; open loop adds queueing tail; batch-harness latency stays flat across its batch",
+		Specs: []NamedSpec{
+			{"batch-harness/quecc", with(e16, "quecc")},
+			{"closed/c=4/quecc", mkClient(4, false)(with(e16, "quecc"))},
+			{"closed/c=32/quecc", mkClient(32, false)(with(e16, "quecc"))},
+			{"open/c=32/quecc", mkClient(32, true)(with(e16, "quecc"))},
+			{"closed/c=32/quecc-pipe", mkClient(32, false)(with(e16, "quecc-pipe"))},
+			{"open/c=32/quecc-pipe", mkClient(32, true)(with(e16, "quecc-pipe"))},
+			{"closed/c=32/quecc-d/n=2", mkClient(32, false)(dist(e16d, "quecc-d", 2, 200*time.Microsecond))},
+			{"open/c=32/quecc-d-pipe/n=2", mkClient(32, true)(dist(e16d, "quecc-d-pipe", 2, 200*time.Microsecond))},
+		},
+	})
+
 	return exps
 }
 
@@ -394,16 +434,16 @@ func RunExperiment(e Experiment) (string, []Result, error) {
 
 func tableWithNames(names []string, results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %14s %10s %10s %10s %12s %12s %10s %11s %10s\n",
-		"config", "txn/s", "committed", "aborts", "retries", "p50", "p99", "msgs/txn", "allocs/txn", "bytes/msg")
+	fmt.Fprintf(&b, "%-28s %14s %10s %10s %10s %12s %12s %12s %10s %11s %10s\n",
+		"config", "txn/s", "committed", "aborts", "retries", "p50", "p99", "p999", "msgs/txn", "allocs/txn", "bytes/msg")
 	for i, r := range results {
 		s := r.Snapshot
 		msgsPerTxn := 0.0
 		if s.Committed > 0 {
 			msgsPerTxn = float64(s.Messages) / float64(s.Committed)
 		}
-		fmt.Fprintf(&b, "%-24s %14.0f %10d %10d %10d %12v %12v %10.2f %11.1f %10.0f\n",
-			names[i], s.Throughput, s.Committed, s.UserAborts, s.Retries, s.P50, s.P99, msgsPerTxn,
+		fmt.Fprintf(&b, "%-28s %14.0f %10d %10d %10d %12v %12v %12v %10.2f %11.1f %10.0f\n",
+			names[i], s.Throughput, s.Committed, s.UserAborts, s.Retries, s.P50, s.P99, s.P999, msgsPerTxn,
 			r.AllocsPerTxn, r.BytesPerMsg)
 	}
 	return b.String()

@@ -24,8 +24,10 @@ type JSONResult struct {
 	Retries      uint64  `json:"retries"`
 	Messages     uint64  `json:"messages"`
 	Bytes        uint64  `json:"bytes"`
+	MeanNs       int64   `json:"mean_ns"`
 	P50Ns        int64   `json:"p50_ns"`
 	P99Ns        int64   `json:"p99_ns"`
+	P999Ns       int64   `json:"p999_ns"`
 	MsgsPerTxn   float64 `json:"msgs_per_txn"`
 	AllocsPerTxn float64 `json:"allocs_per_txn"`
 	BytesPerMsg  float64 `json:"bytes_per_msg"`
@@ -71,7 +73,8 @@ func (r *JSONReport) Add(e Experiment, results []Result) {
 			Throughput: s.Throughput,
 			Committed:  s.Committed, UserAborts: s.UserAborts, Retries: s.Retries,
 			Messages: s.Messages, Bytes: s.Bytes,
-			P50Ns: s.P50.Nanoseconds(), P99Ns: s.P99.Nanoseconds(),
+			MeanNs: s.MeanLat.Nanoseconds(),
+			P50Ns:  s.P50.Nanoseconds(), P99Ns: s.P99.Nanoseconds(), P999Ns: s.P999.Nanoseconds(),
 			AllocsPerTxn: res.AllocsPerTxn, BytesPerMsg: res.BytesPerMsg,
 		}
 		if s.Committed > 0 {

@@ -33,6 +33,91 @@ type TCPTransport struct {
 
 var _ Transport = (*TCPTransport)(nil)
 
+// LoopbackTCP is N per-node TCP transports hosted in one process, adapted to
+// the single Transport interface the engines drive — the deployment shape of
+// cmd/qotpd and examples/server: real sockets, one process. Production
+// deploys one TCPTransport per host instead.
+type LoopbackTCP struct {
+	transports []*TCPTransport
+}
+
+var _ Transport = (*LoopbackTCP)(nil)
+
+// StartLoopbackTCP binds n nodes to 127.0.0.1:0 listeners, exchanges the
+// bound addresses, and fully connects the mesh. On any mid-setup failure the
+// already-started transports are closed before the error is returned, so a
+// partial mesh never leaks listeners or accept goroutines.
+func StartLoopbackTCP(n int) (*LoopbackTCP, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	transports := make([]*TCPTransport, 0, n)
+	fail := func(err error) (*LoopbackTCP, error) {
+		for _, tr := range transports {
+			tr.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		tr := NewTCPTransport(i, addrs)
+		if err := tr.Start(); err != nil {
+			return fail(err)
+		}
+		transports = append(transports, tr)
+		addrs[i] = tr.Addr()
+	}
+	for _, tr := range transports {
+		if err := tr.Connect(); err != nil {
+			return fail(err)
+		}
+	}
+	return &LoopbackTCP{transports: transports}, nil
+}
+
+// Addrs returns each node's bound listen address.
+func (f *LoopbackTCP) Addrs() []string {
+	out := make([]string, len(f.transports))
+	for i, tr := range f.transports {
+		out[i] = tr.Addr()
+	}
+	return out
+}
+
+// Nodes implements Transport.
+func (f *LoopbackTCP) Nodes() int { return len(f.transports) }
+
+// Send implements Transport: routed via the sending node's transport.
+func (f *LoopbackTCP) Send(m Msg) error { return f.transports[m.From].Send(m) }
+
+// Recv implements Transport.
+func (f *LoopbackTCP) Recv(id int) (Msg, bool) { return f.transports[id].Recv(id) }
+
+// Messages implements Transport (sum over nodes).
+func (f *LoopbackTCP) Messages() uint64 {
+	var n uint64
+	for _, tr := range f.transports {
+		n += tr.Messages()
+	}
+	return n
+}
+
+// Bytes implements Transport (sum over nodes).
+func (f *LoopbackTCP) Bytes() uint64 {
+	var n uint64
+	for _, tr := range f.transports {
+		n += tr.Bytes()
+	}
+	return n
+}
+
+// Close implements Transport.
+func (f *LoopbackTCP) Close() {
+	for _, tr := range f.transports {
+		tr.Close()
+	}
+}
+
 // NewTCPTransport creates the transport for node id of the given address
 // list. Start must be called on every node before Connect is called on any.
 func NewTCPTransport(id int, addrs []string) *TCPTransport {

@@ -184,6 +184,24 @@ func (e *Engine) Drain() error {
 	return err
 }
 
+// TryDrain is the non-blocking Drain: done reports whether no submitted
+// batch remains in flight (either none was, or one just completed and its
+// error — if any — is returned). Driver-goroutine-only, like Drain. The
+// serving layer polls it to resolve a committed batch's clients immediately
+// instead of waiting for the next Submit.
+func (e *Engine) TryDrain() (done bool, err error) {
+	if e.inflight == nil {
+		return true, nil
+	}
+	select {
+	case err := <-e.inflight:
+		e.inflight = nil
+		return true, err
+	default:
+		return false, nil
+	}
+}
+
 // execPlanned runs execution, repair and commit over a planned batch.
 // Latency is observed from start (ExecBatch passes the pre-planning instant
 // so per-transaction commit latency includes the planning phase).

@@ -142,6 +142,7 @@ func (e *CalvinD) runRounds(s calvinShipment) error {
 	if err != nil {
 		return err
 	}
+	markVerdicts(s.txns, aborted)
 	g.finishBatch(len(s.txns), countTrue(aborted), uint64(time.Since(s.start).Nanoseconds()), func(committed int) {
 		g.stats.Latency.ObserveN(time.Since(s.start), committed)
 	})
@@ -165,6 +166,9 @@ func (e *CalvinD) Submit(txns []*txn.Txn) error {
 // Drain waits for the batch launched by the last Submit (if any) and returns
 // its execution error. A no-op on an idle engine.
 func (e *CalvinD) Drain() error { return e.pipe.drain() }
+
+// TryDrain is the non-blocking Drain (see core.Engine.TryDrain).
+func (e *CalvinD) TryDrain() (bool, error) { return e.pipe.tryDrain() }
 
 // Pipelined reports whether the Submit/Drain driver is enabled.
 func (e *CalvinD) Pipelined() bool { return e.pipe.enabled }
@@ -294,8 +298,13 @@ type calvinWaiter struct {
 type calvinLock struct {
 	exclusive bool
 	holders   int
-	queue     []calvinWaiter
+	// queue[qhead:] are the waiters; consuming advances qhead instead of
+	// re-slicing so a recycled cell keeps its full backing capacity.
+	qhead int
+	queue []calvinWaiter
 }
+
+func (l *calvinLock) waiting() bool { return l.qhead < len(l.queue) }
 
 type calvinTxnState struct {
 	t       *txn.Txn
@@ -308,13 +317,93 @@ type calvinReq struct {
 	exclusive bool
 }
 
+// calvinScratch is the lock scheduler's per-node reusable state. A round
+// used to allocate per transaction (state struct, first-touch mode map,
+// order slice, request slice — ~10 allocs/txn, plus a lock cell per distinct
+// record); everything now lives in buffers reset at round start, pinned by
+// TestCalvinSchedulerAllocs.
+type calvinScratch struct {
+	states []calvinTxnState
+	// reqs is the shared backing for every state's request list. Growth may
+	// reallocate mid-round; earlier states keep sub-slices of the old array,
+	// which is correct because a transaction's requests are immutable once
+	// built (upgrades only touch the transaction currently being analyzed).
+	reqs []calvinReq
+	// seen maps a record to its request's index in reqs for the transaction
+	// under analysis (first-touch dedup + strongest-mode upgrade); cleared
+	// per transaction, buckets retained.
+	seen map[lockKey]int
+	// locks is the round's lock table; cells are recycled through free so
+	// steady-state rounds allocate no calvinLock (or its waiter queue).
+	locks map[lockKey]*calvinLock
+	used  []*calvinLock
+	free  []*calvinLock
+	ready chan *calvinTxnState
+	// proposals: one abort-proposal list per worker, capacity retained.
+	proposals [][]uint32
+}
+
+// begin readies the scratch for one round of n transactions and w workers.
+func (sc *calvinScratch) begin(n, w int) {
+	if cap(sc.states) < n {
+		sc.states = make([]calvinTxnState, n)
+	} else {
+		sc.states = sc.states[:n]
+	}
+	sc.reqs = sc.reqs[:0]
+	if sc.seen == nil {
+		sc.seen = make(map[lockKey]int)
+	}
+	if sc.locks == nil {
+		sc.locks = make(map[lockKey]*calvinLock)
+	} else {
+		clear(sc.locks)
+	}
+	sc.free = append(sc.free, sc.used...)
+	sc.used = sc.used[:0]
+	if cap(sc.ready) < n {
+		sc.ready = make(chan *calvinTxnState, n)
+	} else {
+		// An error-abandoned round may have left grants unconsumed.
+		for len(sc.ready) > 0 {
+			<-sc.ready
+		}
+	}
+	if cap(sc.proposals) < w {
+		sc.proposals = make([][]uint32, w)
+	}
+	sc.proposals = sc.proposals[:w]
+	for i := range sc.proposals {
+		sc.proposals[i] = sc.proposals[i][:0]
+	}
+}
+
+// lockFor returns the (recycled or fresh) lock cell for k.
+func (sc *calvinScratch) lockFor(k lockKey) *calvinLock {
+	if l := sc.locks[k]; l != nil {
+		return l
+	}
+	var l *calvinLock
+	if n := len(sc.free); n > 0 {
+		l = sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		l.exclusive, l.holders, l.qhead, l.queue = false, 0, 0, l.queue[:0]
+	} else {
+		l = &calvinLock{}
+	}
+	sc.locks[k] = l
+	sc.used = append(sc.used, l)
+	return l
+}
+
 // runRoundLocks executes one verdict round through a deterministic lock
 // scheduler: the hoisted-publisher forwarding pass first (hoistAndFlush),
 // then lock requests granted strictly in batch order (FIFO per record), and
 // a worker pool running each transaction's local fragments once all its
 // locks are held. Record access order therefore equals batch order, the same
 // history the queue-based round runner produces. The caller must have called
-// startRound.
+// startRound. All scheduler state lives in the node's reusable scratch
+// (n.calvin); rounds run one at a time per node, so reuse is race-free.
 func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 	if len(n.shadows) == 0 {
 		return nil, nil
@@ -324,33 +413,34 @@ func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 		return nil, err
 	}
 
+	sc := &n.calvin
+	sc.begin(len(n.shadows), n.workers)
+
 	// Lock analysis (first-touch order, strongest mode wins).
-	states := make([]*calvinTxnState, len(n.shadows))
 	for i, t := range n.shadows {
-		st := &calvinTxnState{t: t}
-		mode := make(map[lockKey]bool, len(t.Frags))
-		var order []lockKey
+		st := &sc.states[i]
+		st.t = t
+		lo := len(sc.reqs)
+		clear(sc.seen)
 		for fi := range t.Frags {
 			f := &t.Frags[fi]
 			k := lockKey{table: f.Table, key: f.Key}
-			if x, seen := mode[k]; seen {
-				mode[k] = x || f.Access.IsWrite()
+			if idx, seen := sc.seen[k]; seen {
+				if f.Access.IsWrite() {
+					sc.reqs[idx].exclusive = true
+				}
 			} else {
-				mode[k] = f.Access.IsWrite()
-				order = append(order, k)
+				sc.seen[k] = len(sc.reqs)
+				sc.reqs = append(sc.reqs, calvinReq{k: k, exclusive: f.Access.IsWrite()})
 			}
 		}
-		st.reqs = make([]calvinReq, 0, len(order))
-		for _, k := range order {
-			st.reqs = append(st.reqs, calvinReq{k: k, exclusive: mode[k]})
-		}
+		st.reqs = sc.reqs[lo:len(sc.reqs):len(sc.reqs)]
 		st.pending.Store(int32(len(st.reqs)))
-		states[i] = st
 	}
+	states := sc.states
 
-	locks := make(map[lockKey]*calvinLock)
 	grantable := func(l *calvinLock, exclusive bool) bool {
-		if len(l.queue) > 0 {
+		if l.waiting() {
 			return false
 		}
 		if l.holders == 0 {
@@ -358,21 +448,18 @@ func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 		}
 		return !l.exclusive && !exclusive
 	}
-	ready := make(chan *calvinTxnState, len(states))
+	ready := sc.ready
 	var mu sync.Mutex
 
 	mu.Lock()
-	for _, st := range states {
+	for i := range states {
+		st := &states[i]
 		if len(st.reqs) == 0 {
 			ready <- st
 			continue
 		}
 		for _, rq := range st.reqs {
-			l := locks[rq.k]
-			if l == nil {
-				l = &calvinLock{}
-				locks[rq.k] = l
-			}
+			l := sc.lockFor(rq.k)
 			if grantable(l, rq.exclusive) {
 				l.holders++
 				l.exclusive = rq.exclusive
@@ -389,28 +476,25 @@ func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 	release := func(st *calvinTxnState) {
 		mu.Lock()
 		for _, rq := range st.reqs {
-			l := locks[rq.k]
+			l := sc.locks[rq.k]
 			l.holders--
-			for len(l.queue) > 0 {
-				head := l.queue[0]
+			for l.waiting() {
+				head := l.queue[l.qhead]
 				if l.holders > 0 && (l.exclusive || head.exclusive) {
 					break
 				}
-				l.queue = l.queue[1:]
+				l.qhead++
 				l.holders++
 				l.exclusive = head.exclusive
 				if head.st.pending.Add(-1) == 0 {
 					ready <- head.st
 				}
 			}
-			if l.holders == 0 && len(l.queue) == 0 {
-				delete(locks, rq.k)
-			}
 		}
 		mu.Unlock()
 	}
 
-	proposals := make([][]uint32, n.workers)
+	proposals := sc.proposals
 	var done atomic.Int64
 	var firstErr atomic.Value
 	var failed atomic.Bool
@@ -446,8 +530,8 @@ func (n *node) runRoundLocks(aborted []bool) ([]uint32, error) {
 		return nil, err
 	}
 	out := hoistProps
-	for _, p := range proposals {
-		out = append(out, p...)
+	for w := range proposals {
+		out = append(out, proposals[w]...)
 	}
 	return out, nil
 }

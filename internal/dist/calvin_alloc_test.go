@@ -1,0 +1,55 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// TestCalvinSchedulerAllocs pins the per-node lock scheduler's allocation
+// budget: lock analysis and grant bookkeeping must run out of the node's
+// reusable scratch (calvinScratch), not allocate per round. A single-node
+// cluster isolates the scheduler (no shipping, no followers) and arena-backed
+// generation keeps the stream itself off the heap, so the measured number is
+// the scheduler's own budget. Before scratch reuse this sat at ~10 allocs/txn
+// (ROADMAP: calvinTxnState + mode map + order + reqs per transaction, plus
+// lock cells); with it the steady state must stay under 1.
+func TestCalvinSchedulerAllocs(t *testing.T) {
+	const batchSize = 400
+	tr := cluster.NewChanTransport(1, 0)
+	defer tr.Close()
+	gen := ycsb.MustNew(ycsb.Config{
+		Records: 4096, OpsPerTxn: 8, ReadRatio: 0.5, RMWRatio: 0.25,
+		Theta: 0.6, MultiPartitionRatio: 0.3, MultiPartitionCount: 2,
+		Partitions: testParts, Seed: 417,
+	})
+	eng, err := NewCalvinD(tr, gen, testParts, 2, ArgAbortEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	arenas := [2]*txn.Arena{{}, {}}
+	batchNo := 0
+	run := func() {
+		a := arenas[batchNo%2]
+		batchNo++
+		a.Reset()
+		gen.SetArena(a)
+		if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the scratch (first batches grow the reusable buffers).
+	for i := 0; i < 4; i++ {
+		run()
+	}
+	perBatch := testing.AllocsPerRun(10, run)
+	perTxn := perBatch / batchSize
+	t.Logf("calvin-d scheduler: %.2f allocs/txn (%.0f per %d-txn batch)", perTxn, perBatch, batchSize)
+	if perTxn >= 1 {
+		t.Errorf("lock scheduler costs %.2f allocs/txn, want < 1 (scratch reuse regressed)", perTxn)
+	}
+}

@@ -213,6 +213,12 @@ type node struct {
 	decodeArenas [2]txn.Arena
 	decodeIdx    int
 	curArena     *txn.Arena
+
+	// calvin is the Calvin-D lock scheduler's per-node reusable scratch
+	// (rounds run one at a time per node, so one scratch suffices — the
+	// FragCtx-reuse discipline of the queue runners applied to the lock
+	// analysis).
+	calvin calvinScratch
 }
 
 func newNode(id int, tr cluster.Transport, gen workload.Generator, partitions, workers int, stopped *atomic.Bool) (*node, error) {
@@ -1019,6 +1025,21 @@ func (p *pipeDriver) drain() error {
 	return err
 }
 
+// tryDrain is the non-blocking drain: done reports whether no batch remains
+// in flight (see core.Engine.TryDrain for the contract).
+func (p *pipeDriver) tryDrain() (bool, error) {
+	if p.inflight == nil {
+		return true, nil
+	}
+	select {
+	case err := <-p.inflight:
+		p.inflight = nil
+		return true, err
+	default:
+		return false, nil
+	}
+}
+
 // execSequence is the serial driver shared by the deterministic engines:
 // drain any in-flight pipelined batch, then prepare, ship and run one batch
 // synchronously. S is the engine's shipment type.
@@ -1247,6 +1268,21 @@ func (g *group) finishBatch(total, userAborts int, elapsedNs uint64, latObs func
 	g.stats.Messages.Add(msgs - g.lastMsg)
 	g.lastMsg = msgs
 	g.epoch++
+}
+
+// markVerdicts writes the batch's final abort verdicts back to the original
+// submitted transactions at the commit point. The distributed engines execute
+// shadow copies, so — unlike the centralized engines, which run the caller's
+// objects directly — the caller-visible Aborted bit must be set explicitly.
+// This is what lets any driver (the bench harness, the serve layer's batch
+// former) read per-transaction outcomes off the transactions themselves,
+// engine-agnostically.
+func markVerdicts(txns []*txn.Txn, aborted []bool) {
+	for pos, a := range aborted {
+		if a {
+			txns[pos].MarkAborted()
+		}
+	}
 }
 
 // verdictSet converts a position list to a dense bool vector.

@@ -126,6 +126,7 @@ func (e *HStoreD) Close() {
 
 // txnCoord tracks one in-flight transaction at the coordinator.
 type txnCoord struct {
+	t         *txn.Txn // the submitted transaction, for verdict write-back
 	votesLeft int
 	acksLeft  int
 	abort     bool
@@ -172,7 +173,7 @@ func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
 			owners[owner] = append(owners[owner], uint64(p), e.perPartSeq[p])
 			e.perPartSeq[p]++
 		}
-		tc := &txnCoord{votesLeft: len(owners), single: len(owners) == 1}
+		tc := &txnCoord{t: t, votesLeft: len(owners), single: len(owners) == 1}
 		seeds, err := e.seedCrossVars(t, len(owners))
 		if err != nil {
 			return err
@@ -240,6 +241,7 @@ func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
 				// Unilateral commit/abort: the vote is the completion.
 				if tc.abort {
 					userAborts++
+					tc.t.MarkAborted()
 				}
 				delete(inflight, m.TxnID)
 				outstanding--
@@ -251,6 +253,7 @@ func (e *HStoreD) ExecBatch(txns []*txn.Txn) error {
 				if tc.abort {
 					decision = 1
 					userAborts++
+					tc.t.MarkAborted()
 				}
 				for _, owner := range tc.remotes {
 					if err := g.tr.Send(cluster.Msg{

@@ -95,9 +95,12 @@ func (e *QueCCD) Close() {
 // queccShipment is one prepared batch: the per-node shadow plans and their
 // wire payloads, ready to ship. Everything in it is independent of the
 // group's protocol state, so preparation may overlap an executing batch.
+// txns keeps the original (pre-split) transactions so the commit point can
+// write each verdict back to its submitter's object.
 type queccShipment struct {
 	n        int
 	start    time.Time
+	txns     []*txn.Txn
 	plans    [][]*txn.Txn
 	payloads [][]byte // per node id; sub-slices of one sendBufs entry
 }
@@ -108,7 +111,7 @@ type queccShipment struct {
 // planner engine's stats are not otherwise visible).
 func (e *QueCCD) prepare(txns []*txn.Txn) (queccShipment, error) {
 	g := e.g
-	s := queccShipment{n: len(txns), start: time.Now()}
+	s := queccShipment{n: len(txns), start: time.Now(), txns: txns}
 	if err := checkForwarding(txns, g.nodes[0].store, len(g.nodes)); err != nil {
 		return s, err
 	}
@@ -172,6 +175,7 @@ func (e *QueCCD) runRounds(s queccShipment) error {
 	if err != nil {
 		return err
 	}
+	markVerdicts(s.txns, aborted)
 	g.finishBatch(s.n, countTrue(aborted), uint64(time.Since(s.start).Nanoseconds()), func(committed int) {
 		g.stats.Latency.ObserveN(time.Since(s.start), committed)
 	})
@@ -204,6 +208,9 @@ func (e *QueCCD) Submit(txns []*txn.Txn) error {
 // Drain waits for the batch launched by the last Submit (if any) and returns
 // its execution error. A no-op on an idle engine.
 func (e *QueCCD) Drain() error { return e.pipe.drain() }
+
+// TryDrain is the non-blocking Drain (see core.Engine.TryDrain).
+func (e *QueCCD) TryDrain() (bool, error) { return e.pipe.tryDrain() }
 
 // Pipelined reports whether the Submit/Drain driver is enabled.
 func (e *QueCCD) Pipelined() bool { return e.pipe.enabled }

@@ -29,11 +29,15 @@ type Engine interface {
 // batch with the execution of the previous one (core.Engine with
 // Config.Pipeline). Submit plans the batch and launches its execution
 // asynchronously once the prior batch commits; Drain waits for the last
-// submitted batch. Both are driver-goroutine-only, like ExecBatch, and
-// execution errors from batch k surface on Submit k+1 or Drain.
+// submitted batch; TryDrain is Drain's non-blocking form (done=false while
+// the batch is still executing), letting a driver resolve a committed
+// batch's clients the moment it lands instead of at the next Submit. All
+// are driver-goroutine-only, like ExecBatch, and execution errors from
+// batch k surface on Submit k+1, Drain, or a completed TryDrain.
 type Pipeliner interface {
 	Submit(txns []*txn.Txn) error
 	Drain() error
+	TryDrain() (done bool, err error)
 	// Pipelined reports whether the pipelined driver is actually enabled —
 	// engines may carry the Submit/Drain methods structurally while the
 	// feature is off in their configuration.

@@ -197,6 +197,7 @@ type Snapshot struct {
 	MeanLat    time.Duration
 	P50        time.Duration
 	P99        time.Duration
+	P999       time.Duration
 }
 
 // Snap computes a snapshot given the wall-clock duration of the run.
@@ -212,6 +213,7 @@ func (s *Stats) Snap(elapsed time.Duration) Snapshot {
 		MeanLat:    s.Latency.Mean(),
 		P50:        s.Latency.Percentile(50),
 		P99:        s.Latency.Percentile(99),
+		P999:       s.Latency.Percentile(99.9),
 	}
 	if elapsed > 0 {
 		snap.Throughput = float64(snap.Committed) / elapsed.Seconds()

@@ -150,6 +150,11 @@ func (p *Pool) execOne(worker int, t *txn.Txn) error {
 			p.stats.Latency.Observe(time.Since(start))
 			return nil
 		case UserAbort:
+			// Leave the caller-visible verdict on the transaction, like the
+			// deterministic engines do at their commit point — the serving
+			// layer reads outcomes off this bit, engine-agnostically. (Reset
+			// at the top of each attempt cleared it for retries.)
+			t.MarkAborted()
 			p.stats.UserAborts.Add(1)
 			p.stats.Latency.Observe(time.Since(start))
 			return nil

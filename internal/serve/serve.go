@@ -1,0 +1,633 @@
+// Package serve is the client-facing submission layer over the batch-native
+// engines: callers submit individual transactions and receive per-transaction
+// outcomes, while an internal batch former groups submissions into the
+// deterministic batches the engines actually execute.
+//
+// This is the missing front half of the paper's pipeline — QueCC's planners
+// consume "a batch delivered by the client transaction stream", and the HA
+// follow-up (Qadah & Sadoghi 2021) assumes a leader that *forms* batches from
+// client submissions. Gray's "Queues Are Databases" argument supplies the
+// interface shape: queue the request, let the engine drain the queue in
+// batches, answer each requester with its own outcome.
+//
+// # Batch forming (group commit)
+//
+// One former goroutine owns the engine (the engines are single-driver by
+// contract). It gathers submissions from a bounded queue into a batch until
+// either MaxBatch transactions have accumulated or MaxDelay has elapsed since
+// the batch's first transaction arrived — the classic group-commit triggers —
+// then hands the batch to the engine. When the engine implements
+// engine.Pipeliner (core.Config.Pipeline, dist.ArgPipeline), the former uses
+// Submit/Drain so forming and planning batch k+1 overlap the execution of
+// batch k; otherwise it falls back to synchronous ExecBatch, and the queue
+// buffers arrivals during execution.
+//
+// # Verdict routing
+//
+// Engines report per-transaction verdicts through the transaction itself: at
+// the batch commit point every transaction is either committed or carries the
+// deterministic logic-abort bit (txn.Aborted). The former reads those bits
+// when the engine driver returns — ExecBatch returning, or the pipelined
+// Submit/Drain confirming the *previous* batch — and resolves each
+// submission's Future with a committed/aborted Outcome and the transaction's
+// true end-to-end latency (enqueue to commit). An engine error is terminal
+// (deterministic engines cannot resynchronize mid-batch): every outstanding
+// and future submission fails with that error.
+//
+// # Backpressure
+//
+// The submission queue is bounded by MaxPending. A full queue either rejects
+// immediately with ErrOverloaded (Block=false, the shed-load default) or
+// blocks the caller until space frees or its context cancels (Block=true) —
+// the caller's choice, per Config.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/engine"
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// ErrOverloaded is returned by Submit when the submission queue is full and
+// the server is configured to shed load (Config.Block=false). The transaction
+// was not accepted; the caller may retry after backing off.
+var ErrOverloaded = errors.New("serve: submission queue full")
+
+// ErrClosed is returned by Submit after Close has been called. Transactions
+// accepted before Close still run to completion and resolve their Futures.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the batch former and the submission queue.
+type Config struct {
+	// MaxBatch is the size trigger: a forming batch is dispatched as soon as
+	// it holds this many transactions. Default 512.
+	MaxBatch int
+	// MaxDelay is the time trigger: a forming batch is dispatched at most
+	// this long after its first transaction arrived, full or not. Zero
+	// selects the 1ms default; a negative value selects the no-wait mode —
+	// dispatch immediately with whatever is queued (pure size trigger with
+	// opportunistic gathering).
+	MaxDelay time.Duration
+	// MaxPending bounds the submission queue (accepted but not yet formed
+	// into a dispatched batch). Default 4*MaxBatch.
+	MaxPending int
+	// Block selects the backpressure mode when the queue is full: false
+	// rejects with ErrOverloaded, true blocks the submitter until space
+	// frees or its context cancels.
+	Block bool
+}
+
+func (c *Config) normalize() error {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 512
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: MaxBatch must be >= 1, got %d", c.MaxBatch)
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = time.Millisecond
+	} else if c.MaxDelay < 0 {
+		c.MaxDelay = 0 // no-wait mode: the gather loop skips the timer entirely
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 4 * c.MaxBatch
+	}
+	if c.MaxPending < 1 {
+		return fmt.Errorf("serve: MaxPending must be >= 1, got %d", c.MaxPending)
+	}
+	return nil
+}
+
+// Outcome is one transaction's result as observed at its batch commit point.
+type Outcome struct {
+	// Committed reports the transaction committed; false with a nil Err means
+	// the transaction's own logic aborted it (deterministic, permanent).
+	Committed bool
+	// Err is a terminal engine failure (never a logic abort). When set, the
+	// transaction's effects are undefined and the server is dead.
+	Err error
+	// Latency is the end-to-end time from Submit accepting the transaction to
+	// its batch committing — the honest per-transaction number the batch
+	// harness's shared-commit-point accounting (Histogram.ObserveN) cannot
+	// give.
+	Latency time.Duration
+	// Batch is the sequence number of the formed batch the transaction rode
+	// in (group-commit evidence: transactions submitted together share it).
+	Batch uint64
+}
+
+// Aborted reports a deterministic logic abort (as opposed to engine failure).
+func (o Outcome) Aborted() bool { return !o.Committed && o.Err == nil }
+
+// Future is the pending result of one submitted transaction.
+type Future struct {
+	done     chan struct{}
+	out      Outcome
+	resolved atomic.Bool
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+// Done returns a channel closed when the outcome is available.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Outcome blocks until the transaction's batch resolves and returns the
+// outcome.
+func (f *Future) Outcome() Outcome {
+	<-f.done
+	return f.out
+}
+
+// Wait is Outcome bounded by a context. A context error abandons the wait
+// only — the transaction is already accepted and will still execute; its
+// outcome remains readable from the Future afterwards.
+func (f *Future) Wait(ctx context.Context) (Outcome, error) {
+	select {
+	case <-f.done:
+		return f.out, nil
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// resolve is idempotent: the failure paths may sweep a batch that the normal
+// path (or an earlier failure) already resolved.
+func (f *Future) resolve(out Outcome) {
+	if !f.resolved.CompareAndSwap(false, true) {
+		return
+	}
+	f.out = out
+	close(f.done)
+}
+
+// submission is one queued transaction: the txn, its future, its owning
+// session (nil for direct submits) and its enqueue instant.
+type submission struct {
+	t    *txn.Txn
+	fut  *Future
+	sess *Session
+	enq  time.Time
+}
+
+// Server is the client-facing submission front end over one engine. Create
+// with New; submit with Submit or through Sessions; stop with Close. All
+// methods are safe for concurrent use.
+type Server struct {
+	eng  engine.Engine
+	pipe engine.Pipeliner // non-nil only when the pipelined driver is enabled
+	cfg  Config
+
+	in chan submission
+
+	mu     sync.RWMutex // guards closed against in-flight Submit sends
+	closed bool
+
+	// failure holds the terminal engine error once one occurs (atomic so
+	// Submit can fail fast without taking the former's locks).
+	failure atomic.Value // error
+
+	stats    metrics.Stats
+	started  time.Time
+	batchSeq atomic.Uint64
+
+	done chan struct{} // closed when the former has drained and exited
+
+	// The former's batch buffers (former goroutine only): a rotating pair,
+	// because with a pipelined engine batch k is still executing — and its
+	// submissions still unresolved — while batch k+1 is being gathered. A
+	// buffer is reused only at batch k+2, after Submit(k+1) confirmed batch
+	// k's commit and resolved its futures.
+	subs    []submission
+	txns    []*txn.Txn
+	subsBuf [2][]submission
+	txnsBuf [2][]*txn.Txn
+	bufIdx  int
+}
+
+// New starts a server over eng. The server becomes the engine's single
+// driver: no other goroutine may call ExecBatch/Submit/Drain on eng while
+// the server is open. Close drains accepted work but does not close eng —
+// the caller keeps engine ownership (qotp.Client bundles the two).
+func New(eng engine.Engine, cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg,
+		in:      make(chan submission, cfg.MaxPending),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	if p, ok := eng.(engine.Pipeliner); ok && p.Pipelined() {
+		s.pipe = p
+	}
+	go s.run()
+	return s, nil
+}
+
+// Stats returns the serving-layer metrics: per-transaction commit/abort
+// counters and the end-to-end latency histogram (one Observe per transaction,
+// enqueue to commit — not the engine's shared-commit-point histogram).
+func (s *Server) Stats() *metrics.Stats { return &s.stats }
+
+// Snapshot returns the serving-layer metrics snapshot over the server's
+// lifetime so far.
+func (s *Server) Snapshot() metrics.Snapshot { return s.stats.Snap(time.Since(s.started)) }
+
+// Err returns the terminal engine error, if one has occurred.
+func (s *Server) Err() error {
+	err, _ := s.failure.Load().(error)
+	return err
+}
+
+// Session opens a logical client session. Sessions are cheap handles sharing
+// the server's queue; each tracks its own submitted/committed/aborted counts.
+// A session is a single client's submission ordering context: transactions
+// submitted sequentially through one session enter the stream (and therefore
+// the deterministic execution order) in submission order.
+func (s *Server) Session() *Session { return &Session{srv: s} }
+
+// Submit enqueues one transaction and returns its Future. The transaction
+// must be fully built (txn.Txn.Finish called — workload generators do this);
+// the server takes ownership until the Future resolves. ctx bounds only the
+// enqueue wait (Block mode); a ctx error means the transaction was NOT
+// accepted. Rejections (ErrOverloaded, ErrClosed, terminal engine errors)
+// also mean not accepted.
+func (s *Server) Submit(ctx context.Context, t *txn.Txn) (*Future, error) {
+	return s.submit(ctx, t, nil)
+}
+
+func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sub := submission{t: t, fut: newFuture(), sess: sess, enq: time.Now()}
+
+	// The RLock fences Submit sends against Close: Close flips closed under
+	// the write lock, which waits out every in-flight send, so no send can
+	// race the channel close that follows.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	// Count the submission *before* handing it to the former: once the send
+	// lands, the outcome counters may advance immediately, and a session's
+	// Submitted must never trail its Committed+Aborted. The rejection paths
+	// below undo the count (briefly overstating Submitted, which is the
+	// documented direction of the transient).
+	if sess != nil {
+		sess.submitted.Add(1)
+	}
+	reject := func(err error) (*Future, error) {
+		if sess != nil {
+			sess.submitted.Add(^uint64(0))
+		}
+		return nil, err
+	}
+	if s.cfg.Block {
+		select {
+		case s.in <- sub:
+		default:
+			// Full: wait for space or cancellation.
+			select {
+			case s.in <- sub:
+			case <-ctx.Done():
+				return reject(ctx.Err())
+			}
+		}
+	} else {
+		select {
+		case s.in <- sub:
+		default:
+			return reject(ErrOverloaded)
+		}
+	}
+	return sub.fut, nil
+}
+
+// Close stops accepting new submissions, waits for every accepted
+// transaction to execute and resolve its Future (the final partial batch is
+// formed and dispatched immediately), and returns the terminal engine error,
+// if any occurred. The engine itself is not closed. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.in)
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.Err()
+}
+
+// run is the batch former: the engine's single driver goroutine.
+func (s *Server) run() {
+	defer close(s.done)
+	// inflight holds the submissions of the batch the pipelined driver is
+	// executing in the background (nil when idle or non-pipelined).
+	var inflight []submission
+
+	// fail is the single terminal-error epilogue: record the error, sweep
+	// the given batches plus the in-flight one (resolve is idempotent, so
+	// already-resolved futures are untouched), then keep consuming until
+	// Close so Block-mode submitters can never wedge on a full queue nobody
+	// drains; each straggler fails fast.
+	fail := func(err error, batches ...[]submission) {
+		s.failure.CompareAndSwap(nil, err)
+		for _, b := range batches {
+			s.failBatch(b, err)
+		}
+		s.failBatch(inflight, err)
+		for sub := range s.in {
+			sub.fut.resolve(Outcome{Err: err})
+		}
+	}
+
+	for {
+		first, ok := s.next(&inflight)
+		if !ok {
+			break
+		}
+		if err, _ := s.failure.Load().(error); err != nil {
+			// next() drained a pipelined batch that failed; first was
+			// already accepted, so fail it along with everything else.
+			first.fut.resolve(Outcome{Err: err})
+			fail(err)
+			return
+		}
+		s.subs = s.subsBuf[s.bufIdx][:0]
+		s.txns = s.txnsBuf[s.bufIdx][:0]
+		batch := s.gather(first, &inflight)
+		s.subsBuf[s.bufIdx] = s.subs
+		s.txnsBuf[s.bufIdx] = s.txns
+		s.bufIdx ^= 1
+		if err, _ := s.failure.Load().(error); err != nil {
+			// A mid-gather TryDrain surfaced a terminal error.
+			fail(err, batch)
+			return
+		}
+		seq := s.batchSeq.Add(1)
+		if s.pipe != nil {
+			// Resolve the previous batch now if it already finished: its
+			// clients get accurate outcomes at the earliest point, and a
+			// Submit error below is then unambiguously *this* batch's
+			// planning failure rather than maybe-the-previous-batch's.
+			s.tryResolveInflight(&inflight)
+			if err, _ := s.failure.Load().(error); err != nil {
+				fail(err, batch)
+				return
+			}
+			// Submit returns once the *previous* batch has committed (or
+			// errored); this batch then executes in the background.
+			err := s.pipe.Submit(s.txns)
+			if err != nil {
+				// With a batch still in flight the error may belong to its
+				// execution or to this batch's planning; the engine cannot
+				// be resynchronized either way, so both fail terminally
+				// (fail sweeps inflight too). With no batch in flight the
+				// error is this batch's alone.
+				fail(err, batch)
+				return
+			}
+			s.resolveBatch(inflight, seq-1)
+			inflight = batch
+		} else {
+			err := s.eng.ExecBatch(s.txns)
+			if err != nil {
+				fail(err, batch)
+				return
+			}
+			s.resolveBatch(batch, seq)
+		}
+	}
+
+	// Input closed and drained: close the loop on the pipelined tail.
+	if inflight != nil {
+		err := s.pipe.Drain()
+		if err != nil {
+			s.failure.CompareAndSwap(nil, err)
+			s.failBatch(inflight, err)
+			return
+		}
+		s.resolveBatch(inflight, s.batchSeq.Load())
+	}
+}
+
+// tryResolveInflight opportunistically resolves the pipelined in-flight
+// batch if its execution has already finished (TryDrain), so committed
+// clients are answered the moment their batch lands rather than when the
+// former next touches the engine. A terminal error is recorded in s.failure
+// and the batch failed; callers observe it through the failure slot.
+func (s *Server) tryResolveInflight(inflight *[]submission) {
+	if *inflight == nil || s.pipe == nil {
+		return
+	}
+	done, err := s.pipe.TryDrain()
+	if !done {
+		return
+	}
+	if err != nil {
+		s.failure.CompareAndSwap(nil, err)
+		s.failBatch(*inflight, err)
+	} else {
+		s.resolveBatch(*inflight, s.batchSeq.Load())
+	}
+	*inflight = nil
+}
+
+// next blocks for the first submission of the next batch. With a pipelined
+// batch in flight and an idle queue it first drains that batch — resolving
+// its futures as early as possible instead of parking them until the next
+// arrival — then blocks. Returns ok=false when the input is closed and empty
+// (after likewise draining any in-flight batch).
+func (s *Server) next(inflight *[]submission) (submission, bool) {
+	s.tryResolveInflight(inflight)
+	if *inflight != nil {
+		select {
+		case sub, ok := <-s.in:
+			if ok {
+				return sub, true
+			}
+		default:
+		}
+		// Queue idle (or closed): the engine has nothing to overlap with,
+		// so wait out the in-flight batch and resolve its clients now.
+		err := s.pipe.Drain()
+		if err != nil {
+			s.failure.CompareAndSwap(nil, err)
+			s.failBatch(*inflight, err)
+		} else {
+			s.resolveBatch(*inflight, s.batchSeq.Load())
+		}
+		*inflight = nil
+		if err != nil {
+			// Surface through the normal path: the next accepted submission
+			// (if any) fails in run's failure check.
+			sub, ok := <-s.in
+			return sub, ok
+		}
+	}
+	sub, ok := <-s.in
+	return sub, ok
+}
+
+// gather forms one batch starting from first: it keeps accepting until
+// MaxBatch transactions are in hand or MaxDelay has passed since first
+// arrived, polling the pipelined in-flight batch along the way so its
+// clients resolve at commit rather than after this forming window (the
+// latency-honesty requirement: a gather can last up to MaxDelay). It
+// appends into s.subs/s.txns, which run() points at the batch's rotation
+// buffer beforehand; the returned slice stays valid until that buffer's
+// next reuse, one full batch after this one resolves.
+func (s *Server) gather(first submission, inflight *[]submission) []submission {
+	s.subs = append(s.subs[:0], first)
+	deadline := first.enq.Add(s.cfg.MaxDelay)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for len(s.subs) < s.cfg.MaxBatch {
+		s.tryResolveInflight(inflight)
+		if s.failure.Load() != nil {
+			// Terminal failure surfaced mid-gather: stop forming now so
+			// run() fails the gathered submissions immediately — waiting
+			// out MaxDelay for arrivals that Submit is already rejecting
+			// would strand these callers.
+			break
+		}
+		// Fast path: take whatever is already queued without arming a timer.
+		select {
+		case sub, ok := <-s.in:
+			if !ok {
+				goto formed
+			}
+			s.subs = append(s.subs, sub)
+			continue
+		default:
+		}
+		if wait := time.Until(deadline); wait > 0 {
+			// Bound the timer wait while a batch is in flight so its commit
+			// is observed (and its clients answered) promptly mid-gather.
+			if *inflight != nil && wait > 100*time.Microsecond {
+				wait = 100 * time.Microsecond
+			}
+			if timer == nil {
+				timer = time.NewTimer(wait)
+			} else {
+				timer.Reset(wait)
+			}
+			select {
+			case sub, ok := <-s.in:
+				if !ok {
+					goto formed
+				}
+				s.subs = append(s.subs, sub)
+				continue
+			case <-timer.C:
+				if time.Now().Before(deadline) {
+					continue // bounded wait tick, not the batch deadline
+				}
+			}
+		}
+		break // time trigger fired (or MaxDelay=0 and the queue is empty)
+	}
+formed:
+	s.txns = s.txns[:0]
+	for i := range s.subs {
+		s.txns = append(s.txns, s.subs[i].t)
+	}
+	return s.subs
+}
+
+// resolveBatch reads each transaction's verdict at the batch commit point and
+// resolves its future with the honest per-transaction latency.
+func (s *Server) resolveBatch(batch []submission, seq uint64) {
+	now := time.Now()
+	for i := range batch {
+		sub := &batch[i]
+		lat := now.Sub(sub.enq)
+		committed := !sub.t.Aborted()
+		if committed {
+			s.stats.Committed.Add(1)
+		} else {
+			s.stats.UserAborts.Add(1)
+		}
+		s.stats.Latency.Observe(lat)
+		if sub.sess != nil {
+			if committed {
+				sub.sess.committed.Add(1)
+			} else {
+				sub.sess.aborted.Add(1)
+			}
+		}
+		sub.fut.resolve(Outcome{Committed: committed, Latency: lat, Batch: seq})
+	}
+}
+
+// failBatch resolves every future of a batch with a terminal engine error.
+func (s *Server) failBatch(batch []submission, err error) {
+	for i := range batch {
+		batch[i].fut.resolve(Outcome{Err: err})
+	}
+}
+
+// Session is one logical client's handle on a Server: a submission ordering
+// context with per-session accounting. Sessions must not be shared between
+// goroutines if the client cares about its own submission order (the usual
+// single-client contract); the underlying server is fully concurrent.
+type Session struct {
+	srv       *Server
+	submitted atomic.Uint64
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+}
+
+// Submit enqueues one transaction on the session's server; see Server.Submit.
+func (s *Session) Submit(ctx context.Context, t *txn.Txn) (*Future, error) {
+	return s.srv.submit(ctx, t, s)
+}
+
+// Exec is the closed-loop convenience: Submit then Wait. The outcome's Err
+// (engine failure) is also returned as Exec's error.
+func (s *Session) Exec(ctx context.Context, t *txn.Txn) (Outcome, error) {
+	fut, err := s.Submit(ctx, t)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out, err := fut.Wait(ctx)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return out, out.Err
+}
+
+// SessionStats is a session's accumulated accounting.
+type SessionStats struct {
+	Submitted uint64 // accepted by the queue
+	Committed uint64
+	Aborted   uint64 // deterministic logic aborts
+}
+
+// Stats returns the session's counters. Submitted can exceed
+// Committed+Aborted while outcomes are still pending.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Submitted: s.submitted.Load(),
+		Committed: s.committed.Load(),
+		Aborted:   s.aborted.Load(),
+	}
+}

@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// fakeEngine is a controllable engine.Engine: it can stall inside ExecBatch
+// (gate), fail, and abort every nth transaction, and it records the batch
+// sizes it was handed — the group-commit shapes under test.
+type fakeEngine struct {
+	mu       sync.Mutex
+	sizes    []int
+	entered  chan struct{} // receives one token per ExecBatch entry, if non-nil
+	gate     chan struct{} // ExecBatch blocks until closed/fed, if non-nil
+	execErr  error
+	abortNth int // mark every nth transaction (1-based within batch) aborted
+	stats    metrics.Stats
+}
+
+func (f *fakeEngine) Name() string { return "fake" }
+
+func (f *fakeEngine) ExecBatch(txns []*txn.Txn) error {
+	if f.entered != nil {
+		f.entered <- struct{}{}
+	}
+	if f.gate != nil {
+		<-f.gate
+	}
+	if f.execErr != nil {
+		return f.execErr
+	}
+	for i, t := range txns {
+		if f.abortNth > 0 && (i+1)%f.abortNth == 0 {
+			t.MarkAborted()
+		}
+	}
+	f.mu.Lock()
+	f.sizes = append(f.sizes, len(txns))
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeEngine) Stats() *metrics.Stats { return &f.stats }
+func (f *fakeEngine) Close()                {}
+
+func (f *fakeEngine) batchSizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.sizes...)
+}
+
+func mkTxn(id uint64) *txn.Txn {
+	t := &txn.Txn{ID: id}
+	t.Finish()
+	return t
+}
+
+// TestSizeTrigger: with a long MaxDelay, batches must form on MaxBatch
+// exactly — 8 submissions become two batches of 4, and outcomes report the
+// shared batch sequence (group-commit evidence).
+func TestSizeTrigger(t *testing.T) {
+	eng := &fakeEngine{}
+	s, err := New(eng, Config{MaxBatch: 4, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*Future
+	for i := 0; i < 8; i++ {
+		fut, err := s.Submit(context.Background(), mkTxn(uint64(i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		futs = append(futs, fut)
+	}
+	byBatch := map[uint64]int{}
+	for i, fut := range futs {
+		out := fut.Outcome()
+		if !out.Committed || out.Err != nil {
+			t.Fatalf("txn %d: outcome %+v, want committed", i, out)
+		}
+		if out.Latency <= 0 {
+			t.Errorf("txn %d: non-positive latency %v", i, out.Latency)
+		}
+		byBatch[out.Batch]++
+	}
+	if len(byBatch) != 2 {
+		t.Errorf("outcomes spread over %d batches, want 2 (%v)", len(byBatch), byBatch)
+	}
+	for b, n := range byBatch {
+		if n != 4 {
+			t.Errorf("batch %d carried %d outcomes, want 4", b, n)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range eng.batchSizes() {
+		if n != 4 {
+			t.Errorf("engine saw batch of %d, want 4 (all: %v)", n, eng.batchSizes())
+		}
+	}
+}
+
+// TestTimeTrigger: with MaxBatch far above the offered load, the MaxDelay
+// timer must dispatch the partial batch.
+func TestTimeTrigger(t *testing.T) {
+	eng := &fakeEngine{}
+	s, err := New(eng, Config{MaxBatch: 1 << 20, MaxDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var futs []*Future
+	for i := 0; i < 3; i++ {
+		fut, err := s.Submit(context.Background(), mkTxn(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	deadline := time.After(5 * time.Second)
+	for i, fut := range futs {
+		select {
+		case <-fut.Done():
+			if out := fut.Outcome(); !out.Committed {
+				t.Errorf("txn %d not committed: %+v", i, out)
+			}
+		case <-deadline:
+			t.Fatalf("txn %d not resolved: MaxDelay trigger did not fire", i)
+		}
+	}
+}
+
+// TestBackpressureOverloaded: with Block=false a full queue must reject with
+// ErrOverloaded while the engine is busy, and the queued work must still
+// complete once the engine frees up.
+func TestBackpressureOverloaded(t *testing.T) {
+	eng := &fakeEngine{entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	s, err := New(eng, Config{MaxBatch: 1, MaxDelay: time.Nanosecond, MaxPending: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fut1, err := s.Submit(ctx, mkTxn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-eng.entered // the former is now stalled inside ExecBatch
+	var futs []*Future
+	for i := 0; i < 2; i++ { // fill the queue
+		fut, err := s.Submit(ctx, mkTxn(uint64(2+i)))
+		if err != nil {
+			t.Fatalf("queue fill %d: %v", i, err)
+		}
+		futs = append(futs, fut)
+	}
+	if _, err := s.Submit(ctx, mkTxn(9)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit on full queue: err=%v, want ErrOverloaded", err)
+	}
+	close(eng.gate)
+	for i, fut := range append([]*Future{fut1}, futs...) {
+		if out := fut.Outcome(); !out.Committed {
+			t.Errorf("txn %d: %+v, want committed after backpressure released", i, out)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Committed.Load(); got != 3 {
+		t.Errorf("committed %d, want 3", got)
+	}
+}
+
+// TestBackpressureBlocking: with Block=true a full queue must block the
+// submitter; context cancellation must abandon the enqueue with ctx.Err()
+// and the transaction must not execute.
+func TestBackpressureBlocking(t *testing.T) {
+	eng := &fakeEngine{entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	s, err := New(eng, Config{MaxBatch: 1, MaxDelay: time.Nanosecond, MaxPending: 1, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Submit(ctx, mkTxn(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-eng.entered // former stalled; queue empty again
+	if _, err := s.Submit(ctx, mkTxn(2)); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(cctx, mkTxn(3))
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("blocking submit returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled blocking submit: err=%v, want context.Canceled", err)
+	}
+	close(eng.gate)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the two accepted transactions ran.
+	total := 0
+	for _, n := range eng.batchSizes() {
+		total += n
+	}
+	if total != 2 {
+		t.Errorf("engine executed %d transactions, want 2 (cancelled submit must not run)", total)
+	}
+}
+
+// TestCloseMidFlightDrains: Close must reject new submissions immediately
+// but wait for every accepted transaction — queued or mid-execution — to
+// resolve its Future.
+func TestCloseMidFlightDrains(t *testing.T) {
+	eng := &fakeEngine{entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	s, err := New(eng, Config{MaxBatch: 2, MaxDelay: time.Nanosecond, MaxPending: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var futs []*Future
+	for i := 0; i < 7; i++ {
+		fut, err := s.Submit(ctx, mkTxn(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	<-eng.entered // a batch is mid-execution, the rest queued
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// Close must flip rejection on promptly even while draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.Submit(ctx, mkTxn(99)); errors.Is(err, ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Submit never started returning ErrClosed during Close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a batch was still gated", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(eng.gate)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, fut := range futs {
+		select {
+		case <-fut.Done():
+			if out := fut.Outcome(); !out.Committed {
+				t.Errorf("txn %d: %+v, want committed", i, out)
+			}
+		default:
+			t.Fatalf("txn %d unresolved after Close returned", i)
+		}
+	}
+}
+
+// TestEngineFailure: an engine error must resolve the failing batch's
+// futures with it, poison subsequent submissions, and surface from Close.
+func TestEngineFailure(t *testing.T) {
+	boom := fmt.Errorf("disk on fire")
+	eng := &fakeEngine{execErr: boom}
+	s, err := New(eng, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := s.Submit(context.Background(), mkTxn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fut.Outcome(); !errors.Is(out.Err, boom) {
+		t.Fatalf("outcome err = %v, want %v", out.Err, boom)
+	}
+	// Eventually Submit itself rejects with the terminal error.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := s.Submit(context.Background(), mkTxn(2))
+		if errors.Is(err, boom) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("submit after failure: %v, want %v", err, boom)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Submit never started rejecting after engine failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want %v", err, boom)
+	}
+}
+
+// TestVerdictsAndSessions: logic aborts must come back as Aborted outcomes,
+// and per-session accounting must match.
+func TestVerdictsAndSessions(t *testing.T) {
+	eng := &fakeEngine{abortNth: 3}
+	s, err := New(eng, Config{MaxBatch: 6, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.Session()
+	var futs []*Future
+	for i := 0; i < 6; i++ {
+		fut, err := sess.Submit(context.Background(), mkTxn(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	committed, aborted := 0, 0
+	for _, fut := range futs {
+		out := fut.Outcome()
+		if out.Err != nil {
+			t.Fatalf("unexpected outcome error: %v", out.Err)
+		}
+		if out.Committed {
+			committed++
+		}
+		if out.Aborted() {
+			aborted++
+		}
+	}
+	if committed != 4 || aborted != 2 {
+		t.Errorf("committed=%d aborted=%d, want 4/2", committed, aborted)
+	}
+	st := sess.Stats()
+	if st.Submitted != 6 || st.Committed != 4 || st.Aborted != 2 {
+		t.Errorf("session stats %+v, want 6/4/2", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Committed != 4 || snap.UserAborts != 2 {
+		t.Errorf("server stats %d/%d, want 4/2", snap.Committed, snap.UserAborts)
+	}
+	if snap.P999 < snap.P50 {
+		t.Errorf("p999 %v < p50 %v", snap.P999, snap.P50)
+	}
+}
+
+// fakePipeEngine adds a controllable Submit/Drain/TryDrain driver: each
+// submitted batch executes on a background goroutine gated by execGate.
+type fakePipeEngine struct {
+	fakeEngine
+	inflight chan error
+	execGate chan struct{}
+}
+
+func (f *fakePipeEngine) Pipelined() bool { return true }
+
+func (f *fakePipeEngine) Submit(txns []*txn.Txn) error {
+	if err := f.Drain(); err != nil {
+		return err
+	}
+	ch := make(chan error, 1)
+	f.inflight = ch
+	go func() { <-f.execGate; ch <- f.fakeEngine.ExecBatch(txns) }()
+	return nil
+}
+
+func (f *fakePipeEngine) Drain() error {
+	if f.inflight == nil {
+		return nil
+	}
+	err := <-f.inflight
+	f.inflight = nil
+	return err
+}
+
+func (f *fakePipeEngine) TryDrain() (bool, error) {
+	if f.inflight == nil {
+		return true, nil
+	}
+	select {
+	case err := <-f.inflight:
+		f.inflight = nil
+		return true, err
+	default:
+		return false, nil
+	}
+}
+
+// TestPipelinedEarlyResolution: with a pipelined engine, a batch's futures
+// must resolve when the batch commits — observed mid-gather via TryDrain —
+// not when the former next calls Submit. Batch 2 here never finishes
+// forming (MaxDelay is an hour), so only the commit-time poll can resolve
+// batch 1.
+func TestPipelinedEarlyResolution(t *testing.T) {
+	eng := &fakePipeEngine{execGate: make(chan struct{}, 16)}
+	s, err := New(eng, Config{MaxBatch: 2, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fut1, err := s.Submit(ctx, mkTxn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(ctx, mkTxn(2)); err != nil {
+		t.Fatal(err) // completes batch 1 (size trigger); Submit launched, gated
+	}
+	if _, err := s.Submit(ctx, mkTxn(3)); err != nil {
+		t.Fatal(err) // batch 2 starts forming and will wait ~1h for a 4th txn
+	}
+	select {
+	case <-fut1.Done():
+		t.Fatal("batch 1 resolved before its execution was released")
+	case <-time.After(20 * time.Millisecond):
+	}
+	eng.execGate <- struct{}{} // batch 1 commits while batch 2 is mid-gather
+	select {
+	case <-fut1.Done():
+		if out := fut1.Outcome(); !out.Committed {
+			t.Fatalf("batch 1 outcome %+v, want committed", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch 1 futures not resolved at commit: early resolution (TryDrain poll) broken")
+	}
+	eng.execGate <- struct{}{} // release batch 2 (dispatched by Close's drain)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFutureWaitCtx: Wait must abandon on ctx while the outcome stays
+// readable later — the transaction still executes.
+func TestFutureWaitCtx(t *testing.T) {
+	eng := &fakeEngine{entered: make(chan struct{}, 1), gate: make(chan struct{})}
+	s, err := New(eng, Config{MaxBatch: 1, MaxDelay: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := s.Submit(context.Background(), mkTxn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-eng.entered
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := fut.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want deadline exceeded", err)
+	}
+	close(eng.gate)
+	if out := fut.Outcome(); !out.Committed {
+		t.Fatalf("outcome after abandoned wait: %+v, want committed", out)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

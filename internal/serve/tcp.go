@@ -1,0 +1,378 @@
+// TCP wire protocol for the submission layer: remote clients submit single
+// transactions to a server fronting one engine (qotpd's client port) and get
+// back per-transaction outcomes, mirroring the in-process Server API.
+//
+// Framing (little endian; uv = unsigned LEB128 varint):
+//
+//	request:  len u32 | reqID u64 | txn wire encoding (txn.AppendTxn)
+//	response: len u32 | reqID u64 | status u8 | latencyNs uv | batch uv |
+//	          error string (rest of frame; status=statusError only)
+//
+// Statuses: statusCommitted, statusAborted (deterministic logic abort),
+// statusOverloaded (queue full, transaction not accepted — retryable) and
+// statusError (terminal engine failure or rejected submission).
+//
+// Responses to one connection are written in submission order. That costs
+// nothing: the former resolves futures batch-at-a-time in batch order, and a
+// connection's submissions enter batches monotonically, so an earlier
+// submission never resolves after a later one.
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+const (
+	statusCommitted = iota
+	statusAborted
+	statusOverloaded
+	statusError
+)
+
+// maxFrame bounds both request and response frames; a hostile length prefix
+// cannot size a huge allocation.
+const maxFrame = 1 << 24
+
+// ErrConnClosed is returned for submissions outstanding when a remote
+// client's connection closes.
+var ErrConnClosed = errors.New("serve: connection closed")
+
+func writeFrame(w io.Writer, buf []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame appends one frame's payload into buf (reusing its capacity) and
+// returns the result.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds the %d-byte limit", n, maxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// TCPServer exposes one Server on a listener: qotpd's client port. Every
+// accepted connection may carry many concurrent in-flight submissions.
+type TCPServer struct {
+	srv *Server
+	reg txn.Registry
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts serving srv on lis, resolving incoming transactions'
+// fragment logic through reg (the workload registry — the server side owns
+// the logic; the wire carries opcodes only). It returns immediately; Close
+// stops the listener and all connections.
+func ServeTCP(lis net.Listener, srv *Server, reg txn.Registry) *TCPServer {
+	t := &TCPServer{srv: srv, reg: reg, lis: lis, conns: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+// Addr returns the listener address (handy with ":0" listeners).
+func (t *TCPServer) Addr() net.Addr { return t.lis.Addr() }
+
+// Close stops the accept loop and closes every connection. In-flight
+// submissions still resolve inside the Server; their responses are lost with
+// the connections, as on any client disconnect.
+func (t *TCPServer) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	_ = t.lis.Close()
+	for c := range t.conns {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.handle(conn)
+	}
+}
+
+// pendingResp is one submission awaiting its response write, in FIFO order.
+type pendingResp struct {
+	id  uint64
+	fut *Future
+}
+
+func (t *TCPServer) handle(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	// Writer: waits each submission's future in FIFO order and writes its
+	// response. Bounded queue: a slow connection backpressures its reader.
+	// After a write error the writer keeps draining (discarding) — the
+	// reader may be blocked on a full queue, and nothing else could ever
+	// unblock that send, which would leak the handler and hang Close.
+	pending := make(chan pendingResp, 1024)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		var buf []byte
+		dead := false
+		for p := range pending {
+			if dead {
+				continue // conn unwritable: discard so the reader never wedges
+			}
+			out := p.fut.Outcome()
+			buf = buf[:0]
+			buf = binary.LittleEndian.AppendUint64(buf, p.id)
+			switch {
+			case out.Err == nil && out.Committed:
+				buf = append(buf, statusCommitted)
+			case out.Err == nil:
+				buf = append(buf, statusAborted)
+			case errors.Is(out.Err, ErrOverloaded):
+				buf = append(buf, statusOverloaded)
+			default:
+				buf = append(buf, statusError)
+			}
+			buf = binary.AppendUvarint(buf, uint64(out.Latency.Nanoseconds()))
+			buf = binary.AppendUvarint(buf, out.Batch)
+			if out.Err != nil && !errors.Is(out.Err, ErrOverloaded) {
+				buf = append(buf, out.Err.Error()...)
+			}
+			if err := writeFrame(conn, buf); err != nil {
+				dead = true
+			}
+		}
+	}()
+	defer wwg.Wait()
+	defer close(pending)
+
+	ctx := context.Background()
+	var frame []byte
+	for {
+		var err error
+		frame, err = readFrame(conn, frame)
+		if err != nil {
+			return // disconnect (or framing violation)
+		}
+		if len(frame) < 8 {
+			return
+		}
+		id := binary.LittleEndian.Uint64(frame)
+		tx, used, err := txn.DecodeTxn(frame[8:])
+		if err != nil || used != len(frame)-8 {
+			return // malformed transaction: protocol violation, drop the conn
+		}
+		var fut *Future
+		err = t.reg.Resolve(tx)
+		if err == nil {
+			err = txn.Validate(tx)
+		}
+		if err == nil {
+			fut, err = t.srv.Submit(ctx, tx)
+		}
+		if err != nil {
+			// Rejected (unknown opcode, invalid shape, overloaded, closed,
+			// terminal): answer in order like any other submission, via a
+			// pre-resolved future.
+			fut = newFuture()
+			fut.resolve(Outcome{Err: err})
+		}
+		// A full writer queue blocks the reader: TCP-level backpressure.
+		pending <- pendingResp{id: id, fut: fut}
+	}
+}
+
+// RemoteClient is the wire twin of Server: it submits transactions over one
+// TCP connection to a TCPServer and resolves Futures from the response
+// stream. Safe for concurrent use; submissions from concurrent goroutines
+// interleave exactly as concurrent Sessions do in process.
+type RemoteClient struct {
+	conn net.Conn
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	mu      sync.Mutex // guards pending/closed
+	pending map[uint64]*Future
+	closed  bool
+
+	nextID atomic.Uint64
+	wg     sync.WaitGroup
+}
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*RemoteClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &RemoteClient{conn: conn, pending: make(map[uint64]*Future)}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Submit sends one transaction and returns its Future. The transaction's
+// logic need not be resolved (only opcodes travel); the server resolves and
+// validates against its registry. Outcome latency is the server-side
+// enqueue-to-commit time — add network RTT for the client-perceived number.
+func (c *RemoteClient) Submit(ctx context.Context, t *txn.Txn) (*Future, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	fut := newFuture()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	c.pending[id] = fut
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.wbuf = c.wbuf[:0]
+	c.wbuf = binary.LittleEndian.AppendUint64(c.wbuf, id)
+	c.wbuf = txn.AppendTxn(c.wbuf, t)
+	err := writeFrame(c.conn, c.wbuf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return fut, nil
+}
+
+// Exec is the closed-loop convenience: Submit then Wait; outcome errors
+// (overload rejections, engine failures) are returned as Exec's error.
+func (c *RemoteClient) Exec(ctx context.Context, t *txn.Txn) (Outcome, error) {
+	fut, err := c.Submit(ctx, t)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out, err := fut.Wait(ctx)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return out, out.Err
+}
+
+// Close closes the connection; outstanding Futures resolve with
+// ErrConnClosed.
+func (c *RemoteClient) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *RemoteClient) readLoop() {
+	defer c.wg.Done()
+	var frame []byte
+	for {
+		var err error
+		frame, err = readFrame(c.conn, frame)
+		if err != nil {
+			break
+		}
+		if len(frame) < 9 {
+			break
+		}
+		id := binary.LittleEndian.Uint64(frame)
+		status := frame[8]
+		rest := frame[9:]
+		latNs, n1 := binary.Uvarint(rest)
+		if n1 <= 0 {
+			break
+		}
+		batch, n2 := binary.Uvarint(rest[n1:])
+		if n2 <= 0 {
+			break
+		}
+		out := Outcome{Latency: time.Duration(latNs), Batch: batch}
+		switch status {
+		case statusCommitted:
+			out.Committed = true
+		case statusAborted:
+		case statusOverloaded:
+			out = Outcome{Err: ErrOverloaded}
+		default:
+			msg := string(rest[n1+n2:])
+			if msg == "" {
+				msg = "remote engine failure"
+			}
+			out = Outcome{Err: errors.New(msg)}
+		}
+		c.mu.Lock()
+		fut := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if fut != nil {
+			fut.resolve(out)
+		}
+	}
+	// Connection gone: fail everything still outstanding.
+	c.mu.Lock()
+	c.closed = true
+	for id, fut := range c.pending {
+		delete(c.pending, id)
+		fut.resolve(Outcome{Err: ErrConnClosed})
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// TestTCPRoundTrip: concurrent remote clients over a real socket must see
+// the same per-transaction outcomes an in-process session would, and a
+// transaction with an unregistered opcode must come back as an error without
+// poisoning the connection.
+func TestTCPRoundTrip(t *testing.T) {
+	eng := &fakeEngine{abortNth: 5}
+	srv, err := New(eng, Config{MaxBatch: 16, MaxDelay: time.Millisecond, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := ServeTCP(lis, srv, txn.Registry{})
+	defer ts.Close()
+
+	const clients, perClient = 4, 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed, aborted := 0, 0
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rc, err := DialTCP(ts.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer rc.Close()
+			ctx := context.Background()
+			var futs []*Future
+			for i := 0; i < perClient; i++ {
+				fut, err := rc.Submit(ctx, mkTxn(uint64(c*perClient+i)))
+				if err != nil {
+					t.Errorf("client %d submit %d: %v", c, i, err)
+					return
+				}
+				futs = append(futs, fut)
+			}
+			for i, fut := range futs {
+				out := fut.Outcome()
+				if out.Err != nil {
+					t.Errorf("client %d txn %d: %v", c, i, out.Err)
+					return
+				}
+				if out.Latency <= 0 {
+					t.Errorf("client %d txn %d: latency %v", c, i, out.Latency)
+				}
+				mu.Lock()
+				if out.Committed {
+					committed++
+				} else {
+					aborted++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if committed+aborted != clients*perClient || aborted == 0 {
+		t.Errorf("committed=%d aborted=%d, want sum %d with aborts", committed, aborted, clients*perClient)
+	}
+	snap := srv.Snapshot()
+	if int(snap.Committed) != committed || int(snap.UserAborts) != aborted {
+		t.Errorf("server counted %d/%d, clients saw %d/%d", snap.Committed, snap.UserAborts, committed, aborted)
+	}
+
+	// Unknown opcode: rejected server-side, answered in order, conn survives.
+	rc, err := DialTCP(ts.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	bad := &txn.Txn{ID: 999, Frags: []txn.Fragment{{Table: storage.TableID(1), Op: txn.OpCode(0xDEAD), Access: txn.Read}}}
+	bad.Finish()
+	if out, err := rc.Exec(context.Background(), bad); err == nil {
+		t.Errorf("unregistered opcode: outcome %+v, want error", out)
+	}
+	if out, err := rc.Exec(context.Background(), mkTxn(1000)); err != nil || !out.Committed {
+		t.Errorf("submission after rejected txn: out=%+v err=%v, want committed", out, err)
+	}
+}

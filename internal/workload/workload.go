@@ -26,6 +26,28 @@ type Generator interface {
 	NextBatch(n int) []*txn.Txn
 }
 
+// GenStream pre-generates total transactions in chunk-sized NextBatch calls.
+// The chunking is load-bearing, not cosmetic: generators may be
+// batch-boundary dependent — TPC-C advances its delivery window once per
+// NextBatch call — so a driver that must offer the *same* deterministic
+// stream as a reference run (qotpd -serve verification, the bench client
+// runner) has to generate with the same chunk size the reference used, never
+// one big NextBatch.
+func GenStream(gen Generator, total, chunk int) []*txn.Txn {
+	if chunk < 1 {
+		chunk = total
+	}
+	out := make([]*txn.Txn, 0, total)
+	for len(out) < total {
+		n := chunk
+		if rem := total - len(out); n > rem {
+			n = rem
+		}
+		out = append(out, gen.NextBatch(n)...)
+	}
+	return out
+}
+
 // Opcode ranges: each workload owns a disjoint block so registries can be
 // merged (the distributed nodes register every workload they may receive).
 const (

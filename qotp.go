@@ -2,23 +2,36 @@
 // processing library, a from-scratch Go reproduction of "A Queue-oriented
 // Transaction Processing Paradigm" (Qadah, Middleware 2019).
 //
-// The primary contribution — the deterministic, two-phase, priority-queue
-// engine (QueCC) — is exposed through NewQueCC; every baseline the paper
-// compares against is constructible through New with a protocol name, so
-// applications and experiments can swap concurrency-control strategies
-// behind one interface:
+// Applications talk to the store through a Client: individual transactions
+// go in (Submit), per-transaction outcomes come out (Future), and an
+// internal batch former groups submissions into the deterministic batches
+// the engine executes — group commit on size/time triggers, with bounded
+// queueing and backpressure:
 //
-//	gen := qotp.NewYCSB(qotp.YCSBConfig{Partitions: 8, Theta: 0.9})
+//	gen, _ := qotp.NewYCSB(qotp.YCSBConfig{Partitions: 8, Theta: 0.9})
 //	db, _ := qotp.Open(gen, 8)
-//	eng, _ := qotp.NewQueCC(db, qotp.QueCCOptions{Planners: 2, Executors: 4})
-//	err := eng.ExecBatch(gen.NextBatch(10000))
+//	eng, _ := qotp.NewQueCC(db, qotp.QueCCOptions{Planners: 2, Executors: 4, Pipeline: true})
+//	cli, _ := qotp.NewClient(eng, qotp.ClientOptions{MaxBatch: 4096, MaxDelay: time.Millisecond})
+//	defer cli.Close()
+//	sess := cli.Session()
+//	out, _ := sess.Exec(ctx, oneTxn)   // out.Committed, out.Latency
 //
-// See the examples/ directory for runnable programs and cmd/qotpbench for
-// the experiment harness that regenerates the paper's tables and figures.
+// The batch interface underneath — NewQueCC/New building an Engine whose
+// ExecBatch consumes generator batches directly — remains available as the
+// harness interface: benchmarks and determinism tests drive it so batch
+// contents stay bit-reproducible. Every baseline protocol the paper compares
+// against is constructible through New with a protocol name, so applications
+// and experiments can swap concurrency-control strategies behind one
+// interface.
+//
+// See the examples/ directory for runnable programs (examples/quickstart for
+// the Client API, examples/server for the TCP client port) and cmd/qotpbench
+// for the experiment harness that regenerates the paper's tables and figures.
 package qotp
 
 import (
 	"fmt"
+	"net"
 
 	"github.com/exploratory-systems/qotp/internal/calvin"
 	"github.com/exploratory-systems/qotp/internal/core"
@@ -26,6 +39,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/hstore"
 	"github.com/exploratory-systems/qotp/internal/metrics"
 	"github.com/exploratory-systems/qotp/internal/mvto"
+	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/silo"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/tictoc"
@@ -62,7 +76,81 @@ type (
 	TPCCConfig = tpcc.Config
 	// BankConfig parameterizes the bank transfer workload.
 	BankConfig = bank.Config
+	// Registry maps fragment opcodes to executable logic (Generator.Registry).
+	Registry = txn.Registry
 )
+
+// Serving-layer types (see NewClient). Outcome is one transaction's verdict
+// at its batch commit point; Future its pending result; Session a logical
+// client's ordered submission handle; ClientOptions the batch-former tuning;
+// RemoteClient the TCP twin of Client used against a ListenAndServe port.
+type (
+	Outcome       = serve.Outcome
+	Future        = serve.Future
+	Session       = serve.Session
+	SessionStats  = serve.SessionStats
+	ClientOptions = serve.Config
+	RemoteClient  = serve.RemoteClient
+	ClientServer  = serve.TCPServer
+)
+
+// Serving-layer sentinel errors.
+var (
+	// ErrOverloaded rejects a submission when the client's bounded queue is
+	// full and ClientOptions.Block is false.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrClientClosed rejects submissions after Client.Close.
+	ErrClientClosed = serve.ErrClosed
+)
+
+// Client is the client-facing submission front end over one engine: Submit
+// individual transactions, get per-transaction Futures, let the internal
+// batch former group submissions into deterministic batches (group commit on
+// MaxBatch/MaxDelay triggers) and route each verdict back at the batch
+// commit point. The Client becomes the engine's single driver and — unlike
+// the internal serving layer — owns the engine: Close drains accepted work,
+// then closes the engine.
+type Client struct {
+	*serve.Server
+	eng Engine
+}
+
+// NewClient starts the serving layer over eng (any Engine from New/NewQueCC
+// or a distributed constructor). When the engine implements the pipelined
+// Submit/Drain driver (QueCCOptions.Pipeline, quecc-pipe, the -pipe
+// distributed engines), forming batch k+1 overlaps executing batch k.
+func NewClient(eng Engine, opts ClientOptions) (*Client, error) {
+	srv, err := serve.New(eng, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{Server: srv, eng: eng}, nil
+}
+
+// Close stops accepting submissions, drains every accepted transaction
+// (their Futures all resolve), closes the engine, and returns the terminal
+// engine error if one occurred.
+func (c *Client) Close() error {
+	err := c.Server.Close()
+	c.eng.Close()
+	return err
+}
+
+// ListenAndServe exposes the client on a TCP address (the "client port"):
+// remote RemoteClients submit wire-encoded transactions and receive
+// per-transaction outcomes. reg resolves incoming opcodes to logic — pass
+// the workload generator's Registry(). Returns the running server (its Addr
+// reports the bound address for ":0" listeners).
+func (c *Client) ListenAndServe(addr string, reg Registry) (*ClientServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return serve.ServeTCP(lis, c.Server, reg), nil
+}
+
+// Dial connects a RemoteClient to a Client's TCP port.
+func Dial(addr string) (*RemoteClient, error) { return serve.DialTCP(addr) }
 
 // ErrAbort aborts the enclosing transaction when returned by fragment logic.
 var ErrAbort = txn.ErrAbort
