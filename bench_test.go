@@ -108,6 +108,36 @@ func BenchmarkE14_Pipeline(b *testing.B) { runSpecs(b, findExp(b, "E14").Specs) 
 // execution and message latency of batch k).
 func BenchmarkE15_DistPipeline(b *testing.B) { runSpecs(b, findExp(b, "E15").Specs) }
 
+// BenchmarkE17_Speculation — cross-batch speculative execution vs pipelined
+// vs serial closed-loop latency under an abort-rate sweep, plus the
+// distributed deferred-ack variant (message count must match quecc-d).
+func BenchmarkE17_Speculation(b *testing.B) { runSpecs(b, findExp(b, "E17").Specs) }
+
+// TestDistTPCCInsertAllocs pins the row-slab win in storage.Table.Insert: the
+// distributed TPC-C hot path creates NewOrder/Order/OrderLine rows on every
+// transaction, and before slab allocation those inserts dominated the
+// ~20 allocs/txn floor. With rows carved from per-partition slabs the whole
+// engine (decode, execute, insert, ack) stays under 12 allocs per transaction.
+// Mirrors TestCalvinSchedulerAllocs as the per-engine allocation regression
+// gate.
+func TestDistTPCCInsertAllocs(t *testing.T) {
+	s := bench.Spec{Engine: "quecc-d", Workload: "tpcc", Threads: 2, Nodes: 2,
+		Batches: 4, BatchSize: 400, WarmupBatches: 2}
+	s.TPCC.Warehouses = 4
+	s.TPCC.Items = 1000
+	s.TPCC.CustomersPerDistrict = 200
+	s.TPCC.InitialOrdersPerDistrict = 50
+	s.TPCC.Seed = 7
+	r, err := bench.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("quecc-d TPC-C: %.2f allocs/txn", r.AllocsPerTxn)
+	if r.AllocsPerTxn >= 12 {
+		t.Errorf("distributed TPC-C allocates %.2f/txn, want < 12 — row inserts must come from table slabs", r.AllocsPerTxn)
+	}
+}
+
 // BenchmarkPlanningVsExecution profiles the two phases of the queue engine
 // (an ablation of the paper's Figure 1 pipeline).
 func BenchmarkPlanningVsExecution(b *testing.B) {

@@ -35,12 +35,17 @@ import (
 // Spec declares one benchmark run.
 type Spec struct {
 	// Engine selects the protocol: quecc, quecc-cons, quecc-rc, quecc-pipe,
-	// hstore, calvin, 2pl-nowait, 2pl-waitdie, silo, tictoc, mvto, quecc-d,
-	// quecc-d-pipe, calvin-d, calvin-d-pipe, hstore-d. quecc-pipe is the
-	// queue engine with the pipelined Submit/Drain driver (planning of batch
-	// k+1 overlaps execution of k); quecc-d-pipe / calvin-d-pipe are the
-	// distributed engines with the pipelined leader (the leader plans and
-	// encodes batch k+1 while the cluster executes batch k).
+	// quecc-spec, hstore, calvin, 2pl-nowait, 2pl-waitdie, silo, tictoc,
+	// mvto, quecc-d, quecc-d-pipe, quecc-d-spec, calvin-d, calvin-d-pipe,
+	// hstore-d. quecc-pipe is the queue engine with the pipelined
+	// Submit/Drain driver (planning of batch k+1 overlaps execution of k);
+	// quecc-spec additionally executes batch k+1 before batch k's verdict
+	// fixpoint completes (cross-batch speculation). quecc-d-pipe /
+	// calvin-d-pipe are the distributed engines with the pipelined leader
+	// (the leader plans and encodes batch k+1 while the cluster executes
+	// batch k); quecc-d-spec adds the deferred-ack speculative leader
+	// (batch k+1 ships before batch k's commit acks are collected, with
+	// unchanged message rounds).
 	Engine string
 	// Workload selects the generator: ycsb, tpcc, bank.
 	Workload string
@@ -86,6 +91,13 @@ type Spec struct {
 	// BatchSize and 1ms).
 	ClientMaxBatch int
 	ClientMaxDelay time.Duration
+	// SpeculativeAcks opts the serving path into early provisional
+	// acknowledgements (requires a speculating engine — quecc-spec):
+	// closed-loop clients gate their next submission on the speculative ack
+	// instead of the final verdict, and the latency histogram records
+	// time-to-first-ack — the client-visible response time cross-batch
+	// speculation exists to shrink.
+	SpeculativeAcks bool
 }
 
 func (s *Spec) normalize() error {
@@ -164,6 +176,8 @@ func buildCentral(s *Spec, store *storage.Store) (engine.Engine, error) {
 		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative})
 	case "quecc-pipe":
 		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Pipeline: true})
+	case "quecc-spec":
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, CrossBatch: true})
 	case "quecc-cons":
 		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Conservative})
 	case "quecc-rc":
@@ -207,6 +221,8 @@ func Run(s Spec) (Result, error) {
 			eng, err = dist.NewQueCCD(tr, gen, s.Partitions, s.Threads)
 		case "quecc-d-pipe":
 			eng, err = dist.NewQueCCD(tr, gen, s.Partitions, s.Threads, dist.ArgPipeline)
+		case "quecc-d-spec":
+			eng, err = dist.NewQueCCD(tr, gen, s.Partitions, s.Threads, dist.ArgSpeculative)
 		case "calvin-d":
 			eng, err = dist.NewCalvinD(tr, gen, s.Partitions, s.Threads, dist.ArgAbortEval)
 		case "calvin-d-pipe":
@@ -214,7 +230,7 @@ func Run(s Spec) (Result, error) {
 		case "hstore-d":
 			eng, err = dist.NewHStoreD(tr, gen, s.Partitions, s.Threads)
 		default:
-			return Result{}, fmt.Errorf("bench: engine %q is not distributed (set Nodes=0 or pick quecc-d/quecc-d-pipe/calvin-d/calvin-d-pipe/hstore-d)", s.Engine)
+			return Result{}, fmt.Errorf("bench: engine %q is not distributed (set Nodes=0 or pick quecc-d/quecc-d-pipe/quecc-d-spec/calvin-d/calvin-d-pipe/hstore-d)", s.Engine)
 		}
 		if err != nil {
 			return Result{}, err
@@ -241,26 +257,38 @@ func Run(s Spec) (Result, error) {
 	// Arena-backed generation, rotating two arenas: batch k's arena is Reset
 	// only when batch k+2 is generated, by which point batch k has fully
 	// finished under both the serial and the pipelined drivers (txn.Arena
-	// lifetime rule). This covers the centralized engines and the
-	// deterministic distributed leaders — their shipments copy everything
-	// they keep (NodePlans / localShadows shadow copies, encoded payloads)
-	// before Submit returns, so the generator's transactions die with the
-	// batch. H-Store-D keeps heap generation: its per-transaction 2PC
-	// payloads alias fragment args with no batch-level reuse point.
+	// lifetime rule). Cross-batch speculation stretches a batch's lifetime
+	// by one generation — batch k may still be pending, and re-executed by
+	// the joint repair, while batch k+2 is generated — so speculating
+	// engines rotate three arenas instead. This covers the centralized
+	// engines and the deterministic distributed leaders — their shipments
+	// copy everything they keep (NodePlans / localShadows shadow copies,
+	// encoded payloads) before Submit returns, so the generator's
+	// transactions die with the batch. H-Store-D keeps heap generation: its
+	// per-transaction 2PC payloads alias fragment args with no batch-level
+	// reuse point.
 	type arenaSetter interface{ SetArena(*txn.Arena) }
-	var arenas [2]*txn.Arena
-	if setter, ok := gen.(arenaSetter); ok && s.Engine != "hstore-d" && !s.NoArena {
-		arenas[0], arenas[1] = &txn.Arena{}, &txn.Arena{}
-		setter.SetArena(arenas[0])
-	}
+	var arenas [3]*txn.Arena
+	rot := 2
 	pipe, _ := eng.(engine.Pipeliner)
 	if pipe != nil && !pipe.Pipelined() {
 		pipe = nil
 	}
+	spec, _ := eng.(engine.Speculator)
+	if spec != nil && !spec.Speculating() {
+		spec = nil
+	}
+	if spec != nil {
+		rot = 3
+	}
+	if setter, ok := gen.(arenaSetter); ok && s.Engine != "hstore-d" && !s.NoArena {
+		arenas[0], arenas[1], arenas[2] = &txn.Arena{}, &txn.Arena{}, &txn.Arena{}
+		setter.SetArena(arenas[0])
+	}
 	batchNo := 0
 	nextBatch := func() []*txn.Txn {
 		if arenas[0] != nil {
-			a := arenas[batchNo%2]
+			a := arenas[batchNo%rot]
 			a.Reset()
 			if setter, ok := gen.(arenaSetter); ok {
 				setter.SetArena(a)
@@ -277,7 +305,14 @@ func Run(s Spec) (Result, error) {
 	}
 	drain := func() error {
 		if pipe != nil {
-			return pipe.Drain()
+			if err := pipe.Drain(); err != nil {
+				return err
+			}
+		}
+		if spec != nil {
+			// Force the verdict fixpoint of a drained-but-pending batch: the
+			// stream has no successor to piggyback it on.
+			return spec.Finalize()
 		}
 		return nil
 	}
@@ -335,9 +370,10 @@ func Run(s Spec) (Result, error) {
 // cannot see), so the arena batch-lifetime rule does not apply.
 func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Transport) (Result, error) {
 	srv, err := serve.New(eng, serve.Config{
-		MaxBatch: s.ClientMaxBatch,
-		MaxDelay: s.ClientMaxDelay,
-		Block:    true, // the harness measures service time, not shed load
+		MaxBatch:        s.ClientMaxBatch,
+		MaxDelay:        s.ClientMaxDelay,
+		Block:           true, // the harness measures service time, not shed load
+		SpeculativeAcks: s.SpeculativeAcks,
 	})
 	if err != nil {
 		return Result{}, err
@@ -362,6 +398,29 @@ func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Tr
 							errs <- err
 							return
 						}
+						futs = append(futs, fut)
+					}
+					for _, fut := range futs {
+						if out := fut.Outcome(); out.Err != nil {
+							errs <- out.Err
+							return
+						}
+					}
+					return
+				}
+				if s.SpeculativeAcks {
+					// Speculative closed loop: gate the next submission on
+					// the provisional ack — the client-visible response —
+					// and only settle the final verdicts (which may retract
+					// some acks) once the stream is exhausted.
+					futs := make([]*serve.Future, 0, (len(stream)+s.Clients-1)/s.Clients)
+					for i := c; i < len(stream); i += s.Clients {
+						fut, err := sess.Submit(ctx, stream[i])
+						if err != nil {
+							errs <- err
+							return
+						}
+						<-fut.Speculative()
 						futs = append(futs, fut)
 					}
 					for _, fut := range futs {
@@ -415,6 +474,9 @@ func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Tr
 	loop := "closed"
 	if s.OpenLoop {
 		loop = "open"
+	}
+	if s.SpeculativeAcks {
+		loop += "+specack"
 	}
 	res := Result{Spec: s, Engine: fmt.Sprintf("%s+client/%s/c=%d", eng.Name(), loop, s.Clients), Snapshot: snap}
 	if processed := snap.Committed + snap.UserAborts; processed > 0 {

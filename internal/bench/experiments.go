@@ -33,7 +33,7 @@ var DefaultScale = Scale{Batches: 6, BatchSize: 2000, YCSBRecs: 1 << 16, Threads
 // transactions per spec so the JSON trajectory is non-degenerate.
 var SmokeScale = Scale{Batches: 3, BatchSize: 500, YCSBRecs: 1 << 13, Threads: 2}
 
-// Experiments returns the full registry (E1–E16), sized by sc.
+// Experiments returns the full registry (E1–E17), sized by sc.
 func Experiments(sc Scale) []Experiment {
 	ycsbBase := func(theta, mpRatio float64, mpCount, ops int, readRatio float64) Spec {
 		s := Spec{
@@ -395,6 +395,55 @@ func Experiments(sc Scale) []Experiment {
 			{"closed/c=32/quecc-d/n=2", mkClient(32, false)(dist(e16d, "quecc-d", 2, 200*time.Microsecond))},
 			{"open/c=32/quecc-d-pipe/n=2", mkClient(32, true)(dist(e16d, "quecc-d-pipe", 2, 200*time.Microsecond))},
 		},
+	})
+
+	// E17 — cross-batch speculation and early client acks (the HA follow-up
+	// paper's speculative execution, completing E14–E16's pipeline story).
+	// Closed-loop clients (c=512) over serial quecc, quecc-pipe, and
+	// quecc-spec with SpeculativeAcks across an abort-rate sweep: the spec
+	// rows' latency is time-to-first-(provisional)-ack, which lands before
+	// the verdict fixpoint instead of after it, so at low abort rates
+	// quecc-spec's p50 undercuts quecc-pipe's group-commit cycle; as the
+	// abort rate rises, cross-batch cascades force serial re-execution and
+	// the advantage shrinks — the cascade cost curve. The distributed pair
+	// compares quecc-d against the deferred-ack speculative leader
+	// (quecc-d-spec) under 200us hops; their msgs/txn must be identical
+	// (deferred acks move the collection point, never the traffic — CI pins
+	// the equality on the JSON output).
+	// Client shape: enough closed-loop clients that a formed batch carries a
+	// repair phase worth hiding (the win *is* the fixpoint time), and a
+	// forming window short enough that the log-linear histogram can resolve
+	// it — with MaxDelay at 1ms the group-commit cycle drowns the repair in
+	// one percentile bucket.
+	var e17 []NamedSpec
+	specClient := func(s Spec) Spec {
+		s.Clients = 512
+		s.ClientMaxBatch = 512
+		s.ClientMaxDelay = 100 * time.Microsecond
+		return s
+	}
+	for _, ab := range []float64{0.01, 0.05, 0.2} {
+		s := ycsbBase(0.6, 0, 1, 16, 0.5)
+		s.YCSB.AbortRatio = ab
+		specAck := specClient(s)
+		specAck.SpeculativeAcks = true
+		e17 = append(e17,
+			NamedSpec{fmt.Sprintf("closed/c=512/quecc/ab=%.2f", ab), specClient(with(s, "quecc"))},
+			NamedSpec{fmt.Sprintf("closed/c=512/quecc-pipe/ab=%.2f", ab), specClient(with(s, "quecc-pipe"))},
+			NamedSpec{fmt.Sprintf("closed/c=512/quecc-spec/ab=%.2f", ab), with(specAck, "quecc-spec")},
+		)
+	}
+	e17d := ycsbBase(0.6, 0.2, 2, 10, 0.5)
+	e17d.BatchSize = sc.BatchSize / 2
+	e17 = append(e17,
+		NamedSpec{"quecc-d/n=2", dist(e17d, "quecc-d", 2, 200*time.Microsecond)},
+		NamedSpec{"quecc-d-spec/n=2", dist(e17d, "quecc-d-spec", 2, 200*time.Microsecond)},
+	)
+	exps = append(exps, Experiment{
+		ID:       "E17",
+		Artifact: "Cross-batch speculation: early acks vs pipelined vs serial (abort-rate sweep) + deferred-ack leader",
+		Expect:   "quecc-spec closed-loop p50 < quecc-pipe at low abort rates; gap narrows as aborts rise; quecc-d-spec msgs/txn == quecc-d",
+		Specs:    e17,
 	})
 
 	return exps

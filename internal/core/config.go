@@ -120,6 +120,18 @@ type Config struct {
 	// commit order equals submission order. ExecBatch keeps its synchronous
 	// semantics either way.
 	Pipeline bool
+	// CrossBatch enables speculative cross-batch execution on top of the
+	// pipelined driver (implies Pipeline): when batch k drains with logic
+	// aborts, its verdict fixpoint (cascading-abort repair) is deferred and
+	// batch k+1 begins executing against k's speculatively-committed state.
+	// k's repair then runs jointly with k+1's as one cross-batch fixpoint —
+	// any k+1 transaction that read rolled-back state is cascaded onto the
+	// abort set — using before-image arenas that survive one batch boundary.
+	// A batch's verdicts are therefore provisional between its drain and its
+	// finalization (see Engine.SpecStatus and Finalize); the committed state
+	// after finalization is identical to serial batch-by-batch execution.
+	// Requires the Speculative mechanism and Serializable isolation.
+	CrossBatch bool
 }
 
 func (c *Config) normalize() error {
@@ -144,6 +156,15 @@ func (c *Config) normalize() error {
 	case Serializable, ReadCommitted:
 	default:
 		return fmt.Errorf("core: unknown isolation %d", c.Isolation)
+	}
+	if c.CrossBatch {
+		if c.Mechanism != Speculative {
+			return fmt.Errorf("core: CrossBatch requires the Speculative mechanism, got %s", c.Mechanism)
+		}
+		if c.Isolation != Serializable {
+			return fmt.Errorf("core: CrossBatch requires Serializable isolation, got %s", c.Isolation)
+		}
+		c.Pipeline = true
 	}
 	return nil
 }

@@ -38,6 +38,28 @@ type Engine struct {
 	// goroutine (Submit/Drain/ExecBatch callers).
 	inflight chan error
 
+	// Cross-batch speculative state (Config.CrossBatch). specPending is the
+	// drained-but-unfinalized predecessor batch: it had logic aborts, so its
+	// verdict fixpoint was deferred to run jointly with the successor's
+	// execution (or Finalize). It is written by the execution goroutine and
+	// read by the next one; the driver's Drain between them sequences the
+	// handoff. specGen is the executor log/arena generation the next batch
+	// will use (flipped per batch, so a pending batch's before-images survive
+	// its successor's execution); specDrained counts batches whose execution
+	// phase completed — the speculative-verdict watermark SpecStatus exposes,
+	// with Epoch() as the finalized watermark.
+	specPending *pendingSpec
+	specGen     int
+	specDrained atomic.Uint64
+
+	// specDrainCh is closed by the in-flight execSpec goroutine the moment
+	// its execution phase completes — before any deferred fixpoint work that
+	// runs on the same goroutine. WaitDrained blocks on it so a driver can
+	// act on the drain watermark (publish speculative acks) without waiting
+	// out a predecessor's joint repair. Driver-goroutine state, like
+	// inflight.
+	specDrainCh chan struct{}
+
 	// planScratch holds per-planner results for the planning phase, reused
 	// across batches (planning is serialized even when pipelined).
 	planScratch []planResult
@@ -59,6 +81,15 @@ type Engine struct {
 type planResult struct {
 	hasAbortable bool
 	err          error
+}
+
+// pendingSpec is a batch that has drained with logic aborts under cross-batch
+// speculation: its transactions carry provisional verdicts and its executors'
+// generation-gen access logs hold the before-images needed to repair it.
+type pendingSpec struct {
+	txns  []*txn.Txn
+	start time.Time
+	gen   int
 }
 
 // New creates an engine over the given store.
@@ -86,6 +117,9 @@ func New(store *storage.Store, cfg Config) (*Engine, error) {
 
 // Name implements the engine interface.
 func (e *Engine) Name() string {
+	if e.cfg.CrossBatch {
+		return fmt.Sprintf("quecc+spec/%s/%s", e.cfg.Mechanism, e.cfg.Isolation)
+	}
 	if e.cfg.Pipeline {
 		return fmt.Sprintf("quecc+pipe/%s/%s", e.cfg.Mechanism, e.cfg.Isolation)
 	}
@@ -99,9 +133,15 @@ func (e *Engine) Stats() *metrics.Stats { return &e.stats }
 func (e *Engine) Epoch() uint64 { return atomic.LoadUint64(&e.epoch) }
 
 // Close implements the engine interface: it drains any batch still executing
-// from the pipelined driver (its error, if any, is lost — call Drain first to
-// observe it); beyond that the engine holds no background resources.
-func (e *Engine) Close() { _ = e.Drain() }
+// from the pipelined driver and finalizes any pending speculative batch (the
+// errors, if any, are lost — call Drain/Finalize first to observe them);
+// beyond that the engine holds no background resources.
+func (e *Engine) Close() {
+	_ = e.Drain()
+	if e.cfg.CrossBatch {
+		_ = e.Finalize()
+	}
+}
 
 // Mechanism returns the configured execution mechanism.
 func (e *Engine) Mechanism() Mechanism { return e.cfg.Mechanism }
@@ -122,6 +162,25 @@ func (e *Engine) fail(err error) {
 func (e *Engine) ExecBatch(txns []*txn.Txn) error {
 	if err := e.Drain(); err != nil {
 		return err
+	}
+	if e.cfg.CrossBatch {
+		// Preserve ExecBatch's synchronous contract: flush any pending
+		// speculative batch first, and finalize this one before returning.
+		if err := e.Finalize(); err != nil {
+			return err
+		}
+		if len(txns) == 0 {
+			return nil
+		}
+		start := time.Now()
+		pb, err := e.Plan(txns)
+		if err != nil {
+			return err
+		}
+		if err := e.execSpec(pb, start, nil); err != nil {
+			return err
+		}
+		return e.Finalize()
 	}
 	if len(txns) == 0 {
 		return nil
@@ -166,8 +225,26 @@ func (e *Engine) Submit(txns []*txn.Txn) error {
 	}
 	ch := make(chan error, 1)
 	e.inflight = ch
-	go func() { ch <- e.execPlanned(pb, start) }()
+	if e.cfg.CrossBatch {
+		drained := make(chan struct{})
+		e.specDrainCh = drained
+		go func() { ch <- e.execSpec(pb, start, drained) }()
+	} else {
+		go func() { ch <- e.execPlanned(pb, start) }()
+	}
 	return nil
+}
+
+// WaitDrained blocks until the in-flight speculative batch's execution phase
+// has completed — the drained watermark of SpecStatus — without waiting for
+// the deferred fixpoint work (a pending predecessor's joint repair) that runs
+// on the same goroutine afterwards. A no-op on an idle or non-speculating
+// engine. Driver-goroutine-only; errors stay with Drain/Finalize.
+func (e *Engine) WaitDrained() {
+	if e.specDrainCh != nil {
+		<-e.specDrainCh
+		e.specDrainCh = nil
+	}
 }
 
 // Pipelined reports whether the Submit/Drain driver is enabled.
@@ -202,6 +279,155 @@ func (e *Engine) TryDrain() (done bool, err error) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Cross-batch speculative driver (Config.CrossBatch)
+// ---------------------------------------------------------------------------
+
+// Speculating reports whether cross-batch speculative execution is enabled.
+func (e *Engine) Speculating() bool { return e.cfg.CrossBatch }
+
+// SpecStatus returns the two monotonic batch watermarks of the cross-batch
+// speculative driver: drained counts batches whose execution phase has
+// completed (their transactions carry speculative verdicts, readable but
+// provisional), final counts batches whose verdict fixpoint has committed
+// (== Epoch(); verdicts immutable, state equals serial execution). Their
+// difference is the speculation window — at most one batch. drained is
+// published with release semantics from the execution goroutine, so a driver
+// that observes drained >= k may read batch k's verdicts.
+func (e *Engine) SpecStatus() (drained, final uint64) {
+	return e.specDrained.Load(), e.Epoch()
+}
+
+// Finalize forces the verdict fixpoint of a drained-but-unfinalized batch
+// (Drain-ing first if one is still executing). The cross-batch driver
+// normally piggybacks a pending batch's repair on its successor's drain;
+// Finalize is for drivers with no successor to submit — an idle serving
+// layer resolving retractions promptly, or shutdown. Driver-goroutine-only.
+// A no-op unless Config.CrossBatch.
+func (e *Engine) Finalize() error {
+	if !e.cfg.CrossBatch {
+		return nil
+	}
+	if err := e.Drain(); err != nil {
+		return err
+	}
+	p := e.specPending
+	if p == nil {
+		return nil
+	}
+	e.specPending = nil
+	if err := e.repairCross(nil, 0, p.txns, p.gen); err != nil {
+		return err
+	}
+	return e.finalizeBatch(p.txns, p.start)
+}
+
+// execSpec is execPlanned's cross-batch speculative counterpart: it runs the
+// execution phase of one batch against the (possibly speculative) state left
+// by its predecessor, then either finalizes immediately — no predecessor
+// pending and no logic aborts of its own — or participates in the deferred
+// verdict protocol: a pending predecessor is jointly repaired with this
+// batch in one cross-batch fixpoint, and a batch that drains with aborts of
+// its own becomes the new pending batch, its fixpoint deferred to the next
+// execSpec or Finalize.
+func (e *Engine) execSpec(pb *PlannedBatch, start time.Time, drained chan<- struct{}) error {
+	// signalDrained wakes WaitDrained at the drain point; the deferred close
+	// covers early error returns so a waiting driver can never hang.
+	signalDrained := func() {
+		if drained != nil {
+			close(drained)
+			drained = nil
+		}
+	}
+	defer signalDrained()
+	txns := pb.Txns
+	if len(txns) == 0 {
+		return nil
+	}
+	e.failure = atomic.Value{}
+	execStart := time.Now()
+
+	prev := e.specPending
+	gen := e.specGen
+	e.specGen ^= 1
+	// Track accesses whenever this batch could abort OR a pending
+	// predecessor's repair could roll back state this batch read: both feed
+	// the cross-batch cascade fixpoint. The generation parity guarantees
+	// gen's previous contents belong to batch k-2, final since its successor
+	// k-1 drained — this reset is the before-image watermark.
+	trackSpec := pb.HasAbortable || prev != nil
+	var wg sync.WaitGroup
+	for _, ex := range e.execs {
+		wg.Add(1)
+		go func(ex *executor) {
+			defer wg.Done()
+			ex.run(pb, trackSpec, gen)
+		}(ex)
+	}
+	wg.Wait()
+	if err, _ := e.failure.Load().(error); err != nil {
+		return err
+	}
+	// Execution done: this batch's speculative verdicts are now readable.
+	e.specDrained.Add(1)
+	signalDrained()
+
+	anyAborted := false
+	for _, t := range txns {
+		if t.Aborted() {
+			anyAborted = true
+			break
+		}
+	}
+
+	var err error
+	switch {
+	case prev != nil:
+		// Joint cross-batch fixpoint: the predecessor's deferred repair
+		// cascades onto this batch's transactions that read rolled-back
+		// state; this batch's own logic aborts join the same abort set. On
+		// return both batches equal their serial-order state — finalize both.
+		e.specPending = nil
+		if err = e.repairCross(prev.txns, prev.gen, txns, gen); err == nil {
+			if err = e.finalizeBatch(prev.txns, prev.start); err == nil {
+				err = e.finalizeBatch(txns, start)
+			}
+		}
+	case !anyAborted:
+		// Fast path: clean drain over final state is already final.
+		err = e.finalizeBatch(txns, start)
+	default:
+		// Defer this batch's verdict fixpoint: the successor executes
+		// speculatively against its dirty state and repairs both at once.
+		e.specPending = &pendingSpec{txns: txns, start: start, gen: gen}
+	}
+	e.stats.ExecNs.Add(uint64(time.Since(execStart).Nanoseconds()))
+	return err
+}
+
+// finalizeBatch commits one batch whose state is final: logs it, advances
+// the epoch and records the outcome counters. Cross-batch mode is
+// serializable-only, so there are no speculative versions to flip.
+func (e *Engine) finalizeBatch(txns []*txn.Txn, start time.Time) error {
+	logicAborted := 0
+	for _, t := range txns {
+		if t.Aborted() {
+			logicAborted++
+		}
+	}
+	if e.cfg.Logger != nil {
+		if err := e.cfg.Logger.LogBatch(e.epoch, txns); err != nil {
+			return fmt.Errorf("core: command log: %w", err)
+		}
+	}
+	atomic.AddUint64(&e.epoch, 1)
+	committed := len(txns) - logicAborted
+	e.stats.Committed.Add(uint64(committed))
+	e.stats.UserAborts.Add(uint64(logicAborted))
+	e.stats.Latency.ObserveN(time.Since(start), committed)
+	return nil
+}
+
 // execPlanned runs execution, repair and commit over a planned batch.
 // Latency is observed from start (ExecBatch passes the pre-planning instant
 // so per-transaction commit latency includes the planning phase).
@@ -220,7 +446,7 @@ func (e *Engine) execPlanned(pb *PlannedBatch, start time.Time) error {
 		wg.Add(1)
 		go func(ex *executor) {
 			defer wg.Done()
-			ex.run(pb, trackSpec)
+			ex.run(pb, trackSpec, 0)
 		}(ex)
 	}
 	wg.Wait()
@@ -428,9 +654,16 @@ type executor struct {
 	// cursors: one per (owned partition, planner) ordered queue.
 	heads []queueCursor
 
-	log   []accessEntry // speculative access log (reset per batch)
-	arena []byte        // before-image arena (reset per batch)
-	flips []*storage.Record
+	// logs/arenas are the speculative access logs and their before-image
+	// arenas, one generation per live batch. Single-batch execution always
+	// uses generation 0; the cross-batch speculative driver alternates
+	// generations so a pending batch's before-images survive its successor's
+	// execution (the generation is reset only once the batch two steps back
+	// is final — the before-image watermark).
+	logs   [2][]accessEntry
+	arenas [2][]byte
+	gen    int // generation the current run appends to
+	flips  []*storage.Record
 
 	ctx txn.FragCtx // reusable fragment context
 }
@@ -450,11 +683,12 @@ func newExecutor(e *Engine, id int) *executor {
 	return ex
 }
 
-// run drains the executor's share of a planned batch's queues. The plan's
-// planner dimension may differ from the engine's configured planner count
-// (externally reconstructed plans often have a single merged queue per
+// run drains the executor's share of a planned batch's queues, logging
+// accesses into generation gen (always 0 outside cross-batch mode). The
+// plan's planner dimension may differ from the engine's configured planner
+// count (externally reconstructed plans often have a single merged queue per
 // partition), so iteration is driven by the plan's own shape.
-func (ex *executor) run(pb *PlannedBatch, trackSpec bool) {
+func (ex *executor) run(pb *PlannedBatch, trackSpec bool, gen int) {
 	e := ex.eng
 	// Read-committed read queues first: they see the pre-batch committed
 	// state, which is a valid read-committed snapshot, and they need no
@@ -486,8 +720,9 @@ func (ex *executor) run(pb *PlannedBatch, trackSpec bool) {
 			}
 		}
 	}
-	ex.log = ex.log[:0]
-	ex.arena = ex.arena[:0]
+	ex.gen = gen
+	ex.logs[gen] = ex.logs[gen][:0]
+	ex.arenas[gen] = ex.arenas[gen][:0]
 	for {
 		best := -1
 		var bestPrio uint64 = ^uint64(0)
@@ -619,16 +854,18 @@ func (ex *executor) runFragment(f *txn.Fragment, trackSpec bool) error {
 		if f.Access.IsWrite() {
 			var before []byte
 			if !inserted {
-				off := len(ex.arena)
-				ex.arena = append(ex.arena, buf...)
-				before = ex.arena[off : off+len(buf) : off+len(buf)]
+				arena := ex.arenas[ex.gen]
+				off := len(arena)
+				arena = append(arena, buf...)
+				ex.arenas[ex.gen] = arena
+				before = arena[off : off+len(buf) : off+len(buf)]
 			}
-			ex.log = append(ex.log, accessEntry{
+			ex.logs[ex.gen] = append(ex.logs[ex.gen], accessEntry{
 				rec: rec, t: t, frag: f, write: true,
 				inserted: inserted, hadSpec: hadSpec, before: before,
 			})
 		} else {
-			ex.log = append(ex.log, accessEntry{rec: rec, t: t, frag: f})
+			ex.logs[ex.gen] = append(ex.logs[ex.gen], accessEntry{rec: rec, t: t, frag: f})
 		}
 	}
 

@@ -31,27 +31,60 @@ import (
 // are re-executed serially in ascending priority order. The result is
 // exactly the serial-order state of the batch.
 func (e *Engine) repair(txns []*txn.Txn) error {
+	return e.repairCross(nil, 0, txns, 0)
+}
+
+// repairEntry pairs an access-log entry with its transaction's global
+// position in the (up to two) batches under repair.
+type repairEntry struct {
+	en  *accessEntry
+	pos int
+}
+
+// repairCross is the generalized repair pass: it runs the abort-set fixpoint
+// over the concatenation of a pending predecessor batch (prev, logged in
+// executor generation prevGen; nil outside cross-batch deferral) and the
+// current batch (cur, generation curGen), treating the two as one sequence
+// in priority order — prev's positions before cur's. This is what makes
+// cross-batch speculation sound: a cur transaction that read state rolled
+// back by prev's repair joins the abort set through the same two taint rules
+// and is re-executed, so the post-repair state equals serial execution of
+// prev then cur.
+func (e *Engine) repairCross(prev []*txn.Txn, prevGen int, cur []*txn.Txn, curGen int) error {
 	// Gather per-record access sequences. A record is only ever accessed by
-	// its owning executor, so per-record order is preserved when walking
-	// each executor's log in append order.
-	byRec := make(map[*storage.Record][]*accessEntry)
+	// its owning executor, so walking each executor's prev-generation log
+	// before its cur-generation log yields per-record priority order across
+	// both batches.
+	off := len(prev)
+	byRec := make(map[*storage.Record][]repairEntry)
 	for _, ex := range e.execs {
-		for i := range ex.log {
-			en := &ex.log[i]
-			byRec[en.rec] = append(byRec[en.rec], en)
+		if prev != nil {
+			for i := range ex.logs[prevGen] {
+				en := &ex.logs[prevGen][i]
+				byRec[en.rec] = append(byRec[en.rec], repairEntry{en, int(en.t.BatchPos)})
+			}
+		}
+		for i := range ex.logs[curGen] {
+			en := &ex.logs[curGen][i]
+			byRec[en.rec] = append(byRec[en.rec], repairEntry{en, off + int(en.t.BatchPos)})
 		}
 	}
 
-	// inA marks the abort set; taintedBy marks members added (or re-marked)
+	// inA marks the abort set; tainted marks members added (or re-marked)
 	// by dependency rules rather than by their own clean-state logic abort.
 	// Tainted transactions are re-executed — including logic-aborted ones,
 	// whose abort verdict may have been based on speculative (dirty) reads
 	// and must be re-evaluated against clean state.
-	inA := make([]bool, len(txns))
-	tainted := make([]bool, len(txns))
-	for _, t := range txns {
+	inA := make([]bool, off+len(cur))
+	tainted := make([]bool, off+len(cur))
+	for _, t := range prev {
 		if t.Aborted() {
 			inA[t.BatchPos] = true
+		}
+	}
+	for _, t := range cur {
+		if t.Aborted() {
+			inA[off+int(t.BatchPos)] = true
 		}
 	}
 
@@ -61,9 +94,9 @@ func (e *Engine) repair(txns []*txn.Txn) error {
 		for _, seq := range byRec {
 			writeTaint := false // a write by an A-member has occurred
 			readTaint := false  // a read by an A-member has occurred
-			for _, en := range seq {
-				pos := en.t.BatchPos
-				if writeTaint || (readTaint && en.write) {
+			for _, re := range seq {
+				pos := re.pos
+				if writeTaint || (readTaint && re.en.write) {
 					if !inA[pos] {
 						inA[pos] = true
 						changed = true
@@ -74,7 +107,7 @@ func (e *Engine) repair(txns []*txn.Txn) error {
 					}
 				}
 				if inA[pos] {
-					if en.write {
+					if re.en.write {
 						writeTaint = true
 					} else {
 						readTaint = true
@@ -87,8 +120,9 @@ func (e *Engine) repair(txns []*txn.Txn) error {
 	// Rollback: restore each record to the before-image of its first write
 	// by an A-member.
 	for _, seq := range byRec {
-		for _, en := range seq {
-			if !en.write || !inA[en.t.BatchPos] {
+		for _, re := range seq {
+			en := re.en
+			if !en.write || !inA[re.pos] {
 				continue
 			}
 			if en.inserted {
@@ -107,18 +141,28 @@ func (e *Engine) repair(txns []*txn.Txn) error {
 		}
 	}
 
-	// Re-execute tainted members serially in priority order. Untainted
-	// logic aborts stay aborted: their verdicts were reached on clean state.
-	var victims []*txn.Txn
-	for _, t := range txns {
+	// Re-execute tainted members serially in global priority order (all of
+	// prev precedes all of cur). Untainted logic aborts stay aborted: their
+	// verdicts were reached on clean state.
+	type victim struct {
+		t   *txn.Txn
+		pos int
+	}
+	var victims []victim
+	for _, t := range prev {
 		if tainted[t.BatchPos] {
-			victims = append(victims, t)
+			victims = append(victims, victim{t, int(t.BatchPos)})
 		}
 	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i].BatchPos < victims[j].BatchPos })
-	for _, t := range victims {
+	for _, t := range cur {
+		if tainted[off+int(t.BatchPos)] {
+			victims = append(victims, victim{t, off + int(t.BatchPos)})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].pos < victims[j].pos })
+	for _, v := range victims {
 		e.stats.Retries.Add(1)
-		if err := e.runTxnSerial(t); err != nil {
+		if err := e.runTxnSerial(v.t); err != nil {
 			return err
 		}
 	}

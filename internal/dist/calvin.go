@@ -138,7 +138,7 @@ func (e *CalvinD) ship(s calvinShipment) error {
 // outcome into the stats.
 func (e *CalvinD) runRounds(s calvinShipment) error {
 	g := e.g
-	aborted, err := g.leaderVerdictRounds(len(s.txns), g.nodes[0].runRoundLocks, e.abortFix)
+	aborted, err := g.leaderVerdictRounds(len(s.txns), g.nodes[0].runRoundLocks, e.abortFix, false)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,15 @@ type QueCCD struct {
 	g       *group
 	planner *core.Engine
 	pipe    pipeDriver
+	// spec enables the deferred-ack speculative driver (ArgSpeculative):
+	// runRounds skips the trailing commit-ack collection so the next batch
+	// can ship immediately; the acks are gathered lazily. ackPending marks a
+	// batch whose commit acks are still outstanding. Both are confined to
+	// the round-driving goroutine chain (runRounds invocations are
+	// serialized by the pipeline's drain, which also orders them before
+	// Drain's final collection).
+	spec       bool
+	ackPending bool
 	// sendBufs are the reused MsgQueues encode buffers: all per-node payloads
 	// of one batch are appended into one buffer back-to-back and sent as
 	// sub-slices. The pair is rotated per batch, so batch k+1 can be encoded
@@ -62,7 +71,11 @@ func NewQueCCD(tr cluster.Transport, gen workload.Generator, partitions, workers
 	}
 	e := &QueCCD{g: g, planner: planner}
 	for _, o := range opts {
-		if o == ArgPipeline {
+		switch o {
+		case ArgPipeline:
+			e.pipe.enabled = true
+		case ArgSpeculative:
+			e.spec = true
 			e.pipe.enabled = true
 		}
 	}
@@ -72,6 +85,9 @@ func NewQueCCD(tr cluster.Transport, gen workload.Generator, partitions, workers
 
 // Name implements the engine interface.
 func (e *QueCCD) Name() string {
+	if e.spec {
+		return fmt.Sprintf("quecc-d-spec/%d", len(e.g.nodes))
+	}
 	if e.pipe.enabled {
 		return fmt.Sprintf("quecc-d-pipe/%d", len(e.g.nodes))
 	}
@@ -168,12 +184,26 @@ func (e *QueCCD) ship(s queccShipment) error {
 }
 
 // runRounds drives a shipped batch's verdict rounds to commit and folds the
-// outcome into the stats.
+// outcome into the stats. Under the speculative driver the previous batch's
+// deferred commit acks are gathered first — the followers send them before
+// touching this batch's shipment (per-pair FIFO), so the wait is what the
+// serial driver paid at the previous commit point, now overlapped with this
+// batch's planning, encoding and shipping — and this batch's own acks are in
+// turn left outstanding for the next batch (or Drain) to collect.
 func (e *QueCCD) runRounds(s queccShipment) error {
 	g := e.g
-	aborted, err := g.leaderVerdictRounds(s.n, g.nodes[0].runRound, true)
+	if e.ackPending {
+		e.ackPending = false
+		if _, err := g.collectBuffered(cluster.MsgAck); err != nil {
+			return err
+		}
+	}
+	aborted, err := g.leaderVerdictRounds(s.n, g.nodes[0].runRound, true, e.spec)
 	if err != nil {
 		return err
+	}
+	if e.spec {
+		e.ackPending = true
 	}
 	markVerdicts(s.txns, aborted)
 	g.finishBatch(s.n, countTrue(aborted), uint64(time.Since(s.start).Nanoseconds()), func(committed int) {
@@ -206,11 +236,44 @@ func (e *QueCCD) Submit(txns []*txn.Txn) error {
 }
 
 // Drain waits for the batch launched by the last Submit (if any) and returns
-// its execution error. A no-op on an idle engine.
-func (e *QueCCD) Drain() error { return e.pipe.drain() }
+// its execution error; under the speculative driver it then gathers the last
+// batch's deferred commit acks, so a drained engine has no outstanding
+// protocol traffic. A no-op on an idle engine.
+func (e *QueCCD) Drain() error {
+	if err := e.pipe.drain(); err != nil {
+		return err
+	}
+	return e.collectAcks()
+}
 
-// TryDrain is the non-blocking Drain (see core.Engine.TryDrain).
-func (e *QueCCD) TryDrain() (bool, error) { return e.pipe.tryDrain() }
+// TryDrain is the non-blocking Drain (see core.Engine.TryDrain). Once the
+// in-flight batch lands, any deferred commit acks are gathered too — they
+// were sent at the commit the pipeline just completed, so the wait is one
+// in-flight message per follower, not an open-ended block.
+func (e *QueCCD) TryDrain() (bool, error) {
+	done, err := e.pipe.tryDrain()
+	if !done || err != nil {
+		return done, err
+	}
+	return true, e.collectAcks()
+}
+
+// collectAcks gathers the deferred commit acks of the last speculative batch
+// and re-syncs the message counter, which finishBatch sampled while those
+// acks were still in flight. An ack-collection failure leaves followers in an
+// unknown protocol position, so it stops the group like any mid-batch error.
+func (e *QueCCD) collectAcks() error {
+	if !e.ackPending {
+		return nil
+	}
+	e.ackPending = false
+	if _, err := e.g.collectBuffered(cluster.MsgAck); err != nil {
+		e.g.stopped.Store(true)
+		return err
+	}
+	e.g.syncMessages()
+	return nil
+}
 
 // Pipelined reports whether the Submit/Drain driver is enabled.
 func (e *QueCCD) Pipelined() bool { return e.pipe.enabled }

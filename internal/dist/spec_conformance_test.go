@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+)
+
+// newSpecQueCCD builds the deferred-ack speculative engine under test.
+func newSpecQueCCD(tr cluster.Transport, gen workload.Generator, workers int) (*QueCCD, error) {
+	return NewQueCCD(tr, gen, testParts, workers, ArgSpeculative)
+}
+
+// TestDistSpeculativeMatchesSerial: the deferred-ack speculative leader
+// (quecc-d-spec) must reproduce the serial single-node state hash, the
+// per-transaction verdicts and the commit/abort accounting on 2–4 nodes
+// across the pipeline conformance matrix — which includes the abort-heavy
+// YCSB stream and the 30%-invalid-item TPC-C abort storm, so batch k+1 ships
+// while batch k's commit acks are still in flight on every boundary and the
+// taint rounds run inside the overlap window.
+func TestDistSpeculativeMatchesSerial(t *testing.T) {
+	const nBatches, batchSize = 4, 150
+	for _, wl := range pipelineWorkloads() {
+		// Serial single-node reference with per-batch verdicts.
+		gen := wl.mk()
+		refStore := storage.MustOpen(gen.StoreConfig(testParts))
+		if err := gen.Load(refStore); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := core.New(refStore, core.Config{Planners: 1, Executors: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refVerdicts [][]bool
+		for b := 0; b < nBatches; b++ {
+			batch := gen.NextBatch(batchSize)
+			if err := ref.ExecBatch(batch); err != nil {
+				t.Fatalf("serial batch %d: %v", b, err)
+			}
+			vs := make([]bool, len(batch))
+			for i, tx := range batch {
+				vs[i] = tx.Aborted()
+			}
+			refVerdicts = append(refVerdicts, vs)
+		}
+		var tables []storage.TableID
+		for _, ts := range wl.mk().StoreConfig(testParts).Tables {
+			tables = append(tables, ts.ID)
+		}
+		want := refStore.StateHash()
+
+		for _, nodes := range []int{2, 3, 4} {
+			t.Run(fmt.Sprintf("%s/n%d", wl.name, nodes), func(t *testing.T) {
+				tr := cluster.NewChanTransport(nodes, 0)
+				defer tr.Close()
+				gen := wl.mk()
+				eng, err := newSpecQueCCD(tr, gen, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eng.Close()
+				if !eng.Pipelined() {
+					t.Fatal("ArgSpeculative must imply the pipelined driver")
+				}
+				if wantName := fmt.Sprintf("quecc-d-spec/%d", nodes); eng.Name() != wantName {
+					t.Fatalf("name = %q, want %q", eng.Name(), wantName)
+				}
+				// Heap-backed generation: the submitted transactions stay
+				// readable, and the verdicts — written back at each batch's
+				// commit point — are compared only after the final drain.
+				var batches [][]*txn.Txn
+				for b := 0; b < nBatches; b++ {
+					batch := gen.NextBatch(batchSize)
+					batches = append(batches, batch)
+					if err := eng.Submit(batch); err != nil {
+						t.Fatalf("submit batch %d: %v", b, err)
+					}
+				}
+				if err := eng.Drain(); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+				if got := ClusterStateHash(eng.Stores(), tables); got != want {
+					t.Errorf("quecc-d-spec cluster state %x != serial reference %x", got, want)
+				}
+				for b, batch := range batches {
+					for i, tx := range batch {
+						if tx.Aborted() != refVerdicts[b][i] {
+							t.Fatalf("batch %d txn %d (id %d): quecc-d-spec verdict aborted=%v != serial %v",
+								b, i, tx.ID, tx.Aborted(), refVerdicts[b][i])
+						}
+					}
+				}
+				snap := eng.Stats().Snap(1)
+				if snap.Committed+snap.UserAborts != uint64(nBatches*batchSize) {
+					t.Errorf("committed(%d)+aborts(%d) != %d", snap.Committed, snap.UserAborts, nBatches*batchSize)
+				}
+				if wl.name == "tpcc-abort-storm" && snap.UserAborts == 0 {
+					t.Error("expected invalid-item aborts in the abort-storm stream")
+				}
+			})
+		}
+	}
+}
+
+// TestSpeculativeMessageRoundsUnchanged pins that the deferred-ack driver
+// adds zero message traffic: quecc-d-spec must send exactly as many messages
+// as the serial quecc-d driver for the same stream — every message of the
+// serial protocol is still sent, only the leader's ack-collection point
+// moves. Checked both on the raw transport counter and on the engine's
+// Messages stat (which the deferred driver re-syncs at Drain).
+func TestSpeculativeMessageRoundsUnchanged(t *testing.T) {
+	const nodes, nBatches, batchSize = 4, 3, 200
+	mk := mkDistTPCC(0.5, -1, 77) // forwarding rounds included
+	serialWant := runCountingMessages(t, distFactories()[0], mk, nodes, nBatches, batchSize)
+
+	tr := cluster.NewChanTransport(nodes, 0)
+	defer tr.Close()
+	gen := mk()
+	eng, err := newSpecQueCCD(tr, gen, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pre := tr.Messages()
+	runPipelined(t, eng, gen, nBatches, batchSize)
+	if got := tr.Messages() - pre; got != serialWant {
+		t.Errorf("speculative driver sent %d messages, serial driver %d — deferred acks must add zero traffic", got, serialWant)
+	}
+	if got := eng.Stats().Snap(1).Messages; got != serialWant {
+		t.Errorf("speculative Messages stat %d != serial %d — Drain must re-sync the deferred-ack sample", got, serialWant)
+	}
+}

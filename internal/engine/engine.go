@@ -43,3 +43,30 @@ type Pipeliner interface {
 	// feature is off in their configuration.
 	Pipelined() bool
 }
+
+// Speculator is implemented by engines with a cross-batch speculative
+// execution mode (core.Engine with Config.CrossBatch): a batch that drains
+// with logic aborts defers its verdict fixpoint, the successor executes
+// against its speculative state, and the two are repaired jointly — so a
+// batch's verdicts are provisional between its drain and its finalization.
+// SpecStatus exposes the two monotonic batch watermarks: drained (execution
+// done; speculative verdicts readable off the transactions, but revocable)
+// and final (verdict fixpoint committed; verdicts immutable). Finalize
+// forces the fixpoint of a drained-but-unfinalized batch when there is no
+// successor to piggyback it on — the serving layer calls it on an idle
+// engine so retracted speculative acks resolve promptly. All methods are
+// driver-goroutine-only, like the Pipeliner's.
+type Speculator interface {
+	Pipeliner
+	// Speculating reports whether cross-batch speculation is actually
+	// enabled (mirrors Pipelined for the structural-interface case).
+	Speculating() bool
+	SpecStatus() (drained, final uint64)
+	Finalize() error
+	// WaitDrained blocks until the in-flight batch's execution phase
+	// completes (the drained watermark) — unlike Drain, it does not wait
+	// out deferred fixpoint work running on the same goroutine, so a
+	// driver can publish speculative acks at the earliest sound moment.
+	// Errors stay with Drain/Finalize.
+	WaitDrained()
+}

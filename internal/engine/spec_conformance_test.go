@@ -1,0 +1,224 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/workload"
+	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// specWorkloads are the abort-heavy conformance streams: cross-batch
+// speculation only diverges from plain pipelining when batches drain with
+// logic aborts, so both streams abort constantly (the TPC-C one is the 30%
+// invalid-item NewOrder abort storm).
+func specWorkloads(parts int) []struct {
+	name string
+	mk   func() workload.Generator
+} {
+	return []struct {
+		name string
+		mk   func() workload.Generator
+	}{
+		{"ycsb-aborts", func() workload.Generator {
+			return ycsb.MustNew(ycsb.Config{
+				Records: 2048, OpsPerTxn: 8, ReadRatio: 0.3, RMWRatio: 0.4,
+				Theta: 0.9, MultiPartitionRatio: 0.5, AbortRatio: 0.05,
+				Partitions: parts, Seed: 1789,
+			})
+		}},
+		{"tpcc-abort-storm", func() workload.Generator {
+			return tpcc.MustNew(tpcc.Config{
+				Warehouses: parts, Items: 1000, CustomersPerDistrict: 200,
+				InitialOrdersPerDistrict: 50, InvalidItemProb: 0.3, Seed: 1789,
+			})
+		}},
+	}
+}
+
+// TestSpecCrossBatchMatchesSerial: the cross-batch speculative driver
+// (quecc-spec) must produce the same final state hash, the same per-txn
+// verdicts and the same commit/abort accounting as serial ExecBatch on a
+// plain quecc engine — on abort-heavy YCSB and on the 30%-invalid-item TPC-C
+// abort storm, so every batch drains with logic aborts and the deferred
+// joint fixpoint is exercised on every boundary.
+func TestSpecCrossBatchMatchesSerial(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 6, 150
+
+	for _, wl := range specWorkloads(parts) {
+		t.Run(wl.name, func(t *testing.T) {
+			// Serial reference: plain quecc, heap-backed generation. Record
+			// each batch's per-txn verdicts.
+			gen := wl.mk()
+			refStore := storage.MustOpen(gen.StoreConfig(parts))
+			if err := gen.Load(refStore); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.New(refStore, core.Config{Planners: 2, Executors: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			var refVerdicts [][]bool
+			for b := 0; b < nBatches; b++ {
+				batch := gen.NextBatch(batchSize)
+				if err := ref.ExecBatch(batch); err != nil {
+					t.Fatalf("serial batch %d: %v", b, err)
+				}
+				vs := make([]bool, len(batch))
+				for i, tx := range batch {
+					vs[i] = tx.Aborted()
+				}
+				refVerdicts = append(refVerdicts, vs)
+			}
+			refSnap := ref.Stats().Snap(1)
+
+			// Speculative run: fresh same-seed generator, heap-backed so all
+			// transactions stay readable, Submit stream then Drain+Finalize.
+			// Verdicts are only read after Finalize, when every batch is
+			// final (provisional verdicts in between are tested elsewhere).
+			gen2 := wl.mk()
+			store := storage.MustOpen(gen2.StoreConfig(parts))
+			if err := gen2.Load(store); err != nil {
+				t.Fatal(err)
+			}
+			eng, err := core.New(store, core.Config{Planners: 2, Executors: 2, CrossBatch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			var batches [][]*txn.Txn
+			for b := 0; b < nBatches; b++ {
+				batch := gen2.NextBatch(batchSize)
+				batches = append(batches, batch)
+				if err := eng.Submit(batch); err != nil {
+					t.Fatalf("spec submit batch %d: %v", b, err)
+				}
+			}
+			if err := eng.Drain(); err != nil {
+				t.Fatalf("spec drain: %v", err)
+			}
+			if err := eng.Finalize(); err != nil {
+				t.Fatalf("spec finalize: %v", err)
+			}
+			if drained, final := eng.SpecStatus(); drained != final || final != nBatches {
+				t.Errorf("watermarks after finalize: drained=%d final=%d, want both %d", drained, final, nBatches)
+			}
+
+			if got, want := store.StateHash(), refStore.StateHash(); got != want {
+				t.Errorf("quecc-spec state hash %x != serial %x", got, want)
+			}
+			for b, batch := range batches {
+				for i, tx := range batch {
+					if tx.Aborted() != refVerdicts[b][i] {
+						t.Fatalf("batch %d txn %d (id %d): spec verdict aborted=%v != serial %v",
+							b, i, tx.ID, tx.Aborted(), refVerdicts[b][i])
+					}
+				}
+			}
+			snap := eng.Stats().Snap(1)
+			if snap.Committed != refSnap.Committed || snap.UserAborts != refSnap.UserAborts {
+				t.Errorf("spec committed/aborts %d/%d != serial %d/%d",
+					snap.Committed, snap.UserAborts, refSnap.Committed, refSnap.UserAborts)
+			}
+			if snap.UserAborts == 0 {
+				t.Error("conformance stream produced no aborts; speculation untested")
+			}
+		})
+	}
+}
+
+// TestSpecCrossBatchArenaRotation drives quecc-spec the way the bench
+// harness does — arena-backed generation with a *three*-arena rotation, the
+// documented minimum under cross-batch speculation (batch k may still be
+// pending, and re-executed by the joint repair, while batch k+2 is being
+// generated) — and checks the final state against serial execution.
+func TestSpecCrossBatchArenaRotation(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 8, 120
+
+	for _, wl := range specWorkloads(parts) {
+		t.Run(wl.name, func(t *testing.T) {
+			gen := wl.mk()
+			refStore := storage.MustOpen(gen.StoreConfig(parts))
+			if err := gen.Load(refStore); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.New(refStore, core.Config{Planners: 2, Executors: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			for b := 0; b < nBatches; b++ {
+				if err := ref.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+					t.Fatalf("serial batch %d: %v", b, err)
+				}
+			}
+
+			gen2 := wl.mk()
+			store := storage.MustOpen(gen2.StoreConfig(parts))
+			if err := gen2.Load(store); err != nil {
+				t.Fatal(err)
+			}
+			eng, err := core.New(store, core.Config{Planners: 2, Executors: 2, CrossBatch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			setter, ok := gen2.(arenaSetter)
+			if !ok {
+				t.Fatalf("generator %s does not support arenas", gen2.Name())
+			}
+			arenas := [3]*txn.Arena{{}, {}, {}}
+			for b := 0; b < nBatches; b++ {
+				a := arenas[b%3]
+				a.Reset()
+				setter.SetArena(a)
+				if err := eng.Submit(gen2.NextBatch(batchSize)); err != nil {
+					t.Fatalf("spec submit batch %d: %v", b, err)
+				}
+			}
+			if err := eng.Drain(); err != nil {
+				t.Fatalf("spec drain: %v", err)
+			}
+			if err := eng.Finalize(); err != nil {
+				t.Fatalf("spec finalize: %v", err)
+			}
+			if got, want := store.StateHash(), refStore.StateHash(); got != want {
+				t.Errorf("quecc-spec (arena) state hash %x != serial %x", got, want)
+			}
+		})
+	}
+}
+
+// TestSpecConfigValidation pins the CrossBatch configuration constraints.
+func TestSpecConfigValidation(t *testing.T) {
+	gen := ycsb.MustNew(ycsb.Config{Records: 64, OpsPerTxn: 2, Partitions: 2, Seed: 1})
+	store := storage.MustOpen(gen.StoreConfig(2))
+	bad := []core.Config{
+		{Planners: 1, Executors: 1, CrossBatch: true, Mechanism: core.Conservative},
+		{Planners: 1, Executors: 1, CrossBatch: true, Isolation: core.ReadCommitted},
+	}
+	for i, cfg := range bad {
+		if _, err := core.New(store, cfg); err == nil {
+			t.Errorf("config %d: expected CrossBatch validation error", i)
+		}
+	}
+	eng, err := core.New(store, core.Config{Planners: 1, Executors: 1, CrossBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !eng.Pipelined() {
+		t.Error("CrossBatch must imply the pipelined driver")
+	}
+	if !eng.Speculating() {
+		t.Error("Speculating() must report true under CrossBatch")
+	}
+	if want := fmt.Sprintf("quecc+spec/%s/%s", core.Speculative, core.Serializable); eng.Name() != want {
+		t.Errorf("name = %q, want %q", eng.Name(), want)
+	}
+}

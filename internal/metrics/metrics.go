@@ -1,22 +1,36 @@
 // Package metrics provides low-overhead performance instrumentation for the
-// transaction engines: log-bucketed latency histograms, throughput meters and
-// counter sets. All types are safe for concurrent use unless stated otherwise.
+// transaction engines: log-linear latency histograms (HDR-style), throughput
+// meters and counter sets. All types are safe for concurrent use unless
+// stated otherwise.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 )
 
-// numBuckets covers latencies from 1ns to ~17minutes in power-of-two buckets.
-const numBuckets = 40
+// The histogram is log-linear: each power-of-two octave is split into
+// subBuckets linear sub-buckets, so the relative quantization error is
+// bounded by 1/subBuckets (~6.25%) instead of the 2x a pure log2 histogram
+// gives. Values below subBuckets nanoseconds are recorded exactly (the first
+// subBucketBits octaves collapse into one exact linear range).
+const (
+	subBucketBits = 4
+	subBuckets    = 1 << subBucketBits // 16 sub-buckets per octave
+	// numBuckets covers the full uint64 nanosecond range: exact buckets
+	// 0..15 (one slot of 16), then 16 sub-buckets for each of the 60
+	// octaves 4..63.
+	numBuckets = (64 - subBucketBits + 1) * subBuckets
+)
 
-// Histogram is a fixed-size, lock-free latency histogram with power-of-two
-// nanosecond buckets. The zero value is ready to use.
+// Histogram is a fixed-size, lock-free latency histogram with log-linear
+// nanosecond buckets (16 sub-buckets per power-of-two octave). The zero value
+// is ready to use.
 type Histogram struct {
 	buckets [numBuckets]atomic.Uint64
 	count   atomic.Uint64
@@ -24,44 +38,29 @@ type Histogram struct {
 	max     atomic.Uint64
 }
 
-// bucketOf returns the bucket index for a duration in nanoseconds.
+// bucketOf returns the bucket index for a duration in nanoseconds: the value
+// itself below subBuckets, then (octave, sub-bucket) pairs laid out
+// contiguously. Monotonic in ns.
 func bucketOf(ns uint64) int {
-	if ns == 0 {
-		return 0
+	if ns < subBuckets {
+		return int(ns)
 	}
-	b := 64 - leadingZeros(ns)
-	if b >= numBuckets {
-		return numBuckets - 1
-	}
-	return b
+	o := uint(bits.Len64(ns) - 1) // floor(log2), >= subBucketBits
+	sub := (ns >> (o - subBucketBits)) & (subBuckets - 1)
+	return int(o-subBucketBits+1)*subBuckets + int(sub)
 }
 
-func leadingZeros(x uint64) int {
-	n := 0
-	if x <= 0x00000000FFFFFFFF {
-		n += 32
-		x <<= 32
+// bucketUpper returns the exclusive upper edge of a bucket — the percentile
+// estimate reported for ranks landing in it, making Percentile an upper
+// bound that is at most one sub-bucket (1/16th of an octave) above any
+// sample in the bucket.
+func bucketUpper(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
 	}
-	if x <= 0x0000FFFFFFFFFFFF {
-		n += 16
-		x <<= 16
-	}
-	if x <= 0x00FFFFFFFFFFFFFF {
-		n += 8
-		x <<= 8
-	}
-	if x <= 0x0FFFFFFFFFFFFFFF {
-		n += 4
-		x <<= 4
-	}
-	if x <= 0x3FFFFFFFFFFFFFFF {
-		n += 2
-		x <<= 2
-	}
-	if x <= 0x7FFFFFFFFFFFFFFF {
-		n++
-	}
-	return n
+	o := uint(i/subBuckets) + subBucketBits - 1
+	sub := uint64(i % subBuckets)
+	return (uint64(1) << o) + (sub+1)<<(o-subBucketBits)
 }
 
 // Observe records a single latency sample.
@@ -113,8 +112,9 @@ func (h *Histogram) Mean() time.Duration {
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 
 // Percentile returns an upper-bound estimate of the p-th percentile
-// (0 < p <= 100). The estimate is the upper edge of the bucket containing the
-// percentile rank, so it is accurate to within 2x (one power-of-two bucket).
+// (0 < p <= 100). The estimate is the upper edge of the log-linear bucket
+// containing the percentile rank, so it is accurate to within one sub-bucket
+// (~6.25% relative error) rather than one power of two.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	c := h.count.Load()
 	if c == 0 {
@@ -131,7 +131,7 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 			if i == 0 {
 				return time.Duration(1)
 			}
-			return time.Duration(uint64(1) << uint(i))
+			return time.Duration(bucketUpper(i))
 		}
 	}
 	return h.Max()

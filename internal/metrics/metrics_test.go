@@ -96,6 +96,40 @@ func TestPercentileWithinBucketBound(t *testing.T) {
 	}
 }
 
+// TestLogLinearPercentilesDistinguish pins the histogram-granularity fix:
+// BENCH_pr5.json reported p50 == p99 == p999 because pure power-of-two
+// buckets collapsed a whole octave of the latency profile into one bucket.
+// With log-linear sub-buckets, percentiles of a known bimodal distribution
+// must land near their true values and differ from each other.
+func TestLogLinearPercentilesDistinguish(t *testing.T) {
+	var h Histogram
+	h.ObserveN(time.Millisecond, 900)    // body
+	h.ObserveN(50*time.Millisecond, 100) // tail
+	h.ObserveN(52*time.Millisecond, 9)   // same octave as the tail
+	h.ObserveN(400*time.Millisecond, 1)  // p999 outlier
+	p50, p99, p999 := h.Percentile(50), h.Percentile(99), h.Percentile(99.9)
+	if p50 == p99 || p99 == p999 {
+		t.Fatalf("degenerate percentiles: p50=%v p99=%v p999=%v", p50, p99, p999)
+	}
+	within := func(got, want time.Duration) bool {
+		return got >= want && got <= want+want/8 // upper edge, <= one sub-bucket above
+	}
+	if !within(p50, time.Millisecond) {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if !within(p99, 50*time.Millisecond) {
+		t.Errorf("p99 = %v, want ~50ms", p99)
+	}
+	if !within(p999, 52*time.Millisecond) {
+		t.Errorf("p999 = %v, want ~52ms", p999)
+	}
+	// 50ms and 52ms share a power-of-two octave; sub-buckets must separate
+	// them (this is exactly what the pure-log2 histogram could not do).
+	if bucketOf(uint64(50*time.Millisecond)) == bucketOf(uint64(52*time.Millisecond)) {
+		t.Error("50ms and 52ms fell into the same bucket")
+	}
+}
+
 func TestBucketOfMonotonic(t *testing.T) {
 	f := func(a, b uint64) bool {
 		if a > b {

@@ -82,6 +82,17 @@ type Config struct {
 	// rejects with ErrOverloaded, true blocks the submitter until space
 	// frees or its context cancels.
 	Block bool
+	// SpeculativeAcks publishes a provisional early outcome per transaction
+	// when the engine implements cross-batch speculative execution
+	// (engine.Speculator with Speculating() true — core.Config.CrossBatch,
+	// "quecc-spec"): Future.Speculative resolves with an Outcome marked
+	// Speculative as soon as the transaction's batch drains, ahead of the
+	// verdict fixpoint; the final Outcome follows — identical in the common
+	// case, or a retraction (Future.Retracted) when a cross-batch abort
+	// cascade flipped the verdict. Ignored for engines without the
+	// speculative driver. Off by default: early acks are provisional by
+	// construction, and clients must opt into observing them.
+	SpeculativeAcks bool
 }
 
 func (c *Config) normalize() error {
@@ -121,19 +132,44 @@ type Outcome struct {
 	// Batch is the sequence number of the formed batch the transaction rode
 	// in (group-commit evidence: transactions submitted together share it).
 	Batch uint64
+	// Speculative marks a provisional early ack (Config.SpeculativeAcks):
+	// the verdict was read at the batch's speculative drain point and may
+	// still be retracted by the cross-batch verdict fixpoint. Final outcomes
+	// always carry Speculative=false.
+	Speculative bool
 }
 
 // Aborted reports a deterministic logic abort (as opposed to engine failure).
 func (o Outcome) Aborted() bool { return !o.Committed && o.Err == nil }
 
-// Future is the pending result of one submitted transaction.
+// Future is the pending result of one submitted transaction. With
+// Config.SpeculativeAcks on a speculating engine it additionally carries a
+// provisional early outcome: Speculative resolves first (at the batch's
+// drain point), Done later (at the verdict fixpoint); Retracted reports
+// whether the final outcome contradicted the early ack.
 type Future struct {
 	done     chan struct{}
 	out      Outcome
 	resolved atomic.Bool
+
+	// Speculative-ack state; specDone is nil unless the submission opted in.
+	// specSet publishes specOut (atomic store/load pairs give the reader
+	// happens-before); specClosed makes the specDone close idempotent across
+	// the speculative and final resolution paths; retracted is set before
+	// done closes, so a client that observed the final outcome observes the
+	// retraction verdict too.
+	specDone   chan struct{}
+	specOut    Outcome
+	specSet    atomic.Bool
+	specClosed atomic.Bool
+	retracted  atomic.Bool
 }
 
 func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+func newSpecFuture() *Future {
+	return &Future{done: make(chan struct{}), specDone: make(chan struct{})}
+}
 
 // Done returns a channel closed when the outcome is available.
 func (f *Future) Done() <-chan struct{} { return f.done }
@@ -143,6 +179,48 @@ func (f *Future) Done() <-chan struct{} { return f.done }
 func (f *Future) Outcome() Outcome {
 	<-f.done
 	return f.out
+}
+
+// Speculative returns a channel closed when a provisional outcome is
+// available (see SpeculativeOutcome). It is closed no later than Done — for
+// submissions without speculative acks it IS the Done channel — so waiting
+// on Speculative never outlasts the final outcome.
+func (f *Future) Speculative() <-chan struct{} {
+	if f.specDone == nil {
+		return f.done
+	}
+	return f.specDone
+}
+
+// SpeculativeOutcome returns the provisional outcome published at the
+// transaction's speculative drain point, if one was. ok=false means the
+// future resolved finally without a distinct speculative ack (fast path, or
+// speculative acks not enabled).
+func (f *Future) SpeculativeOutcome() (Outcome, bool) {
+	if !f.specSet.Load() {
+		return Outcome{}, false
+	}
+	return f.specOut, true
+}
+
+// Retracted reports that the final outcome contradicted a published
+// speculative ack: the cross-batch verdict fixpoint flipped the provisional
+// verdict (or the engine failed after the ack). Guaranteed to be set before
+// Done closes.
+func (f *Future) Retracted() bool { return f.retracted.Load() }
+
+// resolveSpec publishes the provisional outcome and wakes Speculative
+// waiters. Former-goroutine-only, like resolve; no-op after final
+// resolution or a duplicate speculative ack.
+func (f *Future) resolveSpec(out Outcome) {
+	if f.specDone == nil || f.resolved.Load() || f.specSet.Load() {
+		return
+	}
+	f.specOut = out
+	f.specSet.Store(true)
+	if f.specClosed.CompareAndSwap(false, true) {
+		close(f.specDone)
+	}
 }
 
 // Wait is Outcome bounded by a context. A context error abandons the wait
@@ -163,7 +241,13 @@ func (f *Future) resolve(out Outcome) {
 	if !f.resolved.CompareAndSwap(false, true) {
 		return
 	}
+	if f.specSet.Load() && (out.Err != nil || f.specOut.Committed != out.Committed) {
+		f.retracted.Store(true)
+	}
 	f.out = out
+	if f.specDone != nil && f.specClosed.CompareAndSwap(false, true) {
+		close(f.specDone)
+	}
 	close(f.done)
 }
 
@@ -181,8 +265,15 @@ type submission struct {
 // methods are safe for concurrent use.
 type Server struct {
 	eng  engine.Engine
-	pipe engine.Pipeliner // non-nil only when the pipelined driver is enabled
+	pipe engine.Pipeliner  // non-nil only when the pipelined driver is enabled
+	spec engine.Speculator // non-nil only when cross-batch speculation is enabled
 	cfg  Config
+
+	// specAcks gates publishing early acks to futures; even without it, a
+	// speculating engine requires the window-based former below, because
+	// Submit returning only means the previous batch *drained* — its
+	// verdicts are still provisional until the finalized watermark passes it.
+	specAcks bool
 
 	in chan submission
 
@@ -199,16 +290,34 @@ type Server struct {
 
 	done chan struct{} // closed when the former has drained and exited
 
-	// The former's batch buffers (former goroutine only): a rotating pair,
-	// because with a pipelined engine batch k is still executing — and its
-	// submissions still unresolved — while batch k+1 is being gathered. A
-	// buffer is reused only at batch k+2, after Submit(k+1) confirmed batch
-	// k's commit and resolved its futures.
+	// The former's batch buffers (former goroutine only): a rotating
+	// triple. With a pipelined engine batch k is still executing — and its
+	// submissions still unresolved — while batch k+1 is being gathered, so
+	// two generations overlap; under cross-batch speculation batch k can
+	// additionally still be *pending* (drained, verdicts provisional) while
+	// k+1 executes and k+2 is being gathered — three live generations. A
+	// buffer is reused only when its batch is final.
 	subs    []submission
 	txns    []*txn.Txn
-	subsBuf [2][]submission
-	txnsBuf [2][]*txn.Txn
+	subsBuf [3][]submission
+	txnsBuf [3][]*txn.Txn
 	bufIdx  int
+
+	// window is the speculative former's outstanding-batch window (former
+	// goroutine only; at most two entries: one pending-final, one
+	// executing). submitIdx numbers Submit calls so entries can be compared
+	// against the engine's drained/final batch watermarks.
+	window    []specEntry
+	submitIdx uint64
+}
+
+// specEntry is one submitted-but-unfinalized batch in the speculative
+// former's window.
+type specEntry struct {
+	subs  []submission
+	seq   uint64 // formed-batch sequence (Outcome.Batch)
+	idx   uint64 // 1-based Submit index, compared against SpecStatus watermarks
+	acked bool   // speculative acks already published
 }
 
 // New starts a server over eng. The server becomes the engine's single
@@ -228,6 +337,10 @@ func New(eng engine.Engine, cfg Config) (*Server, error) {
 	}
 	if p, ok := eng.(engine.Pipeliner); ok && p.Pipelined() {
 		s.pipe = p
+	}
+	if sp, ok := eng.(engine.Speculator); ok && sp.Speculating() {
+		s.spec = sp
+		s.specAcks = cfg.SpeculativeAcks
 	}
 	go s.run()
 	return s, nil
@@ -272,7 +385,11 @@ func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sub := submission{t: t, fut: newFuture(), sess: sess, enq: time.Now()}
+	fut := newFuture()
+	if s.specAcks {
+		fut = newSpecFuture()
+	}
+	sub := submission{t: t, fut: fut, sess: sess, enq: time.Now()}
 
 	// The RLock fences Submit sends against Close: Close flips closed under
 	// the write lock, which waits out every in-flight send, so no send can
@@ -350,6 +467,7 @@ func (s *Server) run() {
 			s.failBatch(b, err)
 		}
 		s.failBatch(inflight, err)
+		s.failWindow(err)
 		for sub := range s.in {
 			sub.fut.resolve(Outcome{Err: err})
 		}
@@ -372,13 +490,29 @@ func (s *Server) run() {
 		batch := s.gather(first, &inflight)
 		s.subsBuf[s.bufIdx] = s.subs
 		s.txnsBuf[s.bufIdx] = s.txns
-		s.bufIdx ^= 1
+		s.bufIdx = (s.bufIdx + 1) % 3
 		if err, _ := s.failure.Load().(error); err != nil {
 			// A mid-gather TryDrain surfaced a terminal error.
 			fail(err, batch)
 			return
 		}
 		seq := s.batchSeq.Add(1)
+		if s.spec != nil {
+			// Speculative former: Submit returns once the previous batch has
+			// drained (verdicts provisional, not final), so futures cannot be
+			// resolved off Submit's return the way the plain pipelined path
+			// does. The batch joins the window; pollSpec advances it against
+			// the engine's drained/final watermarks — publishing early acks
+			// at the drain watermark, final outcomes at the final watermark.
+			if err := s.pipe.Submit(s.txns); err != nil {
+				fail(err, batch)
+				return
+			}
+			s.submitIdx++
+			s.window = append(s.window, specEntry{subs: batch, seq: seq, idx: s.submitIdx})
+			s.pollSpec()
+			continue
+		}
 		if s.pipe != nil {
 			// Resolve the previous batch now if it already finished: its
 			// clients get accurate outcomes at the earliest point, and a
@@ -413,7 +547,22 @@ func (s *Server) run() {
 		}
 	}
 
-	// Input closed and drained: close the loop on the pipelined tail.
+	// Input closed and drained: close the loop on the pipelined tail — and,
+	// for a speculating engine, force the deferred verdict fixpoint so every
+	// windowed batch finalizes and resolves.
+	if s.spec != nil {
+		err := s.pipe.Drain()
+		if err == nil {
+			err = s.spec.Finalize()
+		}
+		if err != nil {
+			s.failure.CompareAndSwap(nil, err)
+			s.failWindow(err)
+			return
+		}
+		s.pollSpec() // final watermark now covers the whole window
+		return
+	}
 	if inflight != nil {
 		err := s.pipe.Drain()
 		if err != nil {
@@ -422,6 +571,105 @@ func (s *Server) run() {
 			return
 		}
 		s.resolveBatch(inflight, s.batchSeq.Load())
+	}
+}
+
+// failWindow fails every batch still in the speculative window. Retraction
+// semantics hold here too: a future that was speculatively acked committed
+// and now resolves with an error reports Retracted.
+func (s *Server) failWindow(err error) {
+	for _, w := range s.window {
+		s.failBatch(w.subs, err)
+	}
+	s.window = s.window[:0]
+}
+
+// pollSpec advances the speculative window against the engine's batch
+// watermarks: entries at or below the final watermark resolve their futures
+// with final verdicts (and are popped); drained-but-unfinalized entries get
+// speculative acks published once (Config.SpeculativeAcks). The drained
+// watermark is an atomic counter stored after the execution phase completes,
+// so reading txn verdict bits after observing it is race-free; verdicts read
+// this way are provisional by contract.
+func (s *Server) pollSpec() { s.pollSpecAcked() }
+
+// pollSpecAcked is pollSpec reporting whether it published at least one new
+// speculative ack — i.e. whether some client just received a provisional
+// answer it may respond to with a resubmission.
+func (s *Server) pollSpecAcked() bool {
+	if len(s.window) == 0 {
+		return false
+	}
+	drained, final := s.spec.SpecStatus()
+	for len(s.window) > 0 && s.window[0].idx <= final {
+		w := s.window[0]
+		copy(s.window, s.window[1:])
+		s.window = s.window[:len(s.window)-1]
+		s.resolveBatch(w.subs, w.seq)
+	}
+	if !s.specAcks {
+		return false
+	}
+	acked := false
+	for i := range s.window {
+		w := &s.window[i]
+		if !w.acked && w.idx <= drained {
+			w.acked = true
+			acked = true
+			s.specResolveBatch(w.subs, w.seq)
+		}
+	}
+	return acked
+}
+
+// pollEngine is the former's between-arrivals engine poll: the plain
+// pipelined form opportunistically resolves the in-flight batch (TryDrain);
+// the speculative form advances the window, and — when the engine has gone
+// idle with batches still pending finalization — forces the deferred
+// fixpoint so retractions resolve promptly rather than at the next forming
+// window.
+func (s *Server) pollEngine(inflight *[]submission) {
+	if s.spec == nil {
+		s.tryResolveInflight(inflight)
+		return
+	}
+	s.pollSpec()
+	if len(s.window) == 0 {
+		return
+	}
+	done, err := s.pipe.TryDrain()
+	if !done {
+		return
+	}
+	if err == nil {
+		// Engine idle: nothing is executing, so a pending batch has no
+		// successor to piggyback its fixpoint on. Finalize now.
+		err = s.spec.Finalize()
+	}
+	if err != nil {
+		s.failure.CompareAndSwap(nil, err)
+		s.failWindow(err)
+		return
+	}
+	s.pollSpec()
+}
+
+// specResolveBatch publishes provisional outcomes for a drained batch. Only
+// the latency histogram is fed here (time-to-first-ack is the client-visible
+// response time when speculative acks are on); the commit/abort counters
+// wait for the final verdicts in resolveBatch.
+func (s *Server) specResolveBatch(batch []submission, seq uint64) {
+	now := time.Now()
+	for i := range batch {
+		sub := &batch[i]
+		lat := now.Sub(sub.enq)
+		s.stats.Latency.Observe(lat)
+		sub.fut.resolveSpec(Outcome{
+			Committed:   !sub.t.Aborted(),
+			Latency:     lat,
+			Batch:       seq,
+			Speculative: true,
+		})
 	}
 }
 
@@ -453,6 +701,60 @@ func (s *Server) tryResolveInflight(inflight *[]submission) {
 // arrival — then blocks. Returns ok=false when the input is closed and empty
 // (after likewise draining any in-flight batch).
 func (s *Server) next(inflight *[]submission) (submission, bool) {
+	if s.spec != nil {
+		s.pollSpec()
+		if len(s.window) > 0 {
+			select {
+			case sub, ok := <-s.in:
+				if ok {
+					return sub, true
+				}
+			default:
+			}
+			// Queue idle (or closed): wait for the executing batch to
+			// *drain* — WaitDrained returns at the watermark, before any
+			// deferred fixpoint work on the exec goroutine — and publish
+			// its speculative acks immediately: the acked clients are
+			// exactly the ones whose resubmissions form the successor batch
+			// that piggybacks the fixpoint, so the repair runs during their
+			// think time and the next forming window, off every ack path.
+			// Grant them one forming window to come back; only if the queue
+			// stays idle (no client is returning) force the deferred
+			// fixpoint and answer every windowed client finally.
+			s.spec.WaitDrained()
+			if s.pollSpecAcked() && s.cfg.MaxDelay > 0 {
+				t := time.NewTimer(s.cfg.MaxDelay)
+				select {
+				case sub, ok := <-s.in:
+					t.Stop()
+					if ok {
+						return sub, true
+					}
+				case <-t.C:
+				}
+			} else {
+				select {
+				case sub, ok := <-s.in:
+					if ok {
+						return sub, true
+					}
+				default:
+				}
+			}
+			err := s.spec.Finalize()
+			if err != nil {
+				s.failure.CompareAndSwap(nil, err)
+				s.failWindow(err)
+				// Surface through the normal path: the next accepted
+				// submission (if any) fails in run's failure check.
+				sub, ok := <-s.in
+				return sub, ok
+			}
+			s.pollSpec()
+		}
+		sub, ok := <-s.in
+		return sub, ok
+	}
 	s.tryResolveInflight(inflight)
 	if *inflight != nil {
 		select {
@@ -501,7 +803,7 @@ func (s *Server) gather(first submission, inflight *[]submission) []submission {
 		}
 	}()
 	for len(s.subs) < s.cfg.MaxBatch {
-		s.tryResolveInflight(inflight)
+		s.pollEngine(inflight)
 		if s.failure.Load() != nil {
 			// Terminal failure surfaced mid-gather: stop forming now so
 			// run() fails the gathered submissions immediately — waiting
@@ -520,9 +822,11 @@ func (s *Server) gather(first submission, inflight *[]submission) []submission {
 		default:
 		}
 		if wait := time.Until(deadline); wait > 0 {
-			// Bound the timer wait while a batch is in flight so its commit
-			// is observed (and its clients answered) promptly mid-gather.
-			if *inflight != nil && wait > 100*time.Microsecond {
+			// Bound the timer wait while a batch is in flight (or the
+			// speculative window is non-empty) so commits — and speculative
+			// finalizations with their possible retractions — are observed
+			// promptly mid-gather rather than at the next forming window.
+			if (*inflight != nil || len(s.window) > 0) && wait > 100*time.Microsecond {
 				wait = 100 * time.Microsecond
 			}
 			if timer == nil {
@@ -566,7 +870,12 @@ func (s *Server) resolveBatch(batch []submission, seq uint64) {
 		} else {
 			s.stats.UserAborts.Add(1)
 		}
-		s.stats.Latency.Observe(lat)
+		if !sub.fut.specSet.Load() {
+			// Speculatively-acked futures already observed their
+			// time-to-first-ack latency; everything else observes the final
+			// commit-point latency here.
+			s.stats.Latency.Observe(lat)
+		}
 		if sub.sess != nil {
 			if committed {
 				sub.sess.committed.Add(1)

@@ -133,10 +133,42 @@ func (r *Record) TryLatch() bool { return r.LatchWord.CompareAndSwap(0, 1) }
 // Unlatch releases the version-chain spinlock.
 func (r *Record) Unlatch() { r.LatchWord.Store(0) }
 
+// recSlabChunk is how many records a partition's slab allocates at once.
+const recSlabChunk = 256
+
 // partition is one hash partition of a table.
 type partition struct {
 	mu   sync.RWMutex
 	recs map[Key]*Record
+	// recSlab and valSlab are the partition's row-allocation slabs: Insert
+	// carves records and value buffers out of chunked arrays under p.mu
+	// instead of allocating each row individually — row creation (TPC-C
+	// NewOrder inserting orders and order lines) is the dominant remaining
+	// allocation source on the hot path. Removed rows only drop their map
+	// entry; their slab slots are not reclaimed (inserts removed by abort
+	// repair are rare and bounded).
+	recSlab []Record
+	valSlab []byte
+}
+
+// newRecord carves a zeroed record with a valSize-byte value buffer out of
+// the partition slabs. Caller holds p.mu.
+func (p *partition) newRecord(valSize int) *Record {
+	if len(p.recSlab) == 0 {
+		p.recSlab = make([]Record, recSlabChunk)
+	}
+	r := &p.recSlab[0]
+	p.recSlab = p.recSlab[1:]
+	if len(p.valSlab) < valSize {
+		n := recSlabChunk * valSize
+		if n < 4096 {
+			n = 4096
+		}
+		p.valSlab = make([]byte, n)
+	}
+	r.Val = p.valSlab[:valSize:valSize]
+	p.valSlab = p.valSlab[valSize:]
+	return r
 }
 
 // Table is a fixed-schema table partitioned by key.
@@ -220,7 +252,7 @@ func (t *Table) Insert(k Key, val []byte) (r *Record, ok bool) {
 		p.mu.Unlock()
 		return exist, false
 	}
-	r = &Record{Val: make([]byte, t.spec.ValueSize)}
+	r = p.newRecord(t.spec.ValueSize)
 	copy(r.Val, val)
 	p.recs[k] = r
 	p.mu.Unlock()

@@ -197,6 +197,13 @@ type QueCCOptions struct {
 	// Pipeline enables the Submit/Drain driver: planning of batch k+1
 	// overlaps execution of batch k (see core.Config.Pipeline).
 	Pipeline bool
+	// CrossBatch enables cross-batch speculative execution (implies
+	// Pipeline; requires the Speculative mechanism and Serializable
+	// isolation): batch k+1 executes before batch k's verdict fixpoint
+	// completes, and an abort in k cascades onto k+1 through a joint repair
+	// (see core.Config.CrossBatch). Pair with ClientOptions.SpeculativeAcks
+	// for early, revocable client acknowledgements.
+	CrossBatch bool
 }
 
 // NewQueCC creates the paper's queue-oriented deterministic engine.
@@ -208,19 +215,20 @@ func NewQueCC(db *DB, opts QueCCOptions) (Engine, error) {
 		opts.Executors = 2
 	}
 	return core.New(db, core.Config{
-		Planners:  opts.Planners,
-		Executors: opts.Executors,
-		Mechanism: opts.Mechanism,
-		Isolation: opts.Isolation,
-		Logger:    opts.Logger,
-		Pipeline:  opts.Pipeline,
+		Planners:   opts.Planners,
+		Executors:  opts.Executors,
+		Mechanism:  opts.Mechanism,
+		Isolation:  opts.Isolation,
+		Logger:     opts.Logger,
+		Pipeline:   opts.Pipeline,
+		CrossBatch: opts.CrossBatch,
 	})
 }
 
 // Protocols lists the centralized protocol names accepted by New.
 func Protocols() []string {
 	return []string{
-		"quecc", "quecc-cons", "quecc-rc", "quecc-pipe",
+		"quecc", "quecc-cons", "quecc-rc", "quecc-pipe", "quecc-spec",
 		"hstore", "calvin",
 		"2pl-nowait", "2pl-waitdie", "silo", "tictoc", "mvto",
 	}
@@ -238,6 +246,8 @@ func New(name string, db *DB, threads int) (Engine, error) {
 		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, Isolation: ReadCommitted})
 	case "quecc-pipe":
 		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, Pipeline: true})
+	case "quecc-spec":
+		return NewQueCC(db, QueCCOptions{Planners: 2, Executors: threads, CrossBatch: true})
 	case "hstore":
 		return hstore.New(db, threads)
 	case "calvin":
