@@ -23,6 +23,13 @@
 // cluster state is additionally verified against the serial reference over
 // the full wire path.
 //
+// With -waldir the leader writes every batch's input to a segmented
+// write-ahead log before shipping it (sync policy per -walsync). On startup
+// the same flag recovers: intact logged batches are replayed through the
+// cluster, the generator stream advances past them, and the run continues
+// mid-stream — a killed cluster restarts where the log ends. -crashafter n
+// simulates the kill: the process exits without cleanup after n batches.
+//
 // Usage:
 //
 //	qotpd -nodes 4 -batches 10 -batch 2000
@@ -30,6 +37,8 @@
 //	qotpd -nodes 4 -pipeline
 //	qotpd -nodes 2 -serve -clients 8 -ctxns 1000 -loop open
 //	qotpd -nodes 2 -serve -clients 1 -pipeline
+//	qotpd -nodes 2 -batches 6 -waldir /tmp/qotpd-wal -crashafter 3
+//	qotpd -nodes 2 -batches 6 -waldir /tmp/qotpd-wal   # recovers, finishes, verifies
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -46,6 +56,8 @@ import (
 	"github.com/exploratory-systems/qotp/internal/dist"
 	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/wal"
 	"github.com/exploratory-systems/qotp/internal/workload"
 	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
 	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
@@ -66,6 +78,9 @@ func main() {
 		ctxns      = flag.Int("ctxns", 1000, "transactions submitted per client (-serve mode)")
 		loop       = flag.String("loop", "closed", "client loop in -serve mode: closed or open")
 		maxDelay   = flag.Duration("maxdelay", time.Millisecond, "batch former MaxDelay (-serve mode)")
+		waldir     = flag.String("waldir", "", "write-ahead log directory on the leader: recover from it, then log every batch")
+		walsync    = flag.String("walsync", "each", "wal sync policy: each (fsync per batch), group, or off")
+		crashAfter = flag.Int("crashafter", 0, "simulate a kill: exit without cleanup after this many batches this run (0 = never)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -79,6 +94,23 @@ func main() {
 	}
 	if *loop != "closed" && *loop != "open" {
 		log.Fatalf("qotpd: -loop must be closed or open, got %q", *loop)
+	}
+	var walPolicy wal.SyncPolicy
+	switch *walsync {
+	case "each":
+		walPolicy = wal.SyncEachBatch
+	case "group":
+		walPolicy = wal.SyncGroup
+	case "off":
+		walPolicy = wal.SyncOff
+	default:
+		log.Fatalf("qotpd: -walsync must be each, group or off, got %q", *walsync)
+	}
+	if *waldir != "" && *serveMode {
+		// Concurrent remote clients make the submission stream nondeterministic,
+		// so the generator cannot be advanced past replayed batches; use
+		// ClientOptions.WAL through the library for a serving-path log.
+		log.Fatal("qotpd: -waldir is a harness-mode flag; it cannot be combined with -serve")
 	}
 
 	var parts int
@@ -168,6 +200,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Recovery before logging: replay the log's intact batches through the
+	// cluster (read-only pass), advance the generator past them, then open the
+	// writer and continue the stream where the crashed run's log ends.
+	recovered := 0
+	if *waldir != "" {
+		info, err := wal.RecoverFrom(*waldir, nil, nil, gen.Registry(), func(_ uint64, txns []*txn.Txn) error {
+			return eng.ExecBatch(txns)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recovered = int(info.NextEpoch)
+		if recovered > 0 {
+			fmt.Printf("recovered %d batches from %s\n", recovered, *waldir)
+			for i := 0; i < recovered; i++ {
+				gen.NextBatch(*batchSize) // replayed input: skip, don't re-run
+			}
+		}
+		w, err := wal.Open(*waldir, wal.Options{Sync: walPolicy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		eng.SetLogger(w)
+	}
+
 	if *serveMode {
 		srv, err := serve.New(eng, serve.Config{MaxBatch: *batchSize, MaxDelay: *maxDelay, Block: true})
 		if err != nil {
@@ -182,7 +240,7 @@ func main() {
 	}
 
 	start := time.Now()
-	for b := 0; b < *batches; b++ {
+	for b := 0; b < *batches-recovered; b++ {
 		if *pipeline {
 			err = eng.Submit(gen.NextBatch(*batchSize))
 		} else {
@@ -190,6 +248,13 @@ func main() {
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *crashAfter > 0 && b+1 >= *crashAfter {
+			// Simulated kill: no Drain, no Close, no wal.Close — the log holds
+			// whatever the sync policy made durable. A rerun with the same
+			// -waldir recovers and finishes the stream.
+			fmt.Printf("simulated crash after %d batches (wal holds the input; rerun to recover)\n", b+1)
+			os.Exit(0)
 		}
 	}
 	if err := eng.Drain(); err != nil {

@@ -8,6 +8,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/tictoc"
 	"github.com/exploratory-systems/qotp/internal/twopl"
 	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/wal"
 	"github.com/exploratory-systems/qotp/internal/workload"
 	"github.com/exploratory-systems/qotp/internal/workload/bank"
 	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
@@ -98,6 +100,27 @@ type Spec struct {
 	// time-to-first-ack — the client-visible response time cross-batch
 	// speculation exists to shrink.
 	SpeculativeAcks bool
+	// WALSync attaches a segmented write-ahead log (in a temporary directory,
+	// removed after the run) with the given sync policy: "each", "group" or
+	// "off"; empty disables the WAL. Client runs log in the serving path
+	// (serve.Config.WAL, before dispatch); batch-harness runs log at the
+	// engine's commit hook (queue engines) or the distributed leader's ship
+	// point (quecc-d*). The WAL sync-policy overhead experiment (E18) sweeps
+	// this knob.
+	WALSync string
+}
+
+// walPolicy parses a Spec.WALSync value.
+func walPolicy(name string) (wal.SyncPolicy, error) {
+	switch name {
+	case "each":
+		return wal.SyncEachBatch, nil
+	case "group":
+		return wal.SyncGroup, nil
+	case "off":
+		return wal.SyncOff, nil
+	}
+	return 0, fmt.Errorf("bench: unknown WALSync %q (want each, group or off)", name)
 }
 
 func (s *Spec) normalize() error {
@@ -169,19 +192,27 @@ func buildGenerator(s *Spec) (workload.Generator, error) {
 	}
 }
 
-// buildCentral constructs a centralized engine over the loaded store.
-func buildCentral(s *Spec, store *storage.Store) (engine.Engine, error) {
+// buildCentral constructs a centralized engine over the loaded store; lg, if
+// non-nil, is installed as the engine-level batch logger (queue engines only).
+func buildCentral(s *Spec, store *storage.Store, lg core.BatchLogger) (engine.Engine, error) {
+	if lg != nil {
+		switch s.Engine {
+		case "quecc", "quecc-pipe", "quecc-spec", "quecc-cons", "quecc-rc":
+		default:
+			return nil, fmt.Errorf("bench: WALSync in harness mode requires a queue engine, got %q", s.Engine)
+		}
+	}
 	switch s.Engine {
 	case "quecc":
-		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative})
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Logger: lg})
 	case "quecc-pipe":
-		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Pipeline: true})
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Pipeline: true, Logger: lg})
 	case "quecc-spec":
-		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, CrossBatch: true})
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, CrossBatch: true, Logger: lg})
 	case "quecc-cons":
-		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Conservative})
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Conservative, Logger: lg})
 	case "quecc-rc":
-		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Isolation: core.ReadCommitted})
+		return core.New(store, core.Config{Planners: s.Planners, Executors: s.Threads, Mechanism: core.Speculative, Isolation: core.ReadCommitted, Logger: lg})
 	case "hstore":
 		return hstore.New(store, s.Threads)
 	case "calvin":
@@ -211,6 +242,31 @@ func Run(s Spec) (Result, error) {
 		return Result{}, err
 	}
 
+	// WALSync attaches a real-disk segmented log for the run: client runs log
+	// in the serving path, harness runs at the engine/leader hook — never
+	// both, they would log the same batches twice.
+	var walWriter *wal.Writer
+	if s.WALSync != "" {
+		pol, perr := walPolicy(s.WALSync)
+		if perr != nil {
+			return Result{}, perr
+		}
+		dir, derr := os.MkdirTemp("", "qotp-bench-wal-")
+		if derr != nil {
+			return Result{}, derr
+		}
+		defer os.RemoveAll(dir)
+		walWriter, err = wal.Open(dir, wal.Options{Sync: pol})
+		if err != nil {
+			return Result{}, err
+		}
+		defer walWriter.Close()
+	}
+	var engineLogger core.BatchLogger
+	if walWriter != nil && s.Clients == 0 {
+		engineLogger = walWriter
+	}
+
 	var eng engine.Engine
 	var tr cluster.Transport
 	if s.Nodes > 0 {
@@ -235,6 +291,13 @@ func Run(s Spec) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		if engineLogger != nil {
+			qd, ok := eng.(*dist.QueCCD)
+			if !ok {
+				return Result{}, fmt.Errorf("bench: WALSync on a distributed harness run requires quecc-d*, got %q", s.Engine)
+			}
+			qd.SetLogger(engineLogger)
+		}
 	} else {
 		store, serr := storage.Open(gen.StoreConfig(s.Partitions))
 		if serr != nil {
@@ -243,7 +306,7 @@ func Run(s Spec) (Result, error) {
 		if lerr := gen.Load(store); lerr != nil {
 			return Result{}, lerr
 		}
-		eng, err = buildCentral(&s, store)
+		eng, err = buildCentral(&s, store, engineLogger)
 		if err != nil {
 			return Result{}, err
 		}
@@ -251,7 +314,7 @@ func Run(s Spec) (Result, error) {
 	defer eng.Close()
 
 	if s.Clients > 0 {
-		return runClients(s, gen, eng, tr)
+		return runClients(s, gen, eng, tr, walWriter)
 	}
 
 	// Arena-backed generation, rotating two arenas: batch k's arena is Reset
@@ -368,13 +431,17 @@ func Run(s Spec) (Result, error) {
 // per transaction. Generation is heap-backed: a submitted transaction's
 // lifetime is unbounded (it ends at its batch's commit, which the generator
 // cannot see), so the arena batch-lifetime rule does not apply.
-func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Transport) (Result, error) {
-	srv, err := serve.New(eng, serve.Config{
+func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Transport, walWriter *wal.Writer) (Result, error) {
+	cfg := serve.Config{
 		MaxBatch:        s.ClientMaxBatch,
 		MaxDelay:        s.ClientMaxDelay,
 		Block:           true, // the harness measures service time, not shed load
 		SpeculativeAcks: s.SpeculativeAcks,
-	})
+	}
+	if walWriter != nil {
+		cfg.WAL = walWriter
+	}
+	srv, err := serve.New(eng, cfg)
 	if err != nil {
 		return Result{}, err
 	}

@@ -446,6 +446,39 @@ func Experiments(sc Scale) []Experiment {
 		Specs:    e17,
 	})
 
+	// E18 — WAL sync-policy overhead (the durability subsystem's price tag).
+	// Closed-loop clients over serial quecc with the serving-path WAL
+	// (serve.Config.WAL: each formed batch is logged before dispatch) across
+	// the sync-policy ladder — none / off (page cache) / group (one fsync per
+	// 8 batches) / each (fsync per batch) — on YCSB and TPC-C. Because the
+	// engines are deterministic, the log carries batch *inputs* only, so the
+	// entire durability cost is framing+CRC (off) plus the fsync schedule
+	// (group, each): Gray's queues-are-databases argument priced in txn/s.
+	var e18 []NamedSpec
+	walClient := func(s Spec, sync string) Spec {
+		s.Clients = 32
+		s.WALSync = sync
+		return s
+	}
+	e18y := ycsbBase(0.6, 0, 1, 16, 0.5)
+	e18t := tpccBase(2)
+	for _, sync := range []string{"", "off", "group", "each"} {
+		tag := sync
+		if tag == "" {
+			tag = "none"
+		}
+		e18 = append(e18,
+			NamedSpec{fmt.Sprintf("closed/c=32/ycsb/quecc/wal=%s", tag), walClient(with(e18y, "quecc"), sync)},
+			NamedSpec{fmt.Sprintf("closed/c=32/tpcc/quecc/wal=%s", tag), walClient(with(e18t, "quecc"), sync)},
+		)
+	}
+	exps = append(exps, Experiment{
+		ID:       "E18",
+		Artifact: "WAL sync-policy overhead: no-WAL vs off vs group vs per-batch fsync, YCSB + TPC-C closed loop",
+		Expect:   "no-WAL >= wal=off ~ wal=group > wal=each; the deterministic input log prices durability at fsync cost only",
+		Specs:    e18,
+	})
+
 	return exps
 }
 

@@ -53,7 +53,18 @@ type QueCCD struct {
 	// which strictly precedes the prepare that reuses their arena.
 	planArenas [2]txn.Arena
 	planIdx    int
+	// logger, when set, receives each batch's input at ship time — after
+	// planning, before the first MsgQueues leaves the leader — so a killed
+	// cluster restarts mid-stream from the leader's log alone (followers are
+	// deterministic replicas of what the leader ships). Confined to the
+	// round-driving goroutine chain like the protocol state ship touches.
+	logger core.BatchLogger
 }
+
+// SetLogger installs a durability hook (typically a *wal.Writer) called with
+// each batch before it is shipped to the followers. Must be set before the
+// first batch; a logging failure stops the group like a send failure.
+func (e *QueCCD) SetLogger(l core.BatchLogger) { e.logger = l }
 
 // NewQueCCD builds the distributed queue-oriented engine over the transport.
 // The generator supplies each node's schema, initial load and opcode
@@ -169,6 +180,16 @@ func (e *QueCCD) prepare(txns []*txn.Txn) (queccShipment, error) {
 func (e *QueCCD) ship(s queccShipment) error {
 	g := e.g
 	leader := g.nodes[0]
+	if e.logger != nil {
+		// Durability point: the batch input is logged (and synced, per the
+		// writer's policy) before any follower sees it. A failed log poisons
+		// the group — an unlogged shipped batch could commit state the log
+		// cannot reproduce.
+		if err := e.logger.LogBatch(g.epoch, s.txns); err != nil {
+			g.stopped.Store(true)
+			return err
+		}
+	}
 	for id := 1; id < len(g.nodes); id++ {
 		if err := g.tr.Send(cluster.Msg{
 			Type: cluster.MsgQueues, From: 0, To: id,

@@ -93,6 +93,22 @@ type Config struct {
 	// speculative driver. Off by default: early acks are provisional by
 	// construction, and clients must opt into observing them.
 	SpeculativeAcks bool
+	// WAL, when non-nil, receives every formed batch (in dispatch order, with
+	// the batch sequence number as its epoch) BEFORE the batch is handed to
+	// the engine — the durability point of the serving path. A WAL error is
+	// terminal exactly like an engine error. Recovery replays logged batches
+	// through a bare engine and re-resolves nothing: submissions that were
+	// in flight at the crash are the clients' to resubmit. Use either this or
+	// an engine-level logger (core.Config.Logger), not both — they would log
+	// the same batches twice.
+	WAL BatchLogger
+}
+
+// BatchLogger is the durability hook the former calls with each formed batch
+// before dispatch; *wal.Writer implements it. Mirrors core.BatchLogger so the
+// serve layer does not import the engine internals.
+type BatchLogger interface {
+	LogBatch(epoch uint64, txns []*txn.Txn) error
 }
 
 func (c *Config) normalize() error {
@@ -497,6 +513,15 @@ func (s *Server) run() {
 			return
 		}
 		seq := s.batchSeq.Add(1)
+		if s.cfg.WAL != nil {
+			// Log the formed batch before any dispatch path sees it: once the
+			// engine (pipelined or not) starts on the batch, its input is
+			// already durable per the sync policy.
+			if err := s.cfg.WAL.LogBatch(seq, s.txns); err != nil {
+				fail(err, batch)
+				return
+			}
+		}
 		if s.spec != nil {
 			// Speculative former: Submit returns once the previous batch has
 			// drained (verdicts provisional, not final), so futures cannot be

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Snapshot format (little endian): a point-in-time, byte-deterministic image
+// of the committed state, used by the wal subsystem to bound replay length
+// (segments older than the snapshot epoch are truncated).
+//
+//	magic u32 | nTables u32
+//	per table (declaration order):
+//	  id u32 | valueSize u32 | count u64 | count x (key u64 | value[valueSize])
+//	trailer: crc32(everything above) u32
+//
+// Keys are written in sorted order, so two stores with equal logical content
+// produce identical snapshots — the same determinism contract as StateHash.
+const snapshotMagic = 0x314e5351 // "QSN1"
+
+// WriteSnapshot serializes the store's committed state. It must be called at
+// a batch boundary (no engine executing); it reads through the same
+// CommittedValue view StateHash uses.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(w, h)
+	var scratch [8]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := mw.Write(scratch[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := mw.Write(scratch[:8])
+		return err
+	}
+	if err := put32(snapshotMagic); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(s.order))); err != nil {
+		return err
+	}
+	for _, id := range s.order {
+		t := s.tables[id]
+		if err := put32(uint32(id)); err != nil {
+			return err
+		}
+		if err := put32(uint32(t.spec.ValueSize)); err != nil {
+			return err
+		}
+		keys := t.Keys()
+		if err := put64(uint64(len(keys))); err != nil {
+			return err
+		}
+		val := make([]byte, t.spec.ValueSize)
+		for _, k := range keys {
+			if err := put64(uint64(k)); err != nil {
+				return err
+			}
+			// Records hold exactly ValueSize bytes; copy through a fixed
+			// buffer anyway so the frame length never depends on record state.
+			v := t.Get(k).CommittedValue()
+			n := copy(val, v)
+			for i := n; i < len(val); i++ {
+				val[i] = 0
+			}
+			if _, err := mw.Write(val); err != nil {
+				return err
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], h.Sum32())
+	_, err := w.Write(scratch[:4])
+	return err
+}
+
+// RestoreSnapshot reads a WriteSnapshot image into the store: existing
+// records (the generator's initial load) are overwritten in place, absent
+// ones inserted. The snapshot is a superset of any initial load — committed
+// state never deletes loaded rows — so restoring over a loaded store yields
+// exactly the snapshotted state. The trailing CRC is verified; a mismatch
+// (torn or damaged snapshot file) fails the restore with the store contents
+// undefined.
+func (s *Store) RestoreSnapshot(r io.Reader) error {
+	h := crc32.NewIEEE()
+	tr := io.TeeReader(r, h)
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(tr, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(tr, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	magic, err := get32()
+	if err != nil || magic != snapshotMagic {
+		return fmt.Errorf("storage: snapshot: bad magic")
+	}
+	nTables, err := get32()
+	if err != nil {
+		return fmt.Errorf("storage: snapshot: truncated header")
+	}
+	if int(nTables) != len(s.order) {
+		return fmt.Errorf("storage: snapshot: %d tables, store has %d", nTables, len(s.order))
+	}
+	for _, wantID := range s.order {
+		id, err := get32()
+		if err != nil {
+			return fmt.Errorf("storage: snapshot: truncated table header")
+		}
+		valSize, err := get32()
+		if err != nil {
+			return fmt.Errorf("storage: snapshot: truncated table header")
+		}
+		t := s.tables[wantID]
+		if TableID(id) != wantID || int(valSize) != t.spec.ValueSize {
+			return fmt.Errorf("storage: snapshot: table %d/%dB does not match schema table %d/%dB",
+				id, valSize, wantID, t.spec.ValueSize)
+		}
+		count, err := get64()
+		if err != nil {
+			return fmt.Errorf("storage: snapshot: truncated table header")
+		}
+		// count is untrusted; records are read one at a time (no count-sized
+		// allocation), so a hostile count just hits EOF below.
+		val := make([]byte, valSize)
+		for i := uint64(0); i < count; i++ {
+			k, err := get64()
+			if err != nil {
+				return fmt.Errorf("storage: snapshot: truncated record")
+			}
+			if _, err := io.ReadFull(tr, val); err != nil {
+				return fmt.Errorf("storage: snapshot: truncated record value")
+			}
+			if rec, inserted := t.Insert(Key(k), val); !inserted {
+				copy(rec.Val, val)
+			}
+		}
+	}
+	want := h.Sum32()
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return fmt.Errorf("storage: snapshot: missing checksum")
+	}
+	if binary.LittleEndian.Uint32(scratch[:4]) != want {
+		return fmt.Errorf("storage: snapshot: checksum mismatch")
+	}
+	return nil
+}

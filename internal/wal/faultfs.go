@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"path/filepath"
+	"sync"
+)
+
+// ErrInjected is the error returned by FaultFS operations at an injected
+// fault point (short write, crash-at-point). The Writer poisons itself on it
+// like on any IO error, which is exactly what the kill-point suite wants: the
+// "process" is dead from that instant.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS is an in-memory FS with fault injection, the test half of the
+// wal.FS seam. It models the two-level durability a real disk has: every
+// Write lands in the file's page-cache image (data), and only Sync advances
+// the durable watermark. Crash throws away everything above the watermarks —
+// optionally keeping a prefix of one unsynced tail, which is precisely a torn
+// tail write.
+//
+// Injection knobs (all one-shot countdowns, safe to set between operations):
+//
+//   - LieSyncs(n): the next n Sync calls report success without advancing the
+//     durable watermark — fsync-reported-but-lost (a lying disk cache).
+//   - FailWriteAfter(n): the (n+1)th following Write stores only a prefix of
+//     its bytes and returns ErrInjected — a short write at an injected crash
+//     point, which after Crash becomes a mid-append torn record.
+//   - FailRemoves(n): the next n Remove calls fail with ErrInjected — used to
+//     freeze a crash between a manifest update and the file truncation that
+//     follows it (post-snapshot pre-truncate).
+//
+// All methods are safe for concurrent use.
+type FaultFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	lieSyncs    int
+	failWriteIn int // -1 = disarmed; 0 = next write fails
+	failRemoves int
+}
+
+type memFile struct {
+	data    []byte
+	durable int // bytes guaranteed to survive Crash
+}
+
+// NewFaultFS creates an empty in-memory fault-injection FS.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{
+		files:       make(map[string]*memFile),
+		dirs:        make(map[string]bool),
+		failWriteIn: -1,
+	}
+}
+
+// LieSyncs makes the next n Sync calls report success without making data
+// durable.
+func (f *FaultFS) LieSyncs(n int) {
+	f.mu.Lock()
+	f.lieSyncs = n
+	f.mu.Unlock()
+}
+
+// FailWriteAfter arms a short write: the next n Writes succeed, then one
+// stores only a prefix of its bytes and returns ErrInjected.
+func (f *FaultFS) FailWriteAfter(n int) {
+	f.mu.Lock()
+	f.failWriteIn = n
+	f.mu.Unlock()
+}
+
+// FailRemoves makes the next n Remove calls fail with ErrInjected.
+func (f *FaultFS) FailRemoves(n int) {
+	f.mu.Lock()
+	f.failRemoves = n
+	f.mu.Unlock()
+}
+
+// Crash simulates a process/machine crash: every file reverts to its durable
+// watermark plus at most keepUnsynced bytes of its unsynced tail (a torn tail
+// write — the page cache flushed a prefix of the lost appends). Open handles
+// from before the crash keep writing into the void of the old image; tests
+// must stop using them, as a restarted process would.
+func (f *FaultFS) Crash(keepUnsynced int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, mf := range f.files {
+		limit := mf.durable + keepUnsynced
+		if len(mf.data) > limit {
+			mf.data = mf.data[:limit]
+		}
+		mf.durable = len(mf.data)
+	}
+	f.lieSyncs, f.failWriteIn, f.failRemoves = 0, -1, 0
+}
+
+// DurableBytes reports a file's durable watermark (test introspection).
+func (f *FaultFS) DurableBytes(path string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if mf, ok := f.files[filepath.Clean(path)]; ok {
+		return mf.durable
+	}
+	return 0
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string) error {
+	f.mu.Lock()
+	f.dirs[filepath.Clean(path)] = true
+	f.mu.Unlock()
+	return nil
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(path string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir := filepath.Clean(path)
+	var names []string
+	for p := range f.files {
+		if filepath.Dir(p) == dir {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	return names, nil
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(path string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := filepath.Clean(path)
+	mf := &memFile{}
+	f.files[p] = mf
+	return &faultFile{fs: f, f: mf}, nil
+}
+
+// Open implements FS. The reader sees a point-in-time copy of the file, like
+// a fresh process reading after a crash.
+func (f *FaultFS) Open(path string) (io.ReadCloser, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[filepath.Clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: %w", path, iofs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), mf.data...))), nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failRemoves > 0 {
+		f.failRemoves--
+		return fmt.Errorf("faultfs: remove %s: %w", path, ErrInjected)
+	}
+	p := filepath.Clean(path)
+	if _, ok := f.files[p]; !ok {
+		return fmt.Errorf("faultfs: remove %s: %w", path, iofs.ErrNotExist)
+	}
+	delete(f.files, p)
+	return nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	op, np := filepath.Clean(oldPath), filepath.Clean(newPath)
+	mf, ok := f.files[op]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: %w", oldPath, iofs.ErrNotExist)
+	}
+	delete(f.files, op)
+	f.files[np] = mf
+	return nil
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[filepath.Clean(path)]
+	if !ok {
+		return fmt.Errorf("faultfs: truncate %s: %w", path, iofs.ErrNotExist)
+	}
+	if int64(len(mf.data)) > size {
+		mf.data = mf.data[:size]
+	}
+	if int64(mf.durable) > size {
+		mf.durable = int(size)
+	}
+	return nil
+}
+
+type faultFile struct {
+	fs *FaultFS
+	f  *memFile
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.failWriteIn == 0 {
+		h.fs.failWriteIn = -1
+		k := len(p) / 2
+		h.f.data = append(h.f.data, p[:k]...)
+		return k, ErrInjected
+	}
+	if h.fs.failWriteIn > 0 {
+		h.fs.failWriteIn--
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *faultFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.lieSyncs > 0 {
+		h.fs.lieSyncs--
+		return nil
+	}
+	h.f.durable = len(h.f.data)
+	return nil
+}
+
+func (h *faultFile) Close() error { return nil }

@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the wal subsystem's filesystem seam. The segmented Writer and
+// RecoverFrom run entirely through it, so the fault-injection tests can
+// substitute an in-memory implementation (FaultFS) that models torn tail
+// writes, short writes, fsync-reported-but-lost and crash-at-injected-point
+// without touching a real disk. Paths are regular slash-joined file paths;
+// implementations report missing files with errors satisfying
+// errors.Is(err, io/fs.ErrNotExist).
+type FS interface {
+	// MkdirAll creates the directory (and parents) if absent.
+	MkdirAll(path string) error
+	// ReadDir lists the file names (not full paths) directly inside path.
+	ReadDir(path string) ([]string, error)
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Remove deletes path.
+	Remove(path string) error
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Truncate cuts the file at path to size bytes.
+	Truncate(path string, size int64) error
+}
+
+// File is a writable log file: sequential appends plus the durability point.
+type File interface {
+	io.Writer
+	// Sync makes previously written bytes durable (fsync).
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real-disk FS used outside tests.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Make the new directory entry durable too; a segment whose bytes are
+	// fsynced but whose name is not survives neither. Directory fsync is not
+	// supported everywhere (and never on some filesystems), so failures are
+	// ignored — the data-file fsyncs still bound the loss window.
+	syncDir(filepath.Dir(path))
+	return f, nil
+}
+
+func (osFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+func (osFS) Remove(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+func (osFS) Rename(oldPath, newPath string) error {
+	if err := os.Rename(oldPath, newPath); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(newPath))
+	return nil
+}
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// notExist reports whether err means the file is absent, across FS
+// implementations.
+func notExist(err error) bool { return errors.Is(err, iofs.ErrNotExist) }

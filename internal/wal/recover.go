@@ -1,0 +1,145 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// RecoveryInfo summarizes what RecoverFrom reconstructed.
+type RecoveryInfo struct {
+	// SnapshotEpoch is the epoch of the restored snapshot (0 if none): the
+	// number of batches the snapshot already covers.
+	SnapshotEpoch uint64
+	// Batches is the number of batches replayed from segments after the
+	// snapshot.
+	Batches int
+	// NextEpoch is the wal epoch recovery stopped at: the total number of
+	// batches the recovered state covers (SnapshotEpoch + Batches). A Writer
+	// reopened on the same directory continues from here.
+	NextEpoch uint64
+}
+
+// RecoverFrom rebuilds pre-crash state from a wal directory: it restores the
+// manifest's snapshot into store (if any — store may be nil for a log with no
+// snapshot) and replays every intact logged batch after it, in epoch order,
+// through apply. Each transaction is re-resolved against reg before apply
+// sees it; nothing else is re-resolved — per the client contract, in-flight
+// unlogged submissions are the clients' to retry.
+//
+// RecoverFrom never mutates the directory (pass the crashed FaultFS straight
+// in); it stops cleanly at the first torn record, epoch gap, or missing
+// segment — everything beyond is unreachable post-crash state that the next
+// Open will truncate. fsys nil means the real disk.
+func RecoverFrom(dir string, fsys FS, store *storage.Store, reg txn.Registry, apply func(epoch uint64, txns []*txn.Txn) error) (RecoveryInfo, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	var info RecoveryInfo
+	man, found, err := readManifest(fsys, dir)
+	if err != nil {
+		return info, err
+	}
+	if !found {
+		return info, nil // nothing ever logged: recovery is a no-op
+	}
+	if man.snapName != "" {
+		if store == nil {
+			return info, fmt.Errorf("wal: recover %s: snapshot present but no store to restore into", dir)
+		}
+		if err := restoreSnapshotFile(fsys, filepath.Join(dir, man.snapName), man.snapEpoch, store); err != nil {
+			return info, err
+		}
+		info.SnapshotEpoch = man.snapEpoch
+	}
+	expect := man.snapEpoch
+	for _, seg := range man.segments {
+		if seg.start > expect {
+			break // gap: the previous segment lost its tail, nothing later is reachable
+		}
+		n, done, err := replaySegment(fsys, filepath.Join(dir, seg.name), expect, reg, apply)
+		expect += uint64(n)
+		info.Batches += n
+		if err != nil {
+			return info, err
+		}
+		if done {
+			break // torn tail inside this segment
+		}
+	}
+	info.NextEpoch = expect
+	return info, nil
+}
+
+// restoreSnapshotFile loads one snapshot file (header + storage image) into
+// store, verifying the header against the manifest's epoch.
+func restoreSnapshotFile(fsys FS, path string, epoch uint64, store *storage.Store) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: recover: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("wal: recover %s: truncated snapshot header", filepath.Base(path))
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != snapMagic {
+		return fmt.Errorf("wal: recover %s: bad snapshot magic", filepath.Base(path))
+	}
+	if got := binary.LittleEndian.Uint64(hdr[4:]); got != epoch {
+		return fmt.Errorf("wal: recover %s: snapshot epoch %d, manifest says %d", filepath.Base(path), got, epoch)
+	}
+	if err := store.RestoreSnapshot(r); err != nil {
+		return fmt.Errorf("wal: recover %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// replaySegment replays one segment's intact records starting at epoch start.
+// done=true means replay must stop (torn tail, epoch break, or missing file);
+// a non-nil error is a real failure from resolve/apply, not corruption.
+func replaySegment(fsys FS, path string, start uint64, reg txn.Registry, apply func(epoch uint64, txns []*txn.Txn) error) (n int, done bool, err error) {
+	f, err := fsys.Open(path)
+	if notExist(err) {
+		return 0, true, nil // listed but gone: same as a fully lost tail
+	}
+	if err != nil {
+		return 0, true, err
+	}
+	defer f.Close()
+	rp := NewReplayer(bufio.NewReaderSize(f, 1<<16))
+	for {
+		epoch, txns, err := rp.Next()
+		if err == io.EOF {
+			return n, false, nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			return n, true, nil
+		}
+		if err != nil {
+			// Framing/CRC passed but the payload does not decode: treat as
+			// corruption too — the record never finished its way to disk
+			// coherently.
+			return n, true, nil
+		}
+		if epoch != start+uint64(n) {
+			return n, true, nil // epoch break: stale bytes beyond the true tail
+		}
+		for _, t := range txns {
+			if err := reg.Resolve(t); err != nil {
+				return n, false, fmt.Errorf("wal: recover: resolve: %w", err)
+			}
+		}
+		if err := apply(epoch, txns); err != nil {
+			return n, false, fmt.Errorf("wal: recover: apply: %w", err)
+		}
+		n++
+	}
+}

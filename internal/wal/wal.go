@@ -21,7 +21,17 @@ import (
 	"github.com/exploratory-systems/qotp/internal/txn"
 )
 
-const magic = 0x51435142 // "QCQB"
+const (
+	magic        = 0x51435142 // "QCQB"
+	recordHeader = 20         // magic + epoch + payloadLen + crc
+)
+
+// MaxRecordBytes caps a single record's payload (64 MiB). The length field is
+// untrusted input during replay; anything above the cap is treated as a
+// corrupt header, same as the codec allocation clamps. Far above any real
+// batch — at ~100 B/txn a maximal batch is still two orders of magnitude
+// smaller.
+const MaxRecordBytes = 1 << 26
 
 // Log appends batch records to an io.Writer. Not safe for concurrent use;
 // the engines log from the single commit path.
@@ -77,8 +87,14 @@ func (rp *Replayer) Next() (epoch uint64, txns []*txn.Txn, err error) {
 	epoch = binary.LittleEndian.Uint64(hdr[4:])
 	n := binary.LittleEndian.Uint32(hdr[12:])
 	sum := binary.LittleEndian.Uint32(hdr[16:])
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(rp.r, payload); err != nil {
+	if n > MaxRecordBytes {
+		return 0, nil, ErrCorrupt // hostile length field
+	}
+	// Fresh buffer per record (DecodeBatch may alias the payload), grown only
+	// as the stream actually delivers bytes, so a hostile length never
+	// allocates more than one chunk past the real data.
+	payload, rerr := readPayload(rp.r, int(n), nil)
+	if rerr != nil {
 		return 0, nil, ErrCorrupt // torn payload
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
@@ -89,6 +105,25 @@ func (rp *Replayer) Next() (epoch uint64, txns []*txn.Txn, err error) {
 		return 0, nil, fmt.Errorf("wal: decode epoch %d: %w", epoch, err)
 	}
 	return epoch, txns, nil
+}
+
+// readPayload reads exactly n payload bytes into buf (grown from its own
+// capacity), in bounded chunks: the allocation tracks delivered bytes, not
+// the untrusted length field.
+func readPayload(r io.Reader, n int, buf []byte) ([]byte, error) {
+	const chunk = 64 << 10
+	for len(buf) < n {
+		want := n - len(buf)
+		if want > chunk {
+			want = chunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, want)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf[:n], nil
 }
 
 // ReplayAll feeds every intact logged batch to apply, in epoch order,

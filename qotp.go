@@ -45,6 +45,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/tictoc"
 	"github.com/exploratory-systems/qotp/internal/twopl"
 	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/wal"
 	"github.com/exploratory-systems/qotp/internal/workload"
 	"github.com/exploratory-systems/qotp/internal/workload/bank"
 	"github.com/exploratory-systems/qotp/internal/workload/tpcc"
@@ -154,6 +155,48 @@ func Dial(addr string) (*RemoteClient, error) { return serve.DialTCP(addr) }
 
 // ErrAbort aborts the enclosing transaction when returned by fragment logic.
 var ErrAbort = txn.ErrAbort
+
+// Durability types (see OpenWAL/RecoverWAL). WAL is the segmented write-ahead
+// log; install it as ClientOptions.WAL (the serving layer logs each formed
+// batch before dispatch) or QueCCOptions.Logger (the engine logs each batch
+// before commit) — one of the two, not both. RecoveryInfo summarizes a
+// RecoverWAL pass.
+type (
+	WAL          = wal.Writer
+	WALOptions   = wal.Options
+	RecoveryInfo = wal.RecoveryInfo
+)
+
+// WAL sync policies (WALOptions.Sync): fsync per batch, per group of batches,
+// or never.
+const (
+	WALSyncEachBatch = wal.SyncEachBatch
+	WALSyncGroup     = wal.SyncGroup
+	WALSyncOff       = wal.SyncOff
+)
+
+// OpenWAL creates or reopens the write-ahead log in dir, repairing any torn
+// tail from a crash. To rebuild state after a crash, call RecoverWAL first —
+// OpenWAL truncates unreachable bytes, RecoverWAL only reads.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return wal.Open(dir, opts) }
+
+// RecoverWAL rebuilds pre-crash state from a wal directory into db: it
+// restores the latest snapshot (if any) and replays every intact logged batch
+// through a fresh engine, reproducing the pre-crash StateHash. db must be
+// freshly opened and loaded (Open with the same generator config as the
+// crashed run); reg is the workload's Registry(). Per the client contract,
+// recovery re-resolves nothing — submissions in flight at the crash are the
+// clients' to resubmit. Afterwards, OpenWAL the same dir and resume.
+func RecoverWAL(dir string, db *DB, reg Registry) (RecoveryInfo, error) {
+	eng, err := core.New(db, core.Config{Planners: 1, Executors: 2})
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	defer eng.Close()
+	return wal.RecoverFrom(dir, nil, db, reg, func(_ uint64, txns []*Txn) error {
+		return eng.ExecBatch(txns)
+	})
+}
 
 // Open creates a store for the generator's schema and loads the initial
 // database.
