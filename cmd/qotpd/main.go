@@ -30,6 +30,19 @@
 // mid-stream — a killed cluster restarts where the log ends. -crashafter n
 // simulates the kill: the process exits without cleanup after n batches.
 //
+// With -replicas n the leader streams its queue log to n standby full
+// replicas over a second loopback TCP mesh (internal/repl): each follower
+// persists the batch inputs at the leader's epochs and applies them through
+// its own serial engine, so every standby independently reproduces the
+// cluster state. -ackmode picks the durability price (async, or k=N to gate
+// each commit on N follower acks with bounded degradation when followers
+// die). -killnode b severs follower 1's sockets and goroutines after batch b
+// — the leader keeps committing — and -rejoin b2 restarts it after batch b2:
+// the follower replays its local log, asks the leader for the missing tail,
+// and re-enters the live stream mid-run without stopping the cluster. At
+// exit every replica's state hash is checked against the cluster (and, when
+// deterministic, the serial reference).
+//
 // Usage:
 //
 //	qotpd -nodes 4 -batches 10 -batch 2000
@@ -39,6 +52,7 @@
 //	qotpd -nodes 2 -serve -clients 1 -pipeline
 //	qotpd -nodes 2 -batches 6 -waldir /tmp/qotpd-wal -crashafter 3
 //	qotpd -nodes 2 -batches 6 -waldir /tmp/qotpd-wal   # recovers, finishes, verifies
+//	qotpd -nodes 2 -batches 10 -replicas 2 -ackmode k=1 -killnode 3 -rejoin 7
 package main
 
 import (
@@ -54,6 +68,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/cluster"
 	"github.com/exploratory-systems/qotp/internal/core"
 	"github.com/exploratory-systems/qotp/internal/dist"
+	"github.com/exploratory-systems/qotp/internal/repl"
 	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/txn"
@@ -81,6 +96,10 @@ func main() {
 		waldir     = flag.String("waldir", "", "write-ahead log directory on the leader: recover from it, then log every batch")
 		walsync    = flag.String("walsync", "each", "wal sync policy: each (fsync per batch), group, or off")
 		crashAfter = flag.Int("crashafter", 0, "simulate a kill: exit without cleanup after this many batches this run (0 = never)")
+		replicas   = flag.Int("replicas", 0, "standby full replicas streaming the leader's queue log over their own TCP mesh (0 = replication off)")
+		ackmode    = flag.String("ackmode", "async", "replication ack mode: async, or k=N to gate each commit on N follower acks")
+		killNode   = flag.Int("killnode", 0, "sever replica follower 1 (sockets + goroutines, log kept) after this many batches (0 = never; requires -replicas and -rejoin)")
+		rejoinAt   = flag.Int("rejoin", 0, "restart the killed follower after this many batches: replay local log, fetch the gap, rejoin live (requires -killnode)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -111,6 +130,23 @@ func main() {
 		// so the generator cannot be advanced past replayed batches; use
 		// ClientOptions.WAL through the library for a serving-path log.
 		log.Fatal("qotpd: -waldir is a harness-mode flag; it cannot be combined with -serve")
+	}
+	if *replicas > 0 {
+		if *waldir != "" {
+			log.Fatal("qotpd: -replicas subsumes -waldir — the replicated queue log IS the leader's write-ahead log")
+		}
+		if *crashAfter > 0 {
+			log.Fatal("qotpd: -crashafter demonstrates single-node WAL recovery (-waldir); with -replicas use -killnode/-rejoin instead")
+		}
+	}
+	if *killNode > 0 && (*replicas < 1 || *rejoinAt <= *killNode) {
+		log.Fatal("qotpd: -killnode requires -replicas >= 1 and -rejoin > -killnode (the demo kills AND rejoins)")
+	}
+	if *rejoinAt > 0 && *killNode == 0 {
+		log.Fatal("qotpd: -rejoin requires -killnode")
+	}
+	if _, _, err := repl.ParseAckMode(*ackmode); err != nil {
+		log.Fatalf("qotpd: %v", err)
 	}
 
 	var parts int
@@ -226,6 +262,20 @@ func main() {
 		eng.SetLogger(w)
 	}
 
+	// Replication: a standby fleet on its own loopback TCP mesh, fed by the
+	// engine's batch-logger hook. The hook also drives the fault schedule —
+	// kill and rejoin land exactly at batch boundaries.
+	var rs *replSet
+	if *replicas > 0 {
+		rs, err = startRepl(*replicas, *ackmode, *killNode, *rejoinAt, mkGen, parts, *execs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rs.Close()
+		eng.SetLogger(rs)
+		fmt.Printf("replication: %d standby replicas on their own TCP mesh, ack=%s\n", *replicas, *ackmode)
+	}
+
 	if *serveMode {
 		srv, err := serve.New(eng, serve.Config{MaxBatch: *batchSize, MaxDelay: *maxDelay, Block: true})
 		if err != nil {
@@ -236,6 +286,9 @@ func main() {
 			log.Fatal(err)
 		}
 		verifyHash(eng, mkGen, parts, refStore)
+		if rs != nil {
+			rs.finish(eng, mkGen, parts, refStore != nil)
+		}
 		return
 	}
 
@@ -265,6 +318,9 @@ func main() {
 	fmt.Printf("\ncommitted %d txns in %v over TCP — %.0f txn/s, %d messages\n",
 		snap.Committed, elapsed.Round(time.Millisecond), snap.Throughput, multi.Messages())
 	verifyHash(eng, mkGen, parts, refStore)
+	if rs != nil {
+		rs.finish(eng, mkGen, parts, refStore != nil)
+	}
 }
 
 // verifyHash checks the cluster state against the serial reference when one
@@ -284,6 +340,204 @@ func verifyHash(eng *dist.QueCCD, mkGen func() workload.Generator, parts int, re
 		log.Fatalf("cluster state %x != serial reference %x", got, want)
 	}
 	fmt.Printf("cluster state hash %x matches the serial reference — deterministic over real sockets\n", got)
+}
+
+// replicaNode is one standby full replica: a loaded store and a serial
+// engine that applies the replicated batch stream. Applying the leader's
+// logged inputs through a deterministic engine reproduces the leader's exact
+// state — the stream of batch inputs IS the replication protocol.
+type replicaNode struct {
+	store *storage.Store
+	eng   *core.Engine
+	gen   workload.Generator
+}
+
+func newReplicaNode(mkGen func() workload.Generator, parts, execs int) (*replicaNode, error) {
+	gen := mkGen()
+	store := storage.MustOpen(gen.StoreConfig(parts))
+	if err := gen.Load(store); err != nil {
+		return nil, err
+	}
+	eng, err := core.New(store, core.Config{Planners: 1, Executors: execs})
+	if err != nil {
+		return nil, err
+	}
+	return &replicaNode{store: store, eng: eng, gen: gen}, nil
+}
+
+func (r *replicaNode) followerOptions(dir string) repl.FollowerOptions {
+	return repl.FollowerOptions{
+		Dir: dir, Store: r.store, Registry: r.gen.Registry(),
+		Apply:     func(_ uint64, txns []*txn.Txn) error { return r.eng.ExecBatch(txns) },
+		Heartbeat: 20 * time.Millisecond,
+	}
+}
+
+// replSet is the -replicas standby fleet: leader endpoint 0 plus n follower
+// endpoints on a dedicated loopback TCP mesh, each follower a full replica.
+// It implements core.BatchLogger, so it plugs straight into the engine's
+// durability hook; the hook counts batches and fires the -killnode/-rejoin
+// fault schedule at exact batch boundaries.
+type replSet struct {
+	lb     *cluster.LoopbackTCP
+	leader *repl.Leader
+	root   string // temp root holding every node's log directory
+	dirs   []string
+	reps   []*replicaNode
+	fls    []*repl.Follower
+
+	mkGen        func() workload.Generator
+	parts, execs int
+
+	killAt, rejoinAt int
+	batches          int
+}
+
+func startRepl(n int, ackmode string, killAt, rejoinAt int, mkGen func() workload.Generator, parts, execs int) (*replSet, error) {
+	ack, waitFor, err := repl.ParseAckMode(ackmode)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := cluster.StartLoopbackTCPOpts(n+1, cluster.TCPOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		SuspectAfter:   300 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	root, err := os.MkdirTemp("", "qotpd-repl-")
+	if err != nil {
+		lb.Close()
+		return nil, err
+	}
+	rs := &replSet{
+		lb: lb, root: root, mkGen: mkGen, parts: parts, execs: execs,
+		killAt: killAt, rejoinAt: rejoinAt,
+	}
+	fail := func(err error) (*replSet, error) {
+		rs.Close()
+		return nil, err
+	}
+	followers := make([]int, 0, n)
+	for id := 1; id <= n; id++ {
+		dir := fmt.Sprintf("%s/node%d", root, id)
+		rep, err := newReplicaNode(mkGen, parts, execs)
+		if err != nil {
+			return fail(err)
+		}
+		f, err := repl.StartFollower(lb, id, 0, rep.followerOptions(dir))
+		if err != nil {
+			return fail(err)
+		}
+		rs.dirs = append(rs.dirs, dir)
+		rs.reps = append(rs.reps, rep)
+		rs.fls = append(rs.fls, f)
+		followers = append(followers, id)
+	}
+	ldr, err := repl.OpenLeader(root+"/leader", lb, 0, followers, repl.Options{
+		Ack: ack, WaitFor: waitFor, AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	rs.leader = ldr
+	return rs, nil
+}
+
+// LogBatch implements core.BatchLogger: replicate the batch input, then run
+// the fault schedule. The engine calls it once per batch in commit order, so
+// kill and rejoin land deterministically between batches.
+func (rs *replSet) LogBatch(epoch uint64, txns []*txn.Txn) error {
+	if err := rs.leader.LogBatch(epoch, txns); err != nil {
+		return err
+	}
+	rs.batches++
+	if rs.killAt > 0 && rs.batches == rs.killAt {
+		rs.kill()
+	}
+	if rs.rejoinAt > 0 && rs.batches == rs.rejoinAt {
+		if err := rs.rejoin(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kill simulates SIGKILL on follower 1: sever its sockets, stop its
+// goroutines, keep its log directory. The leader keeps committing against
+// whatever quorum survives (degrading if the ack mode demanded this node).
+func (rs *replSet) kill() {
+	rs.lb.Endpoint(1).Close()
+	rs.fls[0].Abandon()
+	fmt.Printf("follower 1 killed after batch %d (leader continues on the surviving quorum)\n", rs.batches)
+}
+
+// rejoin restarts the killed follower while the leader is still streaming: a
+// fresh transport on the same address, a fresh replica state machine, and a
+// follower on the same log directory — it replays the local segments,
+// requests the missing tail from the leader's log, and re-enters the live
+// stream at a batch boundary.
+func (rs *replSet) rejoin() error {
+	if _, err := rs.lb.Restart(1); err != nil {
+		return err
+	}
+	rep, err := newReplicaNode(rs.mkGen, rs.parts, rs.execs)
+	if err != nil {
+		return err
+	}
+	f, err := repl.StartFollower(rs.lb, 1, 0, rep.followerOptions(rs.dirs[0]))
+	if err != nil {
+		return err
+	}
+	rs.reps[0], rs.fls[0] = rep, f
+	fmt.Printf("follower 1 restarted after batch %d, rejoining mid-stream\n", rs.batches)
+	return nil
+}
+
+// finish waits for every replica to catch up, then checks each one's state
+// hash against the live cluster (and transitively the serial reference, when
+// the run was deterministic — verifyHash already equated the two).
+func (rs *replSet) finish(eng *dist.QueCCD, mkGen func() workload.Generator, parts int, hasRef bool) {
+	if err := rs.leader.WaitCaughtUp(30 * time.Second); err != nil {
+		log.Fatalf("qotpd: replicas never caught up: %v (leader stats %+v)", err, rs.leader.Stats())
+	}
+	var tables []storage.TableID
+	for _, ts := range mkGen().StoreConfig(parts).Tables {
+		tables = append(tables, ts.ID)
+	}
+	clusterHash := dist.ClusterStateHash(eng.Stores(), tables)
+	against := "the cluster state"
+	if hasRef {
+		against = "the serial reference"
+	}
+	for i, rep := range rs.reps {
+		if got := rep.store.StateHash(); got != clusterHash {
+			log.Fatalf("qotpd: replica %d state hash %x != cluster %x", i+1, got, clusterHash)
+		}
+		fmt.Printf("replica %d state hash matches %s\n", i+1, against)
+	}
+	st := rs.leader.Stats()
+	if rs.rejoinAt > 0 && st.Rejoins == 0 {
+		log.Fatalf("qotpd: follower restarted but never completed a rejoin: %+v", st)
+	}
+	fmt.Printf("replication: %d batches to %d replicas — rejoins=%d catchup=%d snapshots=%d degraded=%d shed=%d\n",
+		rs.batches, len(rs.reps), st.Rejoins, st.CatchupRecords, st.SnapshotsSent, st.Degraded, st.Shed)
+}
+
+// Close tears the fleet down: leader first (stops the stream), then the
+// followers, the mesh, and the temp logs.
+func (rs *replSet) Close() {
+	if rs.leader != nil {
+		_ = rs.leader.Close()
+	}
+	for _, f := range rs.fls {
+		_ = f.Close()
+	}
+	for _, rep := range rs.reps {
+		rep.eng.Close()
+	}
+	rs.lb.Close()
+	_ = os.RemoveAll(rs.root)
 }
 
 // serveClients opens the client port and drives it with remote clients over

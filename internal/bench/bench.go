@@ -21,6 +21,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/hstore"
 	"github.com/exploratory-systems/qotp/internal/metrics"
 	"github.com/exploratory-systems/qotp/internal/mvto"
+	"github.com/exploratory-systems/qotp/internal/repl"
 	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/silo"
 	"github.com/exploratory-systems/qotp/internal/storage"
@@ -108,6 +109,15 @@ type Spec struct {
 	// point (quecc-d*). The WAL sync-policy overhead experiment (E18) sweeps
 	// this knob.
 	WALSync string
+	// Replicas attaches the replication layer (internal/repl): the run's
+	// queue log streams to that many log-only standby followers over an
+	// in-process mesh, with ReplAck selecting the ack mode — "async"
+	// (stream, never wait) or "k=N" (each commit gates on N follower acks).
+	// Replication subsumes WALSync's standalone writer: the replicated log
+	// IS the leader's WAL, and WALSync (if set) picks its sync policy. The
+	// replication ladder experiment (E19) sweeps this knob.
+	Replicas int
+	ReplAck  string
 }
 
 // walPolicy parses a Spec.WALSync value.
@@ -242,29 +252,67 @@ func Run(s Spec) (Result, error) {
 		return Result{}, err
 	}
 
-	// WALSync attaches a real-disk segmented log for the run: client runs log
-	// in the serving path, harness runs at the engine/leader hook — never
-	// both, they would log the same batches twice.
-	var walWriter *wal.Writer
+	// The batch logger is the run's durability hook: the standalone WAL
+	// writer (WALSync alone), or the replication leader (Replicas) streaming
+	// the same log to standby followers. Client runs log in the serving
+	// path, harness runs at the engine/leader hook — never both, they would
+	// log the same batches twice.
+	var wopts wal.Options
 	if s.WALSync != "" {
 		pol, perr := walPolicy(s.WALSync)
 		if perr != nil {
 			return Result{}, perr
 		}
+		wopts.Sync = pol
+	}
+	var batchLogger core.BatchLogger
+	if s.Replicas > 0 {
+		ack, waitFor, aerr := repl.ParseAckMode(s.ReplAck)
+		if aerr != nil {
+			return Result{}, aerr
+		}
+		rtr := cluster.NewChanTransport(s.Replicas+1, 0)
+		defer rtr.Close()
+		root, derr := os.MkdirTemp("", "qotp-bench-repl-")
+		if derr != nil {
+			return Result{}, derr
+		}
+		defer os.RemoveAll(root)
+		followers := make([]int, 0, s.Replicas)
+		for id := 1; id <= s.Replicas; id++ {
+			f, ferr := repl.StartFollower(rtr, id, 0, repl.FollowerOptions{
+				Dir: fmt.Sprintf("%s/node%d", root, id), WAL: wopts,
+			})
+			if ferr != nil {
+				return Result{}, ferr
+			}
+			defer f.Close()
+			followers = append(followers, id)
+		}
+		ldr, lerr := repl.OpenLeader(root+"/leader", rtr, 0, followers, repl.Options{
+			Ack: ack, WaitFor: waitFor, WAL: wopts,
+		})
+		if lerr != nil {
+			return Result{}, lerr
+		}
+		defer ldr.Close()
+		batchLogger = ldr
+	} else if s.WALSync != "" {
 		dir, derr := os.MkdirTemp("", "qotp-bench-wal-")
 		if derr != nil {
 			return Result{}, derr
 		}
 		defer os.RemoveAll(dir)
-		walWriter, err = wal.Open(dir, wal.Options{Sync: pol})
-		if err != nil {
-			return Result{}, err
+		walWriter, werr := wal.Open(dir, wopts)
+		if werr != nil {
+			return Result{}, werr
 		}
 		defer walWriter.Close()
+		batchLogger = walWriter
 	}
 	var engineLogger core.BatchLogger
-	if walWriter != nil && s.Clients == 0 {
-		engineLogger = walWriter
+	if batchLogger != nil && s.Clients == 0 {
+		engineLogger = batchLogger
 	}
 
 	var eng engine.Engine
@@ -314,7 +362,7 @@ func Run(s Spec) (Result, error) {
 	defer eng.Close()
 
 	if s.Clients > 0 {
-		return runClients(s, gen, eng, tr, walWriter)
+		return runClients(s, gen, eng, tr, batchLogger)
 	}
 
 	// Arena-backed generation, rotating two arenas: batch k's arena is Reset
@@ -431,15 +479,15 @@ func Run(s Spec) (Result, error) {
 // per transaction. Generation is heap-backed: a submitted transaction's
 // lifetime is unbounded (it ends at its batch's commit, which the generator
 // cannot see), so the arena batch-lifetime rule does not apply.
-func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Transport, walWriter *wal.Writer) (Result, error) {
+func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Transport, lg core.BatchLogger) (Result, error) {
 	cfg := serve.Config{
 		MaxBatch:        s.ClientMaxBatch,
 		MaxDelay:        s.ClientMaxDelay,
 		Block:           true, // the harness measures service time, not shed load
 		SpeculativeAcks: s.SpeculativeAcks,
 	}
-	if walWriter != nil {
-		cfg.WAL = walWriter
+	if lg != nil {
+		cfg.WAL = lg
 	}
 	srv, err := serve.New(eng, cfg)
 	if err != nil {

@@ -33,7 +33,7 @@ var DefaultScale = Scale{Batches: 6, BatchSize: 2000, YCSBRecs: 1 << 16, Threads
 // transactions per spec so the JSON trajectory is non-degenerate.
 var SmokeScale = Scale{Batches: 3, BatchSize: 500, YCSBRecs: 1 << 13, Threads: 2}
 
-// Experiments returns the full registry (E1–E17), sized by sc.
+// Experiments returns the full registry (E1–E19), sized by sc.
 func Experiments(sc Scale) []Experiment {
 	ycsbBase := func(theta, mpRatio float64, mpCount, ops int, readRatio float64) Spec {
 		s := Spec{
@@ -477,6 +477,43 @@ func Experiments(sc Scale) []Experiment {
 		Artifact: "WAL sync-policy overhead: no-WAL vs off vs group vs per-batch fsync, YCSB + TPC-C closed loop",
 		Expect:   "no-WAL >= wal=off ~ wal=group > wal=each; the deterministic input log prices durability at fsync cost only",
 		Specs:    e18,
+	})
+
+	// E19 — replication ladder (the HA subsystem's price tag). Closed-loop
+	// clients over serial quecc with the leader's queue log streamed to two
+	// standby followers (internal/repl), on YCSB and TPC-C: none (bare
+	// group-synced WAL baseline) vs async (stream, never wait) vs k=1 vs k=2
+	// (each commit gates on that many follower acks). Deterministic engines
+	// replicate by shipping batch *inputs* — the same records the WAL holds —
+	// so the ladder prices exactly the streaming fan-out (async, off the
+	// commit path) and the ack round-trip (wait-k, on it).
+	var e19 []NamedSpec
+	replClient := func(s Spec, ack string) Spec {
+		s.Clients = 32
+		s.WALSync = "group"
+		if ack != "" {
+			s.Replicas = 2
+			s.ReplAck = ack
+		}
+		return s
+	}
+	e19y := ycsbBase(0.6, 0, 1, 16, 0.5)
+	e19t := tpccBase(2)
+	for _, ack := range []string{"", "async", "k=1", "k=2"} {
+		tag := ack
+		if tag == "" {
+			tag = "none"
+		}
+		e19 = append(e19,
+			NamedSpec{fmt.Sprintf("closed/c=32/ycsb/quecc/repl=%s", tag), replClient(with(e19y, "quecc"), ack)},
+			NamedSpec{fmt.Sprintf("closed/c=32/tpcc/quecc/repl=%s", tag), replClient(with(e19t, "quecc"), ack)},
+		)
+	}
+	exps = append(exps, Experiment{
+		ID:       "E19",
+		Artifact: "Replication ladder: no-repl vs async vs wait-for-1 vs wait-for-2 standby acks, YCSB + TPC-C closed loop",
+		Expect:   "no-repl ~ async >= k=1 >= k=2; input-log replication prices HA at the ack round-trip, not data shipping",
+		Specs:    e19,
 	})
 
 	return exps

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,30 @@ const (
 	MsgDecision
 	// MsgAck is a generic acknowledgement.
 	MsgAck
+	// MsgHeartbeat is a transport-level liveness probe. The TCP transport
+	// sends and consumes heartbeats itself (they feed the failure detector
+	// and are never delivered to Recv, nor counted in Messages/Bytes);
+	// protocols may also send them explicitly — receivers must ignore them.
+	MsgHeartbeat
+	// MsgReplAppend streams one leader WAL record (Batch = wal epoch,
+	// Payload = the framed batch input) to a replication standby.
+	MsgReplAppend
+	// MsgReplAck is a standby's cumulative acknowledgement: Batch carries the
+	// next wal epoch the standby needs (all epochs below are locally durable).
+	MsgReplAck
+	// MsgReplHello is the rejoin handshake: a standby that finished replaying
+	// its local segments asks the leader for the tail from Batch (its first
+	// missing epoch) onward.
+	MsgReplHello
+	// MsgReplSnap ships the leader's storage snapshot (Batch = snapshot
+	// epoch, Payload = raw image) when the requested tail was truncated away.
+	MsgReplSnap
+	// MsgReplTail is one catch-up record, framed exactly like MsgReplAppend;
+	// the leader streams these for the epoch gap before resuming live appends.
+	MsgReplTail
+	// MsgReplResume tells a caught-up standby it is back in the live stream
+	// from Batch onward (informational; appends resume at a batch boundary).
+	MsgReplResume
 )
 
 // Msg is the unit of cluster communication. Payload layouts are owned by the
@@ -64,6 +89,32 @@ type Msg struct {
 	Vals    []uint64
 	Payload []byte
 }
+
+// ErrPeerDown is the sentinel for a peer the failure detector has declared
+// dead: heartbeats stopped, a connection broke and reconnection is backing
+// off, or a send found no live connection. Match with errors.Is; recover the
+// peer id with errors.As on *PeerDownError.
+var ErrPeerDown = errors.New("cluster: peer down")
+
+// PeerDownError identifies which peer a failure-detector verdict concerns.
+type PeerDownError struct {
+	Peer int
+	// Cause is the underlying transport error, if one triggered the verdict
+	// (nil for a heartbeat timeout).
+	Cause error
+}
+
+func (e *PeerDownError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("cluster: peer %d down: %v", e.Peer, e.Cause)
+	}
+	return fmt.Sprintf("cluster: peer %d down (heartbeat timeout)", e.Peer)
+}
+
+// Is makes errors.Is(err, ErrPeerDown) match any PeerDownError.
+func (e *PeerDownError) Is(target error) bool { return target == ErrPeerDown }
+
+func (e *PeerDownError) Unwrap() error { return e.Cause }
 
 // Transport moves messages between nodes. Implementations must deliver
 // messages from A to B in send order (per-pair FIFO) and be safe for

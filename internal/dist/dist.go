@@ -78,6 +78,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -906,7 +907,12 @@ func (g *group) startFollowers(handle func(n *node, m cluster.Msg) error) {
 		go func(n *node) {
 			defer g.wg.Done()
 			for {
-				m, ok := g.tr.Recv(n.id)
+				m, ok, err := recvProto(g.tr, n.id)
+				if err != nil {
+					// Leader-link verdict: the transport keeps reconnecting
+					// with backoff, so stay and wait for the next round.
+					continue
+				}
 				if !ok {
 					return
 				}
@@ -935,18 +941,53 @@ func (g *group) broadcast(m cluster.Msg) error {
 	return nil
 }
 
+// recvProto receives node id's next protocol message, surfacing
+// failure-detector verdicts: when the transport provides typed receives (the
+// hardened TCP transport), a peer declared down yields a
+// *cluster.PeerDownError naming the dead node instead of blocking the round
+// forever. Transport- or protocol-level heartbeats are skipped — they are
+// liveness traffic, never round state.
+func recvProto(tr cluster.Transport, id int) (cluster.Msg, bool, error) {
+	type recvE interface {
+		RecvE(id int) (cluster.Msg, error)
+	}
+	for {
+		if re, ok := tr.(recvE); ok {
+			m, err := re.RecvE(id)
+			if err != nil {
+				var pd *cluster.PeerDownError
+				if errors.As(err, &pd) {
+					return cluster.Msg{}, true, pd
+				}
+				return cluster.Msg{}, false, nil
+			}
+			if m.Type == cluster.MsgHeartbeat {
+				continue
+			}
+			return m, true, nil
+		}
+		m, ok := tr.Recv(id)
+		if ok && m.Type == cluster.MsgHeartbeat {
+			continue
+		}
+		return m, ok, nil
+	}
+}
+
 // recvLeader returns the leader's next protocol message, draining the
-// deferred-ack reorder buffer before touching the transport.
-func (g *group) recvLeader() (cluster.Msg, bool) {
+// deferred-ack reorder buffer before touching the transport. A non-nil error
+// is a failure-detector verdict: a follower died mid-round, and the round
+// cannot complete.
+func (g *group) recvLeader() (cluster.Msg, bool, error) {
 	if len(g.pending) > 0 {
 		m := g.pending[0]
 		g.pending = g.pending[1:]
 		if len(g.pending) == 0 {
 			g.pending = nil
 		}
-		return m, true
+		return m, true, nil
 	}
-	return g.tr.Recv(0)
+	return recvProto(g.tr, 0)
 }
 
 // collect receives one message of the wanted type from every follower,
@@ -954,7 +995,10 @@ func (g *group) recvLeader() (cluster.Msg, bool) {
 func (g *group) collect(want cluster.MsgType) ([]cluster.Msg, error) {
 	msgs := make([]cluster.Msg, 0, len(g.nodes)-1)
 	for len(msgs) < len(g.nodes)-1 {
-		m, ok := g.recvLeader()
+		m, ok, err := g.recvLeader()
+		if err != nil {
+			return nil, fmt.Errorf("dist: while collecting %d: %w", want, err)
+		}
 		if !ok {
 			return nil, fmt.Errorf("dist: transport closed while collecting %d", want)
 		}
@@ -988,7 +1032,10 @@ func (g *group) collectBuffered(want cluster.MsgType) ([]cluster.Msg, error) {
 	}
 	g.pending = kept
 	for len(msgs) < len(g.nodes)-1 {
-		m, ok := g.tr.Recv(0)
+		m, ok, err := recvProto(g.tr, 0)
+		if err != nil {
+			return nil, fmt.Errorf("dist: while collecting %d: %w", want, err)
+		}
 		if !ok {
 			return nil, fmt.Errorf("dist: transport closed while collecting %d", want)
 		}
@@ -1035,7 +1082,10 @@ func (g *group) leaderRound(want cluster.MsgType, aborted []bool, run func([]boo
 	}
 	reports := make([]cluster.Msg, 0, len(g.nodes)-1)
 	for len(reports) < len(g.nodes)-1 {
-		m, ok := g.recvLeader()
+		m, ok, err := g.recvLeader()
+		if err != nil {
+			return fail(fmt.Errorf("dist: while collecting %d: %w", want, err))
+		}
 		if !ok {
 			return fail(fmt.Errorf("dist: transport closed while collecting %d", want))
 		}

@@ -84,7 +84,10 @@ func NewHStoreD(tr cluster.Transport, gen workload.Generator, partitions, worker
 	go func() {
 		defer g.wg.Done()
 		for {
-			m, ok := tr.Recv(0)
+			m, ok, err := recvProto(tr, 0)
+			if err != nil {
+				continue // failure-detector verdict; 2PC timeouts handle it
+			}
 			if !ok {
 				close(e.recvCh)
 				return

@@ -1,0 +1,355 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/wal"
+)
+
+// FollowerOptions configures a replication standby.
+type FollowerOptions struct {
+	// Dir is the follower's local log directory; FS is the filesystem seam
+	// (nil = real disk). The follower persists every leader record here
+	// verbatim, at the leader's wal epochs, so a restart replays locally and
+	// resumes from its last contiguous epoch.
+	Dir string
+	FS  wal.FS
+	// WAL tunes the local log (sync policy, segment sizes); FS above wins
+	// over WAL.FS.
+	WAL wal.Options
+	// Store, Registry, Apply make this a full replica: on start, local
+	// segments are replayed through Apply (after restoring any installed
+	// snapshot into Store); live and catch-up records are decoded, resolved
+	// against Registry, and applied as they arrive. Leave Apply nil for a
+	// log-only standby (durability without a warm state machine).
+	Store    *storage.Store
+	Registry txn.Registry
+	Apply    func(epoch uint64, txns []*txn.Txn) error
+	// Heartbeat is the cadence of protocol-level liveness pings to the
+	// leader, which doubles as the idle re-hello check: a follower that is
+	// not live and has made no progress for a few beats re-announces its
+	// position (recovering from leader-side shedding or a lost Resume).
+	// Default 100ms; <0 disables the goroutine (tests drive explicitly).
+	Heartbeat time.Duration
+}
+
+// FollowerStats are the follower's cumulative counters.
+type FollowerStats struct {
+	// Appended counts records made locally durable (live + catch-up).
+	Appended uint64
+	// Duplicates counts already-held epochs ignored (leader resend overlap).
+	Duplicates uint64
+	// Gaps counts out-of-order records rejected with a re-hello.
+	Gaps uint64
+	// SnapshotsInstalled counts leader snapshot images installed.
+	SnapshotsInstalled uint64
+	// Hellos counts rejoin announcements sent (including the initial one).
+	Hellos uint64
+}
+
+// Follower is a replication standby: it replays its local log on start,
+// announces its first missing epoch to the leader, persists the streamed gap
+// and then the live appends — acking each — and (optionally) applies every
+// batch to a local replica store. All epoch arithmetic is leader wal epochs;
+// duplicates are ignored and gaps trigger a re-hello, so the local log is
+// always a contiguous leader prefix.
+type Follower struct {
+	tr     cluster.Transport
+	id     int
+	leader int
+	opts   FollowerOptions
+
+	mu       sync.Mutex
+	w        *wal.Writer
+	next     uint64 // first epoch not yet locally durable
+	live     bool
+	progress uint64 // bumped on any receipt; idle detection
+	stats    FollowerStats
+	err      error
+	closed   bool
+
+	quit chan struct{}
+}
+
+// StartFollower recovers the follower's local state and enters the
+// replication protocol: replay local segments (through opts.Apply when this
+// is a full replica), open the log — repairing any torn tail — and send
+// MsgReplHello with the first missing epoch. The returned Follower runs
+// until Close (graceful: seals the log) or Abandon (simulated SIGKILL:
+// stops the goroutines without syncing, leaving the log as the crash left
+// it). It does not own the transport.
+func StartFollower(tr cluster.Transport, id, leader int, opts FollowerOptions) (*Follower, error) {
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 100 * time.Millisecond
+	}
+	opts.WAL.FS = opts.FS
+	var recovered uint64
+	var haveInfo bool
+	if opts.Apply != nil || opts.Store != nil {
+		apply := opts.Apply
+		if apply == nil {
+			apply = func(uint64, []*txn.Txn) error { return nil }
+		}
+		info, err := wal.RecoverFrom(opts.Dir, opts.FS, opts.Store, opts.Registry, apply)
+		if err != nil {
+			return nil, fmt.Errorf("repl: follower %d local replay: %w", id, err)
+		}
+		recovered, haveInfo = info.NextEpoch, true
+	}
+	w, err := wal.Open(opts.Dir, opts.WAL)
+	if err != nil {
+		return nil, fmt.Errorf("repl: follower %d open log: %w", id, err)
+	}
+	if haveInfo && w.NextEpoch() != recovered {
+		w.Close()
+		return nil, fmt.Errorf("repl: follower %d replay ended at %d but log repairs to %d", id, recovered, w.NextEpoch())
+	}
+	f := &Follower{
+		tr: tr, id: id, leader: leader, opts: opts,
+		w: w, next: w.NextEpoch(), quit: make(chan struct{}),
+	}
+	f.mu.Lock()
+	f.helloLocked()
+	f.mu.Unlock()
+	go f.recvLoop()
+	if opts.Heartbeat > 0 {
+		go f.heartbeatLoop()
+	}
+	return f, nil
+}
+
+// helloLocked announces the follower's position and leaves the live stream
+// until the leader answers with a Resume.
+func (f *Follower) helloLocked() {
+	f.live = false
+	f.stats.Hellos++
+	_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplHello, From: f.id, To: f.leader, Batch: f.next})
+}
+
+func (f *Follower) ackLocked() {
+	_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplAck, From: f.id, To: f.leader, Batch: f.next})
+}
+
+func (f *Follower) recvLoop() {
+	for {
+		m, ok, down := recvFrom(f.tr, f.id, f.quit)
+		if !ok {
+			return
+		}
+		if down != nil {
+			// The leader link broke; the transport reconnects with backoff
+			// and the heartbeat loop re-hellos once it heals. Nothing to do.
+			continue
+		}
+		select {
+		case <-f.quit:
+			return
+		default:
+		}
+		switch m.Type {
+		case cluster.MsgReplAppend, cluster.MsgReplTail:
+			f.mu.Lock()
+			if f.closed {
+				f.mu.Unlock()
+				return
+			}
+			f.progress++
+			switch {
+			case m.Batch < f.next:
+				// Duplicate of an epoch already durable here (catch-up /
+				// live overlap after a re-hello): ignore, but re-ack so the
+				// leader learns the true watermark.
+				f.stats.Duplicates++
+				f.ackLocked()
+			case m.Batch > f.next:
+				// Gap: a record was lost ahead of us (e.g. shed mid-stream).
+				// Reject and re-announce; the log stays contiguous.
+				f.stats.Gaps++
+				f.helloLocked()
+			default:
+				if err := f.appendLocked(m.Batch, m.Payload); err != nil {
+					f.failLocked(err)
+					f.mu.Unlock()
+					return
+				}
+				f.ackLocked()
+			}
+			f.mu.Unlock()
+		case cluster.MsgReplSnap:
+			f.mu.Lock()
+			if f.closed {
+				f.mu.Unlock()
+				return
+			}
+			f.progress++
+			if m.Batch > f.next {
+				if err := f.installSnapshotLocked(m.Batch, m.Payload); err != nil {
+					f.failLocked(err)
+					f.mu.Unlock()
+					return
+				}
+			}
+			f.ackLocked()
+			f.mu.Unlock()
+		case cluster.MsgReplResume:
+			f.mu.Lock()
+			f.progress++
+			f.live = true
+			f.mu.Unlock()
+		case cluster.MsgHeartbeat:
+			// Transport- or protocol-level ping; liveness only.
+		default:
+			// Not a replication message; ignore.
+		}
+	}
+}
+
+// appendLocked persists one in-order record and, for a full replica, decodes
+// and applies it. The payload may be shared with other followers (broadcast
+// slices on the in-process transport), so it is never recycled here.
+func (f *Follower) appendLocked(epoch uint64, payload []byte) error {
+	if err := f.w.LogRaw(epoch, payload); err != nil {
+		return err
+	}
+	f.next = epoch + 1
+	f.stats.Appended++
+	if f.opts.Apply != nil {
+		txns, _, err := txn.DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("repl: follower %d decode epoch %d: %w", f.id, epoch, err)
+		}
+		for _, t := range txns {
+			if err := f.opts.Registry.Resolve(t); err != nil {
+				return fmt.Errorf("repl: follower %d resolve epoch %d: %w", f.id, epoch, err)
+			}
+		}
+		if err := f.opts.Apply(epoch, txns); err != nil {
+			return fmt.Errorf("repl: follower %d apply epoch %d: %w", f.id, epoch, err)
+		}
+	}
+	return nil
+}
+
+// installSnapshotLocked jumps the follower to the leader's snapshot epoch:
+// restore the image into the replica store (if any) and replace the local
+// log's history with the image (wal.InstallSnapshot), so a later local
+// restart replays from the snapshot exactly like the leader would.
+func (f *Follower) installSnapshotLocked(epoch uint64, image []byte) error {
+	if f.opts.Store != nil {
+		if err := f.opts.Store.RestoreSnapshot(bytes.NewReader(image)); err != nil {
+			return fmt.Errorf("repl: follower %d restore snapshot: %w", f.id, err)
+		}
+	}
+	if err := f.w.InstallSnapshot(epoch, image); err != nil {
+		return fmt.Errorf("repl: follower %d install snapshot: %w", f.id, err)
+	}
+	f.next = epoch
+	f.stats.SnapshotsInstalled++
+	return nil
+}
+
+func (f *Follower) failLocked(err error) {
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+// heartbeatLoop pings the leader every beat and re-hellos when the follower
+// sits outside the live stream with no progress — the self-healing path out
+// of leader-side shedding or a dropped handshake.
+func (f *Follower) heartbeatLoop() {
+	tick := time.NewTicker(f.opts.Heartbeat)
+	defer tick.Stop()
+	var lastProgress uint64
+	idle := 0
+	for {
+		select {
+		case <-f.quit:
+			return
+		case <-tick.C:
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		_ = f.tr.Send(cluster.Msg{Type: cluster.MsgHeartbeat, From: f.id, To: f.leader})
+		if f.live || f.progress != lastProgress {
+			lastProgress, idle = f.progress, 0
+		} else if idle++; idle >= 3 {
+			f.helloLocked()
+			idle = 0
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Live reports whether the follower is in the leader's live stream.
+func (f *Follower) Live() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.live
+}
+
+// NextEpoch returns the first epoch not yet locally durable.
+func (f *Follower) NextEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Stats returns a snapshot of the follower's counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Err returns the first fatal local error (disk append, decode, apply), if
+// any — the follower stops receiving after one.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Close stops the follower gracefully and seals its local log. The mutex
+// serializes Close against an in-flight append/apply; afterwards the receive
+// loop never touches the log again (it drains on its next message or when
+// the transport closes).
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	if err := f.w.Close(); err != nil && f.err == nil {
+		f.err = err
+	}
+	err := f.err
+	f.mu.Unlock()
+	close(f.quit)
+	return err
+}
+
+// Abandon simulates a SIGKILL: processing stops, but the log is left exactly
+// as the crash would leave it — no final sync, no sealing. Pair with
+// FaultFS.Crash to also drop unsynced bytes, then StartFollower on the same
+// directory to exercise rejoin.
+func (f *Follower) Abandon() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.quit)
+}

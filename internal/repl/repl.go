@@ -1,0 +1,616 @@
+// Package repl replicates the leader's write-ahead log — the serializable
+// batch inputs the deterministic engines commit from — to standby followers,
+// with acknowledged, epoch-ordered append and online rejoin.
+//
+// Because every engine in this system is deterministic over its batch
+// inputs, shipping the WAL stream IS full state replication (Gray's "queues
+// are databases" argument): a standby holding the log prefix can reproduce
+// the leader's exact state hash by replay. The leader appends each batch to
+// its local segmented log, streams the identical framed record to every live
+// follower (MsgReplAppend), and — per the configured ack mode — commits
+// immediately (AckAsync) or after k followers acknowledge local durability
+// (AckWaitK).
+//
+// Online rejoin: a crashed or newly added follower replays its local
+// segments, opens its log (repairing any torn tail), and announces its first
+// missing epoch (MsgReplHello). The leader streams the gap from its own
+// segments (wal.ReadRange) — preceded by a snapshot install (MsgReplSnap +
+// wal.InstallSnapshot) when the gap was truncated behind a leader snapshot —
+// and flips the follower back into the live stream at a batch boundary
+// (MsgReplResume), all without stopping the cluster.
+//
+// Failure handling is graceful degradation, never a stall: a follower that
+// misses the ack deadline or lags past MaxLag is shed from the live stream
+// (its tail stays buffered in the leader's log — the log IS the buffer) and
+// re-enters through the same catch-up path; a follower the transport
+// declares down (cluster.ErrPeerDown) is dropped until it is heard from
+// again. The surviving ack quorum keeps committing throughout.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/wal"
+)
+
+// AckMode selects when Leader.LogBatch returns.
+type AckMode int
+
+const (
+	// AckAsync returns once the batch is durable on the leader's own log;
+	// follower appends are fire-and-forget (bounded only by MaxLag shedding).
+	AckAsync AckMode = iota
+	// AckWaitK additionally waits until Options.WaitFor followers have
+	// acknowledged the batch as locally durable (or AckTimeout passes, which
+	// sheds the laggards and commits with the surviving quorum).
+	AckWaitK
+)
+
+// ParseAckMode parses the textual forms used by qotpd and the bench specs:
+// "async", or "k=<n>" (wait for n follower acks).
+func ParseAckMode(s string) (AckMode, int, error) {
+	if s == "" || s == "async" {
+		return AckAsync, 0, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "k="); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 1 {
+			return 0, 0, fmt.Errorf("repl: bad ack mode %q (want async or k=<n>, n >= 1)", s)
+		}
+		return AckWaitK, k, nil
+	}
+	return 0, 0, fmt.Errorf("repl: bad ack mode %q (want async or k=<n>)", s)
+}
+
+// Options tunes the Leader.
+type Options struct {
+	// Ack and WaitFor select the ack mode (see AckMode).
+	Ack     AckMode
+	WaitFor int
+	// AckTimeout bounds the AckWaitK wait per batch; expiry sheds the
+	// non-acking followers to catch-up and commits with the survivors
+	// (default 3s).
+	AckTimeout time.Duration
+	// MaxLag sheds a live follower whose unacked tail exceeds this many
+	// batches: it stops receiving live appends (its tail stays buffered in
+	// the leader's log) and re-enters via catch-up (default 1024).
+	MaxLag int
+	// ChunkRecords is the catch-up streaming chunk: how many tail records
+	// are sent per leader-lock acquisition, bounding how long a rejoining
+	// follower can stall live appends (default 64).
+	ChunkRecords int
+	// WAL configures the leader's local segmented log (sync policy, segment
+	// sizes, FS seam).
+	WAL wal.Options
+}
+
+func (o *Options) normalize() {
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 3 * time.Second
+	}
+	if o.MaxLag <= 0 {
+		o.MaxLag = 1024
+	}
+	if o.ChunkRecords <= 0 {
+		o.ChunkRecords = 64
+	}
+}
+
+// Follower lifecycle states, as the leader sees them.
+const (
+	// StateJoining: never heard from; not in the live stream yet.
+	StateJoining = "joining"
+	// StateLive: receiving every append as it is logged.
+	StateLive = "live"
+	// StateCatchup: shed from (or not yet in) the live stream; a catch-up
+	// goroutine is streaming its gap from the leader's segments.
+	StateCatchup = "catchup"
+	// StateDown: declared dead (transport verdict, send failure); ignored
+	// until heard from again, which re-enters catch-up.
+	StateDown = "down"
+)
+
+type followerState struct {
+	state string
+	// acked is the follower's cumulative watermark: the next epoch it needs
+	// (everything below is durable on its disk).
+	acked uint64
+	// helloFrom/hasHello hold a rejoin request that arrived while a
+	// catch-up goroutine was already running (a crash *during* catch-up and
+	// second rejoin); the goroutine restarts from it.
+	helloFrom uint64
+	hasHello  bool
+}
+
+// Stats are the Leader's cumulative counters (racy snapshot via Stats()).
+type Stats struct {
+	// Appends is the number of batches logged and offered to the stream.
+	Appends uint64
+	// AckWaits counts batches that waited for a follower quorum.
+	AckWaits uint64
+	// Degraded counts batches whose ack wait expired: committed with the
+	// surviving quorum after shedding the laggards.
+	Degraded uint64
+	// Shed counts live->catchup demotions (ack timeout or MaxLag).
+	Shed uint64
+	// Rejoins counts completed catch-ups (follower flipped back to live).
+	Rejoins uint64
+	// CatchupRecords counts tail records streamed to rejoining followers.
+	CatchupRecords uint64
+	// SnapshotsSent counts snapshot installs shipped to followers whose gap
+	// was truncated.
+	SnapshotsSent uint64
+	// PeerDown counts failure-detector / send-failure verdicts acted on.
+	PeerDown uint64
+}
+
+type waiter struct {
+	epoch uint64 // satisfied when >= need followers have acked > epoch
+	need  int
+	ch    chan struct{}
+}
+
+// Leader replicates a leader node's WAL to standby followers. It implements
+// the BatchLogger hook shared by every layer (core.Config.Logger,
+// serve.Config.WAL, dist.QueCCD.SetLogger), so replication slots in exactly
+// where the single-disk Writer did. LogBatch may be called from one
+// goroutine (like the Writer); the leader's receive loop and catch-up
+// streams run internally.
+type Leader struct {
+	tr        cluster.Transport
+	id        int
+	followers []int
+	opts      Options
+	dir       string
+	fs        wal.FS
+
+	mu      sync.Mutex
+	w       *wal.Writer
+	fls     map[int]*followerState
+	waiters []*waiter
+	stats   Stats
+	offset  uint64 // caller epoch + offset == wal epoch
+	offSet  bool
+	closed  bool
+
+	scratch []byte
+	quit    chan struct{}
+}
+
+// OpenLeader opens (or reopens) the leader's log in dir and starts
+// replicating it to the given follower node ids over tr. The leader owns the
+// Writer (Close closes it); it does not own the transport. Followers start
+// in StateJoining and enter the stream through their MsgReplHello — so a
+// leader restarted on an existing log and its followers meet through the
+// same rejoin path as a crashed follower.
+func OpenLeader(dir string, tr cluster.Transport, id int, followers []int, opts Options) (*Leader, error) {
+	opts.normalize()
+	w, err := wal.Open(dir, opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	fs := opts.WAL.FS
+	if fs == nil {
+		fs = wal.OSFS
+	}
+	l := &Leader{
+		tr: tr, id: id, followers: append([]int(nil), followers...),
+		opts: opts, dir: dir, fs: fs,
+		w: w, fls: make(map[int]*followerState), quit: make(chan struct{}),
+	}
+	for _, f := range followers {
+		if f == id {
+			return nil, fmt.Errorf("repl: leader %d cannot be its own follower", id)
+		}
+		l.fls[f] = &followerState{state: StateJoining}
+	}
+	go l.recvLoop()
+	return l, nil
+}
+
+// LogBatch implements the BatchLogger hook: append locally, stream to live
+// followers, then honor the ack mode. Caller epochs follow the Writer's
+// contract (first call pins the numbering, then +1 per call); the
+// replication stream itself always speaks wal epochs.
+func (l *Leader) LogBatch(epoch uint64, txns []*txn.Txn) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("repl: leader closed")
+	}
+	if !l.offSet {
+		l.offset = l.w.NextEpoch() - epoch
+		l.offSet = true
+	}
+	if epoch+l.offset != l.w.NextEpoch() {
+		next := l.w.NextEpoch() - l.offset
+		l.mu.Unlock()
+		return fmt.Errorf("repl: non-monotonic epoch %d (expected %d)", epoch, next)
+	}
+	wnext := l.w.NextEpoch()
+	l.scratch = txn.AppendBatch(l.scratch[:0], txns)
+	// The payload is shared: the local append copies it into the log's own
+	// frame buffer, the TCP transport serializes it before Send returns, and
+	// the in-process transport's receivers treat payloads as read-only. It
+	// must still outlive in-flight channel deliveries, so it is cloned out
+	// of the reused scratch.
+	payload := append([]byte(nil), l.scratch...)
+	if err := l.w.LogRaw(wnext, payload); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.stats.Appends++
+	for f, st := range l.fls {
+		if st.state != StateLive {
+			continue
+		}
+		if err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplAppend, From: l.id, To: f, Batch: wnext, Payload: payload}); err != nil {
+			l.markDownLocked(f, err)
+			continue
+		}
+		if lag := l.w.NextEpoch() - st.acked; lag > uint64(l.opts.MaxLag) {
+			// Shed: the follower falls out of the live stream; its tail
+			// stays buffered in the log and catch-up re-delivers it.
+			l.stats.Shed++
+			l.toCatchupLocked(f, st.acked)
+		}
+	}
+	var wt *waiter
+	if l.opts.Ack == AckWaitK && l.opts.WaitFor > 0 {
+		if l.ackedCountLocked(wnext) >= l.opts.WaitFor {
+			l.mu.Unlock()
+			return nil
+		}
+		wt = &waiter{epoch: wnext, need: l.opts.WaitFor, ch: make(chan struct{})}
+		l.waiters = append(l.waiters, wt)
+		l.stats.AckWaits++
+	}
+	l.mu.Unlock()
+	if wt == nil {
+		return nil
+	}
+	timer := time.NewTimer(l.opts.AckTimeout)
+	defer timer.Stop()
+	select {
+	case <-wt.ch:
+		return nil
+	case <-l.quit:
+		return nil
+	case <-timer.C:
+		// Degrade: commit with the surviving quorum; laggards that were
+		// supposed to be live are shed to catch-up.
+		l.mu.Lock()
+		l.stats.Degraded++
+		l.removeWaiterLocked(wt)
+		for f, st := range l.fls {
+			if st.state == StateLive && st.acked <= wnext {
+				l.stats.Shed++
+				l.toCatchupLocked(f, st.acked)
+			}
+		}
+		l.mu.Unlock()
+		return nil
+	}
+}
+
+// Snapshot writes a point-in-time image of st into the leader's log and
+// truncates the segments behind it (wal.Writer.Snapshot). Call at a batch
+// boundary with no engine executing. Followers already past the snapshot
+// epoch are unaffected; a follower whose catch-up gap falls behind it will
+// receive the image (MsgReplSnap) before its tail.
+func (l *Leader) Snapshot(st *storage.Store) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("repl: leader closed")
+	}
+	return l.w.Snapshot(st)
+}
+
+// ackedCountLocked counts followers whose durable watermark is past epoch.
+func (l *Leader) ackedCountLocked(epoch uint64) int {
+	n := 0
+	for _, st := range l.fls {
+		if st.acked > epoch {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *Leader) removeWaiterLocked(wt *waiter) {
+	for i, w := range l.waiters {
+		if w == wt {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (l *Leader) markDownLocked(f int, cause error) {
+	st := l.fls[f]
+	if st == nil || st.state == StateDown {
+		return
+	}
+	_ = cause
+	st.state = StateDown
+	l.stats.PeerDown++
+}
+
+// toCatchupLocked moves a follower into catch-up from the given epoch,
+// starting the streaming goroutine unless one is already running (then the
+// new position is handed to it — the "second rejoin during catch-up" path).
+func (l *Leader) toCatchupLocked(f int, from uint64) {
+	st := l.fls[f]
+	if st == nil {
+		return
+	}
+	if st.state == StateCatchup {
+		st.helloFrom, st.hasHello = from, true
+		return
+	}
+	st.state = StateCatchup
+	st.helloFrom, st.hasHello = from, true
+	go l.serveCatchup(f)
+}
+
+// recvLoop drains the leader's endpooint: follower acks satisfy waiting
+// LogBatch calls, hellos start (or redirect) catch-up streams, and transport
+// peer-down verdicts drop followers until they are heard from again.
+func (l *Leader) recvLoop() {
+	for {
+		m, ok, down := recvFrom(l.tr, l.id, l.quit)
+		if !ok {
+			return
+		}
+		if down != nil {
+			l.mu.Lock()
+			l.markDownLocked(down.Peer, down)
+			l.mu.Unlock()
+			continue
+		}
+		switch m.Type {
+		case cluster.MsgReplAck:
+			l.mu.Lock()
+			st := l.fls[m.From]
+			if st == nil {
+				l.mu.Unlock()
+				continue
+			}
+			if m.Batch > st.acked {
+				st.acked = m.Batch
+			}
+			if st.state == StateDown {
+				// A down follower showed life with a position: re-admit it
+				// through catch-up.
+				l.toCatchupLocked(m.From, st.acked)
+			}
+			var fire []*waiter
+			keep := l.waiters[:0]
+			for _, wt := range l.waiters {
+				if l.ackedCountLocked(wt.epoch) >= wt.need {
+					fire = append(fire, wt)
+				} else {
+					keep = append(keep, wt)
+				}
+			}
+			l.waiters = keep
+			l.mu.Unlock()
+			for _, wt := range fire {
+				close(wt.ch)
+			}
+		case cluster.MsgReplHello:
+			l.mu.Lock()
+			if st := l.fls[m.From]; st != nil {
+				if m.Batch > st.acked {
+					st.acked = m.Batch
+				}
+				l.toCatchupLocked(m.From, m.Batch)
+			}
+			l.mu.Unlock()
+		case cluster.MsgHeartbeat:
+			// Protocol-level liveness only; the TCP transport's detector
+			// consumes its own heartbeats before they get here.
+		default:
+			// Not ours (e.g. a stray protocol message): ignore.
+		}
+	}
+}
+
+// serveCatchup streams one follower's gap from the leader's segments, in
+// chunks, under the leader lock — appends interleave between chunks. When
+// the gap closes it flips the follower live *while holding the lock*, so no
+// batch can land between the last tail record and the first live append.
+func (l *Leader) serveCatchup(f int) {
+	var from uint64
+	for {
+		l.mu.Lock()
+		st := l.fls[f]
+		if st == nil || l.closed || st.state != StateCatchup {
+			l.mu.Unlock()
+			return
+		}
+		if st.hasHello {
+			from, st.hasHello = st.helloFrom, false
+		}
+		if snapEpoch := l.w.SnapshotEpoch(); from < snapEpoch {
+			// The gap starts behind the truncation point: ship the snapshot
+			// image first, then the tail above it.
+			epoch, image, err := wal.ReadSnapshotRaw(l.dir, l.fs)
+			if err != nil {
+				l.markDownLocked(f, err)
+				l.mu.Unlock()
+				return
+			}
+			if err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplSnap, From: l.id, To: f, Batch: epoch, Payload: image}); err != nil {
+				l.markDownLocked(f, err)
+				l.mu.Unlock()
+				return
+			}
+			l.stats.SnapshotsSent++
+			from = epoch
+		}
+		next := l.w.NextEpoch()
+		if from >= next {
+			// Caught up: resume the live stream at this batch boundary.
+			st.state = StateLive
+			l.stats.Rejoins++
+			err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplResume, From: l.id, To: f, Batch: next})
+			if err != nil {
+				l.markDownLocked(f, err)
+			}
+			l.mu.Unlock()
+			return
+		}
+		to := from + uint64(l.opts.ChunkRecords)
+		if to > next {
+			to = next
+		}
+		var sendErr error
+		got, err := wal.ReadRange(l.dir, l.fs, from, to, func(epoch uint64, payload []byte) error {
+			// Clone: the channel transport retains the slice until the
+			// follower consumes it; ReadRange reuses its buffer per record.
+			p := append([]byte(nil), payload...)
+			if e := l.tr.Send(cluster.Msg{Type: cluster.MsgReplTail, From: l.id, To: f, Batch: epoch, Payload: p}); e != nil {
+				sendErr = e
+				return e
+			}
+			l.stats.CatchupRecords++
+			return nil
+		})
+		if sendErr != nil || err != nil {
+			if sendErr == nil {
+				sendErr = err
+			}
+			l.markDownLocked(f, sendErr)
+			l.mu.Unlock()
+			return
+		}
+		if got == from {
+			// No forward progress (live tail mid-growth): yield and retry.
+			l.mu.Unlock()
+			select {
+			case <-l.quit:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		from = got
+		l.mu.Unlock()
+	}
+}
+
+// FollowerState reports the leader's view of one follower ("joining",
+// "live", "catchup", "down") and its durable watermark.
+func (l *Leader) FollowerState(f int) (state string, acked uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.fls[f]
+	if st == nil {
+		return "", 0
+	}
+	return st.state, st.acked
+}
+
+// NextEpoch returns the wal epoch the next LogBatch will occupy.
+func (l *Leader) NextEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.NextEpoch()
+}
+
+// Stats returns a snapshot of the leader's counters.
+func (l *Leader) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// WaitCaughtUp blocks until every follower is live with its ack watermark at
+// the log's end (or the timeout expires, returning an error describing who
+// lags). Down followers count as lagging — a crashed-and-restarted follower
+// re-hellos its way back in, and that is exactly the convergence this waits
+// for. Use before comparing replica state hashes.
+func (l *Leader) WaitCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		l.mu.Lock()
+		next := l.w.NextEpoch()
+		lagging := ""
+		for f, st := range l.fls {
+			if st.state != StateLive || st.acked < next {
+				lagging += fmt.Sprintf(" follower %d: %s acked=%d/%d;", f, st.state, st.acked, next)
+			}
+		}
+		l.mu.Unlock()
+		if lagging == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("repl: catch-up timeout:%s", lagging)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close stops the leader and seals its log. It does not close the transport.
+// The mutex serializes Close against any in-flight append or catch-up chunk;
+// the internal loops observe the closed flag and drain on their own (the
+// receive loop may stay parked until the transport closes — it never touches
+// the sealed log).
+func (l *Leader) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.w.Close()
+	waiters := l.waiters
+	l.waiters = nil
+	l.mu.Unlock()
+	for _, wt := range waiters {
+		close(wt.ch)
+	}
+	close(l.quit)
+	return err
+}
+
+// recvE is the optional typed-receive surface the hardened TCP transport
+// (and LoopbackTCP) provide on top of the Transport interface.
+type recvE interface {
+	RecvE(id int) (cluster.Msg, error)
+}
+
+// recvFrom receives one message, preferring the typed surface: ok=false
+// means the transport closed; down is a failure-detector verdict (message is
+// empty then).
+func recvFrom(tr cluster.Transport, id int, quit chan struct{}) (m cluster.Msg, ok bool, down *cluster.PeerDownError) {
+	select {
+	case <-quit:
+		return cluster.Msg{}, false, nil
+	default:
+	}
+	if re, isE := tr.(recvE); isE {
+		msg, err := re.RecvE(id)
+		if err == nil {
+			return msg, true, nil
+		}
+		var pd *cluster.PeerDownError
+		if errors.As(err, &pd) {
+			return cluster.Msg{}, true, pd
+		}
+		return cluster.Msg{}, false, nil
+	}
+	msg, alive := tr.Recv(id)
+	return msg, alive, nil
+}

@@ -1,0 +1,489 @@
+package repl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/storage"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/wal"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+func ycsbCfg(parts int) ycsb.Config {
+	return ycsb.Config{
+		Records: 512, OpsPerTxn: 6, ReadRatio: 0.2, RMWRatio: 0.5,
+		Theta: 0.9, AbortRatio: 0.05, Partitions: parts, Seed: 919,
+	}
+}
+
+// refHash runs the uninterrupted serial reference and returns the final
+// StateHash after nBatches.
+func refHash(t *testing.T, parts, nBatches, batchSize int) uint64 {
+	t.Helper()
+	gen := ycsb.MustNew(ycsbCfg(parts))
+	store := storage.MustOpen(gen.StoreConfig(parts))
+	if err := gen.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(store, core.Config{Planners: 1, Executors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < nBatches; i++ {
+		if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store.StateHash()
+}
+
+// replica is a full-replica state machine for a follower: a loaded store and
+// a serial engine applying decoded batches.
+type replica struct {
+	store *storage.Store
+	eng   *core.Engine
+	gen   *ycsb.Workload
+}
+
+func newReplica(t *testing.T, parts int) *replica {
+	t.Helper()
+	gen := ycsb.MustNew(ycsbCfg(parts))
+	store := storage.MustOpen(gen.StoreConfig(parts))
+	if err := gen.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(store, core.Config{Planners: 1, Executors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return &replica{store: store, eng: eng, gen: gen}
+}
+
+func (r *replica) followerOptions(dir string, fs wal.FS) FollowerOptions {
+	return FollowerOptions{
+		Dir: dir, FS: fs,
+		Store: r.store, Registry: r.gen.Registry(),
+		Apply:     func(_ uint64, txns []*txn.Txn) error { return r.eng.ExecBatch(txns) },
+		Heartbeat: 10 * time.Millisecond,
+	}
+}
+
+// leaderRun wires a Leader as the batch logger of a fresh serial engine and
+// returns the leader, the engine's generator/store, and a step function that
+// executes (and therefore replicates) one batch.
+func leaderRun(t *testing.T, dir string, tr cluster.Transport, followers []int, opts Options, parts, batchSize int) (*Leader, *storage.Store, func()) {
+	t.Helper()
+	ldr, err := OpenLeader(dir, tr, 0, followers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := ycsb.MustNew(ycsbCfg(parts))
+	store := storage.MustOpen(gen.StoreConfig(parts))
+	if err := gen.Load(store); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(store, core.Config{Planners: 1, Executors: 2, Logger: ldr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	step := func() {
+		if err := eng.ExecBatch(gen.NextBatch(batchSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ldr, store, step
+}
+
+// TestReplAsyncFullReplicas replicates a leader's batch stream to two
+// applying followers over the in-process transport and checks every replica
+// independently reproduces the serial reference state.
+func TestReplAsyncFullReplicas(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 8, 64
+	want := refHash(t, parts, nBatches, batchSize)
+	tr := cluster.NewChanTransport(3, 0)
+	defer tr.Close()
+
+	var fls []*Follower
+	for id := 1; id <= 2; id++ {
+		rep := newReplica(t, parts)
+		f, err := StartFollower(tr, id, 0, rep.followerOptions(t.TempDir(), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		fls = append(fls, f)
+		defer func(r *replica, f *Follower) {
+			if got := r.store.StateHash(); got != want {
+				t.Errorf("replica %d hash %#x, want %#x", f.id, got, want)
+			}
+		}(rep, f)
+	}
+
+	ldr, store, step := leaderRun(t, t.TempDir(), tr, []int{1, 2}, Options{}, parts, batchSize)
+	defer ldr.Close()
+	for i := 0; i < nBatches; i++ {
+		step()
+	}
+	if got := store.StateHash(); got != want {
+		t.Fatalf("leader hash %#x, want serial %#x", got, want)
+	}
+	if err := ldr.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fls {
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if f.NextEpoch() != nBatches {
+			t.Fatalf("follower %d at epoch %d, want %d", f.id, f.NextEpoch(), nBatches)
+		}
+	}
+}
+
+// TestReplWaitKDegrades checks the ack-quorum path: with k=2 both followers
+// gate the commit; after one dies, the ack wait times out, the laggard is
+// shed, and the leader keeps committing with the surviving quorum.
+func TestReplWaitKDegrades(t *testing.T) {
+	const parts, batchSize = 2, 32
+	tr := cluster.NewChanTransport(3, 0)
+	defer tr.Close()
+
+	dirs := []string{t.TempDir(), t.TempDir()}
+	var fls []*Follower
+	for id := 1; id <= 2; id++ {
+		f, err := StartFollower(tr, id, 0, FollowerOptions{Dir: dirs[id-1], Heartbeat: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fls = append(fls, f)
+	}
+	defer fls[0].Close()
+
+	opts := Options{Ack: AckWaitK, WaitFor: 2, AckTimeout: 100 * time.Millisecond}
+	ldr, _, step := leaderRun(t, t.TempDir(), tr, []int{1, 2}, opts, parts, batchSize)
+	defer ldr.Close()
+
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if err := ldr.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := ldr.Stats(); st.Degraded != 0 {
+		t.Fatalf("unexpected degradation with both followers alive: %+v", st)
+	}
+
+	// Kill follower 2 and keep committing: each batch must still return
+	// (after the bounded wait) and be durable on the survivor.
+	fls[1].Abandon()
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		step()
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("degraded commits took %v — ack wait is not bounded", took)
+	}
+	if st := ldr.Stats(); st.Degraded == 0 {
+		t.Fatalf("expected at least one degraded commit: %+v", st)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, acked := ldr.FollowerState(1)
+		if acked == ldr.NextEpoch() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor never acked the degraded batches")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplRejoinMidStreamTCP is the acceptance scenario: a 3-node
+// replication cluster over real TCP, the follower killed at a randomized
+// batch mid-stream, restarted while the leader keeps committing, rejoining
+// online, and still reproducing the serial reference hash.
+func TestReplRejoinMidStreamTCP(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 10, 48
+	want := refHash(t, parts, nBatches, batchSize)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	killAt := 2 + rng.Intn(nBatches/2) // randomized kill point, logged below
+	t.Logf("killing follower 1 after batch %d", killAt)
+
+	lb, err := cluster.StartLoopbackTCPOpts(3, cluster.TCPOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		SuspectAfter:   300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	f1dir := t.TempDir()
+	rep1 := newReplica(t, parts)
+	f1, err := StartFollower(lb, 1, 0, rep1.followerOptions(f1dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := newReplica(t, parts)
+	f2, err := StartFollower(lb, 2, 0, rep2.followerOptions(t.TempDir(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+
+	opts := Options{Ack: AckWaitK, WaitFor: 1, AckTimeout: 2 * time.Second}
+	ldr, store, step := leaderRun(t, t.TempDir(), lb, []int{1, 2}, opts, parts, batchSize)
+	defer ldr.Close()
+
+	for i := 0; i < killAt; i++ {
+		step()
+	}
+	// SIGKILL the follower: sever its connections, then stop its goroutines.
+	// The leader keeps committing against the surviving quorum.
+	lb.Endpoint(1).Close()
+	f1.Abandon()
+	for i := killAt; i < nBatches-2; i++ {
+		step()
+	}
+
+	// Online rejoin: restart the node's transport on the same address and a
+	// new follower process on the same log directory, while the leader is
+	// still streaming the last batches.
+	if _, err := lb.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	rep1b := newReplica(t, parts)
+	f1b, err := StartFollower(lb, 1, 0, rep1b.followerOptions(f1dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1b.Close()
+	for i := nBatches - 2; i < nBatches; i++ {
+		step()
+	}
+
+	if err := ldr.WaitCaughtUp(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.StateHash(); got != want {
+		t.Fatalf("leader hash %#x, want serial %#x", got, want)
+	}
+	for i, rep := range []*replica{rep1b, rep2} {
+		if got := rep.store.StateHash(); got != want {
+			t.Errorf("replica %d hash %#x, want serial %#x", i+1, got, want)
+			t.Logf("diag: f1b next=%d stats=%+v ldr=%+v f2next=%d", f1b.NextEpoch(), f1b.Stats(), ldr.Stats(), f2.NextEpoch())
+		}
+	}
+	if err := f1b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ldr.Stats(); st.Rejoins == 0 {
+		t.Fatalf("expected a completed rejoin: %+v", st)
+	}
+}
+
+// TestReplSnapshotCatchup puts the rejoin gap behind a leader snapshot with
+// rotated-away segments: the late follower must receive the snapshot image,
+// install it locally, stream only the tail above it, and still reproduce the
+// reference state — including across its own restart, which replays the
+// installed snapshot from its local log.
+func TestReplSnapshotCatchup(t *testing.T) {
+	const parts, batchSize = 4, 64
+	const preSnap, postSnap, tail = 4, 4, 2
+	want := refHash(t, parts, preSnap+postSnap+tail, batchSize)
+	tr := cluster.NewChanTransport(2, 0)
+	defer tr.Close()
+
+	opts := Options{WAL: wal.Options{SegmentBytes: 2048}} // force rotations
+	ldr, store, step := leaderRun(t, t.TempDir(), tr, []int{1}, opts, parts, batchSize)
+	defer ldr.Close()
+
+	for i := 0; i < preSnap; i++ {
+		step()
+	}
+	// Batch boundary, engine idle: snapshot and truncate the history.
+	if err := ldr.Snapshot(store); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < postSnap; i++ {
+		step()
+	}
+
+	// The follower arrives with an empty log: its hello(0) falls behind the
+	// snapshot epoch, so catch-up must open with the image.
+	fdir := t.TempDir()
+	rep := newReplica(t, parts)
+	f, err := StartFollower(tr, 1, 0, rep.followerOptions(fdir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ldr.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fs := f.Stats(); fs.SnapshotsInstalled != 1 {
+		t.Fatalf("expected one snapshot install, got %+v", fs)
+	}
+	if ls := ldr.Stats(); ls.SnapshotsSent != 1 {
+		t.Fatalf("expected one snapshot sent, got %+v", ls)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the follower on its own log: local replay must restore the
+	// installed snapshot and the appended tail, then resume live.
+	rep2 := newReplica(t, parts)
+	f2, err := StartFollower(tr, 1, 0, rep2.followerOptions(fdir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for i := 0; i < tail; i++ {
+		step()
+	}
+	if err := ldr.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep2.store.StateHash(); got != want {
+		t.Fatalf("replica hash %#x, want serial %#x", got, want)
+	}
+	if got := store.StateHash(); got != want {
+		t.Fatalf("leader hash %#x, want serial %#x", got, want)
+	}
+}
+
+// TestReplCrashDuringCatchup kills a follower *during* catch-up — a short
+// disk write at a randomized point, then a crash that drops unsynced bytes —
+// and rejoins a second time. The second rejoin must replay the torn local
+// log, resume from its true durable position, and converge to the reference.
+func TestReplCrashDuringCatchup(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 6, 48
+	want := refHash(t, parts, nBatches+2, batchSize)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	tr := cluster.NewChanTransport(2, 0)
+	defer tr.Close()
+	ldr, store, step := leaderRun(t, t.TempDir(), tr, []int{1}, Options{}, parts, batchSize)
+	defer ldr.Close()
+	for i := 0; i < nBatches; i++ {
+		step()
+	}
+
+	// First rejoin attempt dies mid-catch-up on an injected short write.
+	fs := wal.NewFaultFS()
+	fdir := "/follower"
+	failAfter := 2 + rng.Intn(20)
+	t.Logf("failing follower write %d during catch-up", failAfter)
+	fs.FailWriteAfter(failAfter)
+	rep := newReplica(t, parts)
+	f, err := StartFollower(tr, 1, 0, rep.followerOptions(fdir, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Err() == nil && f.NextEpoch() < nBatches {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Abandon()
+	fs.Crash(0) // drop every unsynced byte, as the real power cut would
+
+	// Second rejoin on the crashed filesystem: replay what survived, ask for
+	// the rest, then follow live appends.
+	rep2 := newReplica(t, parts)
+	f2, err := StartFollower(tr, 1, 0, rep2.followerOptions(fdir, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for i := 0; i < 2; i++ {
+		step()
+	}
+	if err := ldr.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep2.store.StateHash(); got != want {
+		t.Fatalf("replica hash %#x, want serial %#x", got, want)
+	}
+	if got := store.StateHash(); got != want {
+		t.Fatalf("leader hash %#x, want serial %#x", got, want)
+	}
+}
+
+// TestReplDuplicateAndGapRejected drives a log-only follower by hand:
+// duplicate records must be ignored (re-acked, not re-appended) and
+// out-of-order records ahead of the contiguous position must be rejected
+// with a re-hello, never appended.
+func TestReplDuplicateAndGapRejected(t *testing.T) {
+	tr := cluster.NewChanTransport(2, 0)
+	defer tr.Close()
+	f, err := StartFollower(tr, 1, 0, FollowerOptions{Dir: t.TempDir(), Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// The follower's startup hello arrives at "the leader" (this test).
+	m, ok := tr.Recv(0)
+	if !ok || m.Type != cluster.MsgReplHello || m.Batch != 0 {
+		t.Fatalf("expected hello(0), got %+v ok=%v", m, ok)
+	}
+
+	send := func(typ cluster.MsgType, epoch uint64, payload []byte) {
+		t.Helper()
+		if err := tr.Send(cluster.Msg{Type: typ, From: 0, To: 1, Batch: epoch, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(typ cluster.MsgType, epoch uint64) {
+		t.Helper()
+		for {
+			m, ok := tr.Recv(0)
+			if !ok {
+				t.Fatalf("transport closed waiting for %d(%d)", typ, epoch)
+			}
+			if m.Type == cluster.MsgHeartbeat {
+				continue
+			}
+			if m.Type != typ || m.Batch != epoch {
+				t.Fatalf("expected type %d epoch %d, got %+v", typ, epoch, m)
+			}
+			return
+		}
+	}
+
+	// Gap: epoch 2 while the follower needs 0 — rejected, re-hello(0).
+	send(cluster.MsgReplTail, 2, []byte("ahead"))
+	expect(cluster.MsgReplHello, 0)
+
+	// In-order records 0 and 1 append and ack cumulatively.
+	send(cluster.MsgReplTail, 0, []byte("r0"))
+	expect(cluster.MsgReplAck, 1)
+	send(cluster.MsgReplAppend, 1, []byte("r1"))
+	expect(cluster.MsgReplAck, 2)
+
+	// Duplicate of epoch 0: ignored but re-acked at the true watermark.
+	send(cluster.MsgReplTail, 0, []byte("r0"))
+	expect(cluster.MsgReplAck, 2)
+
+	st := f.Stats()
+	if st.Appended != 2 || st.Duplicates != 1 || st.Gaps != 1 {
+		t.Fatalf("stats %+v, want 2 appended / 1 duplicate / 1 gap", st)
+	}
+	if f.NextEpoch() != 2 {
+		t.Fatalf("follower at %d, want 2", f.NextEpoch())
+	}
+}

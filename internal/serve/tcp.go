@@ -43,9 +43,17 @@ const (
 // cannot size a huge allocation.
 const maxFrame = 1 << 24
 
-// ErrConnClosed is returned for submissions outstanding when a remote
-// client's connection closes.
+// ErrConnClosed is returned for submissions outstanding when the client
+// itself closes the connection (RemoteClient.Close), and for submissions
+// attempted after it.
 var ErrConnClosed = errors.New("serve: connection closed")
+
+// ErrConnLost is returned — via each pending Future and from Submit's write
+// path — when the connection drops out from under the client (server crash,
+// network failure). Unlike ErrConnClosed it marks the submissions as
+// retryable: the caller still holds the transactions and can resubmit on a
+// fresh Dial. Match with errors.Is.
+var ErrConnLost = errors.New("serve: connection lost")
 
 func writeFrame(w io.Writer, buf []byte) error {
 	var hdr [4]byte
@@ -246,9 +254,10 @@ type RemoteClient struct {
 	wmu  sync.Mutex // serializes frame writes
 	wbuf []byte
 
-	mu      sync.Mutex // guards pending/closed
+	mu      sync.Mutex // guards pending/closed/closing
 	pending map[uint64]*Future
 	closed  bool
+	closing bool // Close was called locally; sweep with ErrConnClosed, not ErrConnLost
 
 	nextID atomic.Uint64
 	wg     sync.WaitGroup
@@ -279,8 +288,12 @@ func (c *RemoteClient) Submit(ctx context.Context, t *txn.Txn) (*Future, error) 
 
 	c.mu.Lock()
 	if c.closed {
+		closing := c.closing
 		c.mu.Unlock()
-		return nil, ErrConnClosed
+		if closing {
+			return nil, ErrConnClosed
+		}
+		return nil, ErrConnLost
 	}
 	c.pending[id] = fut
 	c.mu.Unlock()
@@ -294,8 +307,12 @@ func (c *RemoteClient) Submit(ctx context.Context, t *txn.Txn) (*Future, error) 
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
+		closing := c.closing
 		c.mu.Unlock()
-		return nil, err
+		if closing {
+			return nil, ErrConnClosed
+		}
+		return nil, fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
 	return fut, nil
 }
@@ -317,6 +334,9 @@ func (c *RemoteClient) Exec(ctx context.Context, t *txn.Txn) (Outcome, error) {
 // Close closes the connection; outstanding Futures resolve with
 // ErrConnClosed.
 func (c *RemoteClient) Close() error {
+	c.mu.Lock()
+	c.closing = true
+	c.mu.Unlock()
 	err := c.conn.Close()
 	c.wg.Wait()
 	return err
@@ -367,12 +387,19 @@ func (c *RemoteClient) readLoop() {
 			fut.resolve(out)
 		}
 	}
-	// Connection gone: fail everything still outstanding.
+	// Connection gone: fail everything still outstanding. A deliberate
+	// local Close resolves with ErrConnClosed; a connection that dropped
+	// out from under us resolves with the retryable ErrConnLost so callers
+	// know to resubmit on a fresh connection.
 	c.mu.Lock()
 	c.closed = true
+	sweepErr := ErrConnLost
+	if c.closing {
+		sweepErr = ErrConnClosed
+	}
 	for id, fut := range c.pending {
 		delete(c.pending, id)
-		fut.resolve(Outcome{Err: ErrConnClosed})
+		fut.resolve(Outcome{Err: sweepErr})
 	}
 	c.mu.Unlock()
 }

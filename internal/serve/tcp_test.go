@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -94,5 +95,89 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 	if out, err := rc.Exec(context.Background(), mkTxn(1000)); err != nil || !out.Committed {
 		t.Errorf("submission after rejected txn: out=%+v err=%v, want committed", out, err)
+	}
+}
+
+// TestConnLostVsClosed distinguishes the two deaths of a remote client's
+// pending futures: the connection dropping out from under it (server crash)
+// resolves them — and fails later Submits — with the retryable ErrConnLost,
+// while a deliberate local Close resolves them with ErrConnClosed.
+func TestConnLostVsClosed(t *testing.T) {
+	// A "server" that accepts, reads, and never answers: submissions stay
+	// pending until the connection dies.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	conns := make(chan net.Conn, 2)
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			conns <- conn
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	ctx := context.Background()
+
+	// Case 1: server-side drop → ErrConnLost, retryable.
+	rc, err := DialTCP(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := rc.Submit(ctx, mkTxn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	(<-conns).Close() // the server "crashes"
+	out := fut.Outcome()
+	if !errors.Is(out.Err, ErrConnLost) {
+		t.Fatalf("dropped conn resolved future with %v, want ErrConnLost", out.Err)
+	}
+	if errors.Is(out.Err, ErrConnClosed) {
+		t.Fatalf("dropped conn must not look like a local close")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// The write side may briefly succeed into the dead socket; once the
+		// loss is detected every Submit must fail with ErrConnLost.
+		if _, err := rc.Submit(ctx, mkTxn(2)); errors.Is(err, ErrConnLost) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submits after conn loss never surfaced ErrConnLost")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rc.Close()
+
+	// Case 2: deliberate local Close → ErrConnClosed.
+	rc2, err := DialTCP(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut2, err := rc2.Submit(ctx, mkTxn(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out := fut2.Outcome(); !errors.Is(out.Err, ErrConnClosed) {
+		t.Fatalf("local close resolved future with %v, want ErrConnClosed", out.Err)
+	}
+	if _, err := rc2.Submit(ctx, mkTxn(4)); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("submit after close returned %v, want ErrConnClosed", err)
 	}
 }

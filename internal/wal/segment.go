@@ -430,7 +430,36 @@ func (w *Writer) LogBatch(epoch uint64, txns []*txn.Txn) error {
 	payload := w.buf[recordHeader:]
 	binary.LittleEndian.PutUint32(w.buf[lenAt:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(w.buf[lenAt+4:], crc32.ChecksumIEEE(payload))
+	return w.appendFrame()
+}
 
+// LogRaw appends one batch whose payload is already encoded (the replication
+// path: a standby persists the leader's records verbatim, and a catch-up
+// stream replays them, without a decode/re-encode round trip). Epoch rules
+// are identical to LogBatch.
+func (w *Writer) LogRaw(epoch uint64, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.offsetSet {
+		w.offset = w.next - epoch
+		w.offsetSet = true
+	}
+	if epoch+w.offset != w.next {
+		return fmt.Errorf("wal: non-monotonic epoch %d (expected %d)", epoch, w.next-w.offset)
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, magic)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, w.next)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, payload...)
+	return w.appendFrame()
+}
+
+// appendFrame lands the frame staged in w.buf: rotate on the size trigger,
+// write, fsync per policy, rotate on the epoch trigger.
+func (w *Writer) appendFrame() error {
 	if w.tailSize > 0 && w.tailSize+int64(len(w.buf)) > int64(w.opts.SegmentBytes) {
 		if err := w.rotate(); err != nil {
 			return err
@@ -529,6 +558,80 @@ func (w *Writer) Snapshot(st *storage.Store) error {
 	// removals are best-effort (post-snapshot pre-truncate crashes leave
 	// orphans, cleaned by the next Open, invisible to RecoverFrom).
 	for _, seg := range dropped {
+		_ = w.fs.Remove(filepath.Join(w.dir, seg.name))
+	}
+	if oldSnap != "" && oldSnap != name {
+		_ = w.fs.Remove(filepath.Join(w.dir, oldSnap))
+	}
+	return nil
+}
+
+// SnapshotEpoch returns the epoch of the log's current snapshot (0 if none):
+// records below it have been truncated away and are only reachable through
+// the snapshot image. The replication leader consults it to decide whether a
+// standby's requested tail must be preceded by a snapshot install.
+func (w *Writer) SnapshotEpoch() uint64 { return w.man.snapEpoch }
+
+// InstallSnapshot replaces the log's entire content with a received snapshot
+// image (the raw storage image a leader's Snapshot wrote, without the file
+// header): the standby-side dual of Snapshot. The image is written as this
+// log's own snapshot file at the given epoch, every existing segment and the
+// previous snapshot are dropped, and a fresh tail starts at epoch — the next
+// LogRaw/LogBatch must carry exactly that epoch. A lagging standby whose
+// local log fell behind the leader's truncation point uses this to jump
+// forward; its own discarded records are covered by the image.
+func (w *Writer) InstallSnapshot(epoch uint64, image []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	name := snapFileName(epoch)
+	tmp := name + ".tmp"
+	f, err := w.fs.Create(filepath.Join(w.dir, tmp))
+	if err != nil {
+		return w.poison(err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], epoch)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return w.poison(err)
+	}
+	if _, err := f.Write(image); err != nil {
+		f.Close()
+		return w.poison(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return w.poison(err)
+	}
+	if err := f.Close(); err != nil {
+		return w.poison(err)
+	}
+	if err := w.fs.Rename(filepath.Join(w.dir, tmp), filepath.Join(w.dir, name)); err != nil {
+		return w.poison(err)
+	}
+	// The old tail is dead content; close it without fsync (its records are
+	// below or beside the image either way).
+	if w.tail != nil {
+		if err := w.tail.Close(); err != nil {
+			return w.poison(err)
+		}
+		w.tail = nil
+	}
+	oldSnap := w.man.snapName
+	dropped := append([]segInfo(nil), w.man.segments...)
+	w.man.snapName, w.man.snapEpoch = name, epoch
+	w.man.segments = nil
+	w.next = epoch
+	w.offset, w.offsetSet = 0, true
+	if err := w.rotate(); err != nil { // fresh tail at epoch + manifest write
+		return w.err
+	}
+	for _, seg := range dropped {
+		if seg.name == segFileName(epoch) {
+			continue // rotate() reused the name for the fresh tail
+		}
 		_ = w.fs.Remove(filepath.Join(w.dir, seg.name))
 	}
 	if oldSnap != "" && oldSnap != name {

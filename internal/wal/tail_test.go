@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// rawLog opens a Writer and appends n records of distinguishable payloads at
+// epochs [start, start+n), forcing rotations via tiny segment limits.
+func rawLog(t *testing.T, dir string, fs FS, start uint64, n int) *Writer {
+	t.Helper()
+	w, err := Open(dir, Options{FS: fs, SegmentBatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		epoch := start + uint64(i)
+		if err := w.LogRaw(epoch, []byte(fmt.Sprintf("payload-%d", epoch))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func collectRange(t *testing.T, dir string, fs FS, from, to uint64) (map[uint64]string, uint64) {
+	t.Helper()
+	got := make(map[uint64]string)
+	next, err := ReadRange(dir, fs, from, to, func(epoch uint64, payload []byte) error {
+		got[epoch] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, next
+}
+
+// TestReadRangeWindows streams sub-ranges of a multi-segment log and checks
+// exact boundaries: [from, to) honored, rotation boundaries crossed, reads
+// beyond the end stop cleanly at the true tail.
+func TestReadRangeWindows(t *testing.T) {
+	dir := t.TempDir()
+	w := rawLog(t, dir, nil, 0, 10) // rotates every 3 records
+	defer w.Close()
+	if w.SegmentCount() < 3 {
+		t.Fatalf("expected rotations, got %d segments", w.SegmentCount())
+	}
+
+	got, next := collectRange(t, dir, nil, 0, 10)
+	if next != 10 || len(got) != 10 {
+		t.Fatalf("full range: next=%d len=%d", next, len(got))
+	}
+	for e := uint64(0); e < 10; e++ {
+		if got[e] != fmt.Sprintf("payload-%d", e) {
+			t.Fatalf("epoch %d payload %q", e, got[e])
+		}
+	}
+
+	// Window across a rotation boundary.
+	got, next = collectRange(t, dir, nil, 2, 5)
+	if next != 5 || len(got) != 3 || got[2] == "" || got[4] == "" {
+		t.Fatalf("window [2,5): next=%d got=%v", next, got)
+	}
+
+	// Beyond the end: stops at the true tail, returns the first unstreamed.
+	got, next = collectRange(t, dir, nil, 7, 100)
+	if next != 10 || len(got) != 3 {
+		t.Fatalf("window [7,100): next=%d len=%d", next, len(got))
+	}
+
+	// Empty and inverted windows.
+	if got, next := collectRange(t, dir, nil, 10, 100); next != 10 || len(got) != 0 {
+		t.Fatalf("window [10,100): next=%d len=%d", next, len(got))
+	}
+
+	// A directory with no log streams nothing.
+	if got, next := collectRange(t, t.TempDir(), nil, 0, 5); next != 0 || len(got) != 0 {
+		t.Fatalf("empty dir: next=%d len=%d", next, len(got))
+	}
+}
+
+// TestReadRangeStopsAtTornTail arms a short write mid-record: ReadRange must
+// stream every intact record and stop cleanly at the torn frame, returning
+// the first epoch it could not deliver.
+func TestReadRangeStopsAtTornTail(t *testing.T) {
+	fs := NewFaultFS()
+	dir := "/log"
+	w, err := Open(dir, Options{FS: fs, SegmentBatches: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 5; e++ {
+		if err := w.LogRaw(e, []byte(fmt.Sprintf("payload-%d", e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailWriteAfter(0) // next record write stores only a prefix
+	if err := w.LogRaw(5, []byte("torn-payload")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected write failure, got %v", err)
+	}
+	got, next := collectRange(t, dir, fs, 0, 100)
+	if next != 5 || len(got) != 5 {
+		t.Fatalf("torn tail: next=%d len=%d", next, len(got))
+	}
+}
+
+// TestInstallSnapshotReopen drives the standby-side snapshot jump: install an
+// image at epoch 5, append the tail above it, and make sure reopen, range
+// reads, and raw snapshot reads all agree — and that truncated history below
+// the snapshot is refused with ErrTruncated.
+func TestInstallSnapshotReopen(t *testing.T) {
+	dir := t.TempDir()
+	image := []byte("opaque-storage-image")
+	w, err := Open(dir, Options{SegmentBatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallSnapshot(5, image); err != nil {
+		t.Fatal(err)
+	}
+	if w.NextEpoch() != 5 || w.SnapshotEpoch() != 5 {
+		t.Fatalf("after install: next=%d snap=%d, want 5/5", w.NextEpoch(), w.SnapshotEpoch())
+	}
+	for e := uint64(5); e < 9; e++ {
+		if err := w.LogRaw(e, []byte(fmt.Sprintf("payload-%d", e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// History below the snapshot is gone: asking for it must be an explicit
+	// typed refusal, not a silent empty stream.
+	if _, err := ReadRange(dir, nil, 0, 9, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("range below snapshot: %v, want ErrTruncated", err)
+	}
+	epoch, img, err := ReadSnapshotRaw(dir, nil)
+	if err != nil || epoch != 5 || !bytes.Equal(img, image) {
+		t.Fatalf("snapshot raw: epoch=%d err=%v match=%v", epoch, err, bytes.Equal(img, image))
+	}
+	got, next := collectRange(t, dir, nil, 5, 9)
+	if next != 9 || len(got) != 4 {
+		t.Fatalf("tail above snapshot: next=%d len=%d", next, len(got))
+	}
+
+	// Reopen continues exactly where the installed log left off.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.NextEpoch() != 9 || w2.SnapshotEpoch() != 5 {
+		t.Fatalf("reopen: next=%d snap=%d, want 9/5", w2.NextEpoch(), w2.SnapshotEpoch())
+	}
+	if err := w2.LogRaw(9, []byte("payload-9")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogRawContiguity: LogRaw pins the same epoch-offset contract as
+// LogBatch — out-of-order epochs are rejected, never silently renumbered.
+func TestLogRawContiguity(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.LogRaw(7, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogRaw(9, []byte("skip")); err == nil {
+		t.Fatal("epoch gap accepted")
+	}
+	if err := w.LogRaw(7, []byte("dup")); err == nil {
+		t.Fatal("duplicate epoch accepted")
+	}
+	if err := w.LogRaw(8, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -102,6 +102,14 @@ var (
 	ErrOverloaded = serve.ErrOverloaded
 	// ErrClientClosed rejects submissions after Client.Close.
 	ErrClientClosed = serve.ErrClosed
+	// ErrConnClosed resolves a RemoteClient's outstanding Futures when the
+	// client itself closes the connection.
+	ErrConnClosed = serve.ErrConnClosed
+	// ErrConnLost resolves a RemoteClient's outstanding Futures — and fails
+	// its in-flight Submits — when the connection drops out from under it
+	// (server crash, network failure). The marked submissions are retryable
+	// on a fresh Dial; match with errors.Is.
+	ErrConnLost = serve.ErrConnLost
 )
 
 // Client is the client-facing submission front end over one engine: Submit
