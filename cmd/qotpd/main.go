@@ -43,6 +43,16 @@
 // exit every replica's state hash is checked against the cluster (and, when
 // deterministic, the serial reference).
 //
+// With -failover the fault flips sides: the replication LEADER is SIGKILLed
+// at batch -leaderkill (randomized when 0). The followers' failure detectors
+// fire, they run the deterministic claim-exchange election among themselves
+// (longest durable prefix wins, ties to the lowest node id — no external
+// coordinator), the winner reopens its sealed log at the bumped term, and the
+// batch stream resumes through the promoted node, which now both replicates
+// to the survivors and applies locally. Requires -ackmode k=N so every batch
+// the cluster committed is follower-durable — the demo then pins every
+// surviving replica's state hash against the serial reference.
+//
 // Usage:
 //
 //	qotpd -nodes 4 -batches 10 -batch 2000
@@ -53,6 +63,7 @@
 //	qotpd -nodes 2 -batches 6 -waldir /tmp/qotpd-wal -crashafter 3
 //	qotpd -nodes 2 -batches 6 -waldir /tmp/qotpd-wal   # recovers, finishes, verifies
 //	qotpd -nodes 2 -batches 10 -replicas 2 -ackmode k=1 -killnode 3 -rejoin 7
+//	qotpd -nodes 2 -batches 10 -replicas 2 -ackmode k=1 -failover -leaderkill 4
 package main
 
 import (
@@ -60,6 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -100,6 +112,8 @@ func main() {
 		ackmode    = flag.String("ackmode", "async", "replication ack mode: async, or k=N to gate each commit on N follower acks")
 		killNode   = flag.Int("killnode", 0, "sever replica follower 1 (sockets + goroutines, log kept) after this many batches (0 = never; requires -replicas and -rejoin)")
 		rejoinAt   = flag.Int("rejoin", 0, "restart the killed follower after this many batches: replay local log, fetch the gap, rejoin live (requires -killnode)")
+		failover   = flag.Bool("failover", false, "SIGKILL the replication leader mid-stream and let the followers elect a replacement with no external coordinator (requires -replicas >= 2 and -ackmode k=N)")
+		leaderKill = flag.Int("leaderkill", 0, "sever the replication leader after this many batches (-failover mode; 0 = a randomized mid-stream batch)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -147,6 +161,32 @@ func main() {
 	}
 	if _, _, err := repl.ParseAckMode(*ackmode); err != nil {
 		log.Fatalf("qotpd: %v", err)
+	}
+	if *failover {
+		if *replicas < 2 {
+			log.Fatal("qotpd: -failover requires -replicas >= 2 (the survivors elect among themselves)")
+		}
+		if *serveMode {
+			log.Fatal("qotpd: -failover is a harness-mode demo; it cannot be combined with -serve")
+		}
+		if *killNode > 0 {
+			log.Fatal("qotpd: -failover and -killnode are separate fault schedules; pick one")
+		}
+		if ack, _, _ := repl.ParseAckMode(*ackmode); ack != repl.AckWaitK {
+			// The acked-commit guarantee is what the demo pins: with async acks
+			// the engine may run ahead of replication, and batches only the dead
+			// leader held are legitimately lost — but then the cluster state
+			// cannot be checked against the replicas.
+			log.Fatal("qotpd: -failover requires -ackmode k=N so every committed batch is follower-durable")
+		}
+		if *leaderKill == 0 {
+			*leaderKill = 2 + rand.Intn(max(*batches-3, 1))
+		}
+		if *leaderKill >= *batches {
+			log.Fatalf("qotpd: -leaderkill %d must leave batches to run after the failover (-batches %d)", *leaderKill, *batches)
+		}
+	} else if *leaderKill > 0 {
+		log.Fatal("qotpd: -leaderkill requires -failover")
 	}
 
 	var parts int
@@ -267,7 +307,7 @@ func main() {
 	// kill and rejoin land exactly at batch boundaries.
 	var rs *replSet
 	if *replicas > 0 {
-		rs, err = startRepl(*replicas, *ackmode, *killNode, *rejoinAt, mkGen, parts, *execs)
+		rs, err = startRepl(*replicas, *ackmode, *killNode, *rejoinAt, *leaderKill, mkGen, parts, *execs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -373,6 +413,23 @@ func (r *replicaNode) followerOptions(dir string) repl.FollowerOptions {
 	}
 }
 
+// applyEncoded decodes one replicated batch and executes it on the replica's
+// own engine — the promoted node's apply path once it leads the stream (fresh
+// transaction objects, exactly as a follower would decode them off the wire).
+func (r *replicaNode) applyEncoded(payload []byte) error {
+	txns, _, err := txn.DecodeBatch(payload)
+	if err != nil {
+		return err
+	}
+	reg := r.gen.Registry()
+	for _, t := range txns {
+		if err := reg.Resolve(t); err != nil {
+			return err
+		}
+	}
+	return r.eng.ExecBatch(txns)
+}
+
 // replSet is the -replicas standby fleet: leader endpoint 0 plus n follower
 // endpoints on a dedicated loopback TCP mesh, each follower a full replica.
 // It implements core.BatchLogger, so it plugs straight into the engine's
@@ -391,9 +448,27 @@ type replSet struct {
 
 	killAt, rejoinAt int
 	batches          int
+
+	// -failover state: the leader-kill schedule, the election outcome channel
+	// the followers' OnPromoted callbacks report on, and — once a follower has
+	// won — the reopened leader on the winner's log plus the winner's replica
+	// index (its engine applies the continued stream; it leads now).
+	leaderKillAt  int
+	ack           repl.AckMode
+	waitFor       int
+	promoCh       chan promoted
+	newLeader     *repl.Leader
+	winner        int
+	scratch       []byte
 }
 
-func startRepl(n int, ackmode string, killAt, rejoinAt int, mkGen func() workload.Generator, parts, execs int) (*replSet, error) {
+// promoted is one follower's election win, as reported by its OnPromoted hook.
+type promoted struct {
+	id   int
+	term uint64
+}
+
+func startRepl(n int, ackmode string, killAt, rejoinAt, leaderKillAt int, mkGen func() workload.Generator, parts, execs int) (*replSet, error) {
 	ack, waitFor, err := repl.ParseAckMode(ackmode)
 	if err != nil {
 		return nil, err
@@ -413,6 +488,8 @@ func startRepl(n int, ackmode string, killAt, rejoinAt int, mkGen func() workloa
 	rs := &replSet{
 		lb: lb, root: root, mkGen: mkGen, parts: parts, execs: execs,
 		killAt: killAt, rejoinAt: rejoinAt,
+		leaderKillAt: leaderKillAt, ack: ack, waitFor: waitFor,
+		promoCh: make(chan promoted, n), winner: -1,
 	}
 	fail := func(err error) (*replSet, error) {
 		rs.Close()
@@ -425,7 +502,22 @@ func startRepl(n int, ackmode string, killAt, rejoinAt int, mkGen func() workloa
 		if err != nil {
 			return fail(err)
 		}
-		f, err := repl.StartFollower(lb, id, 0, rep.followerOptions(dir))
+		fo := rep.followerOptions(dir)
+		if leaderKillAt > 0 {
+			// Election-enabled standby: peers are the other followers; a win is
+			// reported so the batch stream can hand over to the new leader.
+			id := id
+			var peers []int
+			for p := 1; p <= n; p++ {
+				if p != id {
+					peers = append(peers, p)
+				}
+			}
+			fo.Peers = peers
+			fo.ElectionTimeout = 150 * time.Millisecond
+			fo.OnPromoted = func(term uint64) { rs.promoCh <- promoted{id: id, term: term} }
+		}
+		f, err := repl.StartFollower(lb, id, 0, fo)
 		if err != nil {
 			return fail(err)
 		}
@@ -446,8 +538,23 @@ func startRepl(n int, ackmode string, killAt, rejoinAt int, mkGen func() workloa
 
 // LogBatch implements core.BatchLogger: replicate the batch input, then run
 // the fault schedule. The engine calls it once per batch in commit order, so
-// kill and rejoin land deterministically between batches.
+// kill, rejoin and the leader failover all land deterministically between
+// batches.
 func (rs *replSet) LogBatch(epoch uint64, txns []*txn.Txn) error {
+	if rs.newLeader != nil {
+		// Post-failover: the promoted node owns the stream — it replicates to
+		// the survivors and applies the batch on its own replica engine (its
+		// follower-time apply hook sealed with the election win).
+		if err := rs.newLeader.LogBatch(epoch, txns); err != nil {
+			return err
+		}
+		rs.scratch = txn.AppendBatch(rs.scratch[:0], txns)
+		if err := rs.reps[rs.winner].applyEncoded(rs.scratch); err != nil {
+			return fmt.Errorf("promoted replica apply: %w", err)
+		}
+		rs.batches++
+		return nil
+	}
 	if err := rs.leader.LogBatch(epoch, txns); err != nil {
 		return err
 	}
@@ -460,6 +567,52 @@ func (rs *replSet) LogBatch(epoch uint64, txns []*txn.Txn) error {
 			return err
 		}
 	}
+	if rs.leaderKillAt > 0 && rs.batches == rs.leaderKillAt {
+		if err := rs.killLeader(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// killLeader is the failover chaos point: SIGKILL the replication leader
+// (sever its sockets mid-stream), wait for the followers' failure detectors
+// to fire and their claim-exchange election to promote one of them, then
+// reopen the winner's sealed log as the new stream head. The batch stream
+// blocks here — the gap between the kill and the handover IS the failover
+// downtime, and it is bounded by detector + election timeouts, not by any
+// external coordinator.
+func (rs *replSet) killLeader() error {
+	rs.lb.Endpoint(0).Close()
+	fmt.Printf("leader killed after batch %d — %d followers must elect a replacement on their own\n",
+		rs.batches, len(rs.fls))
+	start := time.Now()
+	var won promoted
+	select {
+	case won = <-rs.promoCh:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("no follower promoted itself within 30s")
+	}
+	idx := won.id - 1
+	var survivors []int
+	for id := 1; id <= len(rs.fls); id++ {
+		if id != won.id {
+			survivors = append(survivors, id)
+		}
+	}
+	waitFor := rs.waitFor
+	if waitFor > len(survivors) {
+		waitFor = len(survivors)
+	}
+	ldr, err := repl.OpenLeader(rs.dirs[idx], rs.lb, won.id, survivors, repl.Options{
+		Ack: rs.ack, WaitFor: waitFor, AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return fmt.Errorf("takeover on node %d: %w", won.id, err)
+	}
+	rs.newLeader, rs.winner = ldr, idx
+	fmt.Printf("follower %d promoted to leader at term %d after batch %d (downtime %v)\n",
+		won.id, won.term, rs.batches, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -498,8 +651,12 @@ func (rs *replSet) rejoin() error {
 // hash against the live cluster (and transitively the serial reference, when
 // the run was deterministic — verifyHash already equated the two).
 func (rs *replSet) finish(eng *dist.QueCCD, mkGen func() workload.Generator, parts int, hasRef bool) {
-	if err := rs.leader.WaitCaughtUp(30 * time.Second); err != nil {
-		log.Fatalf("qotpd: replicas never caught up: %v (leader stats %+v)", err, rs.leader.Stats())
+	ldr := rs.leader
+	if rs.newLeader != nil {
+		ldr = rs.newLeader
+	}
+	if err := ldr.WaitCaughtUp(30 * time.Second); err != nil {
+		log.Fatalf("qotpd: replicas never caught up: %v (leader stats %+v)", err, ldr.Stats())
 	}
 	var tables []storage.TableID
 	for _, ts := range mkGen().StoreConfig(parts).Tables {
@@ -516,7 +673,7 @@ func (rs *replSet) finish(eng *dist.QueCCD, mkGen func() workload.Generator, par
 		}
 		fmt.Printf("replica %d state hash matches %s\n", i+1, against)
 	}
-	st := rs.leader.Stats()
+	st := ldr.Stats()
 	if rs.rejoinAt > 0 && st.Rejoins == 0 {
 		log.Fatalf("qotpd: follower restarted but never completed a rejoin: %+v", st)
 	}
@@ -527,6 +684,9 @@ func (rs *replSet) finish(eng *dist.QueCCD, mkGen func() workload.Generator, par
 // Close tears the fleet down: leader first (stops the stream), then the
 // followers, the mesh, and the temp logs.
 func (rs *replSet) Close() {
+	if rs.newLeader != nil {
+		_ = rs.newLeader.Close()
+	}
 	if rs.leader != nil {
 		_ = rs.leader.Close()
 	}

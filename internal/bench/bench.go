@@ -118,6 +118,21 @@ type Spec struct {
 	// replication ladder experiment (E19) sweeps this knob.
 	Replicas int
 	ReplAck  string
+	// ReplTCP runs the replication mesh over the in-process TCP loopback
+	// (real sockets, heartbeats and the suspect-based failure detector)
+	// instead of the channel transport — the fabric the failover experiment
+	// (E20) kills a leader on. Steady-state E20 rows set it too, so the
+	// kill rows are compared against a baseline paying the same transport.
+	ReplTCP bool
+	// FailoverKillAt > 0 severs the replication leader's transport endpoint
+	// after that many measured batches: the standbys' failure detectors
+	// fire, they elect a replacement among themselves, and the run resumes
+	// on the promoted node's reopened log. The batch stream blocks for the
+	// whole outage, so the measured throughput carries the dip and
+	// Result.FailoverDowntime the outage length. Requires harness mode
+	// (Clients == 0), a wait-k ack mode (acked batches must be
+	// standby-durable for the stream to continue seamlessly) and ReplTCP.
+	FailoverKillAt int
 }
 
 // walPolicy parses a Spec.WALSync value.
@@ -181,6 +196,10 @@ type Result struct {
 	// runs only; 0 otherwise) — the wire-size budget the varint codec drives
 	// down.
 	BytesPerMsg float64
+	// FailoverDowntime is the leader-kill outage (endpoint severed to log
+	// reopened on the promoted standby); zero unless Spec.FailoverKillAt
+	// triggered.
+	FailoverDowntime time.Duration
 }
 
 // buildGenerator constructs the generator for the spec.
@@ -266,28 +285,73 @@ func Run(s Spec) (Result, error) {
 		wopts.Sync = pol
 	}
 	var batchLogger core.BatchLogger
+	var fl *failoverLogger
 	if s.Replicas > 0 {
 		ack, waitFor, aerr := repl.ParseAckMode(s.ReplAck)
 		if aerr != nil {
 			return Result{}, aerr
 		}
-		rtr := cluster.NewChanTransport(s.Replicas+1, 0)
-		defer rtr.Close()
+		if s.FailoverKillAt > 0 {
+			switch {
+			case !s.ReplTCP:
+				return Result{}, fmt.Errorf("bench: FailoverKillAt requires ReplTCP (the failure detector lives in the TCP transport)")
+			case ack != repl.AckWaitK:
+				return Result{}, fmt.Errorf("bench: FailoverKillAt requires a wait-k ReplAck, got %q", s.ReplAck)
+			case s.Clients > 0:
+				return Result{}, fmt.Errorf("bench: FailoverKillAt requires harness mode (Clients == 0)")
+			case s.FailoverKillAt >= s.Batches:
+				return Result{}, fmt.Errorf("bench: FailoverKillAt %d is past the measured run (%d batches)", s.FailoverKillAt, s.Batches)
+			}
+		}
+		var rtr cluster.Transport
+		var lb *cluster.LoopbackTCP
+		if s.ReplTCP {
+			var terr error
+			lb, terr = cluster.StartLoopbackTCPOpts(s.Replicas+1, cluster.TCPOptions{
+				HeartbeatEvery: 20 * time.Millisecond,
+				SuspectAfter:   250 * time.Millisecond,
+			})
+			if terr != nil {
+				return Result{}, terr
+			}
+			defer lb.Close()
+			rtr = lb
+		} else {
+			ct := cluster.NewChanTransport(s.Replicas+1, 0)
+			defer ct.Close()
+			rtr = ct
+		}
 		root, derr := os.MkdirTemp("", "qotp-bench-repl-")
 		if derr != nil {
 			return Result{}, derr
 		}
 		defer os.RemoveAll(root)
+		promoCh := make(chan benchPromotion, s.Replicas)
+		dirs := make(map[int]string, s.Replicas)
 		followers := make([]int, 0, s.Replicas)
 		for id := 1; id <= s.Replicas; id++ {
-			f, ferr := repl.StartFollower(rtr, id, 0, repl.FollowerOptions{
-				Dir: fmt.Sprintf("%s/node%d", root, id), WAL: wopts,
-			})
+			followers = append(followers, id)
+			dirs[id] = fmt.Sprintf("%s/node%d", root, id)
+		}
+		for _, id := range followers {
+			fo := repl.FollowerOptions{Dir: dirs[id], WAL: wopts}
+			if s.FailoverKillAt > 0 {
+				// Election-enabled standby: peers are the other standbys.
+				for _, p := range followers {
+					if p != id {
+						fo.Peers = append(fo.Peers, p)
+					}
+				}
+				fo.Heartbeat = 20 * time.Millisecond
+				fo.ElectionTimeout = 150 * time.Millisecond
+				id := id
+				fo.OnPromoted = func(term uint64) { promoCh <- benchPromotion{id: id, term: term} }
+			}
+			f, ferr := repl.StartFollower(rtr, id, 0, fo)
 			if ferr != nil {
 				return Result{}, ferr
 			}
 			defer f.Close()
-			followers = append(followers, id)
 		}
 		ldr, lerr := repl.OpenLeader(root+"/leader", rtr, 0, followers, repl.Options{
 			Ack: ack, WaitFor: waitFor, WAL: wopts,
@@ -295,8 +359,18 @@ func Run(s Spec) (Result, error) {
 		if lerr != nil {
 			return Result{}, lerr
 		}
-		defer ldr.Close()
-		batchLogger = ldr
+		if s.FailoverKillAt > 0 {
+			fl = &failoverLogger{
+				lb: lb, ldr: ldr, dirs: dirs, ids: followers,
+				killAfter: s.WarmupBatches + s.FailoverKillAt,
+				promoCh:   promoCh, ack: ack, waitFor: waitFor, wopts: wopts,
+			}
+			defer fl.Close()
+			batchLogger = fl
+		} else {
+			defer ldr.Close()
+			batchLogger = ldr
+		}
 	} else if s.WALSync != "" {
 		dir, derr := os.MkdirTemp("", "qotp-bench-wal-")
 		if derr != nil {
@@ -463,6 +537,12 @@ func Run(s Spec) (Result, error) {
 		snap.Bytes = tr.Bytes() - preBytes
 	}
 	res := Result{Spec: s, Engine: eng.Name(), Snapshot: snap}
+	if fl != nil {
+		if fl.downtime == 0 {
+			return Result{}, fmt.Errorf("bench: FailoverKillAt %d never triggered (%d batches logged)", s.FailoverKillAt, fl.batches)
+		}
+		res.FailoverDowntime = fl.downtime
+	}
 	if processed := snap.Committed + snap.UserAborts; processed > 0 {
 		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(processed)
 	}

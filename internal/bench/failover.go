@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/repl"
+	"github.com/exploratory-systems/qotp/internal/txn"
+	"github.com/exploratory-systems/qotp/internal/wal"
+)
+
+// The failover experiment (E20) measures what the HA ladder's steady-state
+// rows cannot: the price of actually using it. A failoverLogger sits between
+// the engine's commit hook and the replication leader; after a configured
+// number of logged batches it severs the leader's transport endpoint
+// (SIGKILL-equivalent: the TCP failure detector on the standbys fires, they
+// run the claim-exchange election on their own) and blocks the batch stream
+// until a standby promotes itself and the log reopens on the winner. The
+// blocked interval is the recorded failover downtime; the run's throughput
+// over the measured window shows the dip that outage carves out.
+
+// benchPromotion reports a standby's self-promotion.
+type benchPromotion struct {
+	id   int
+	term uint64
+}
+
+// failoverLogger routes the engine's batch log through the original leader
+// until the kill point, then through the promoted one. The engine calls
+// LogBatch serially (batch k+1 is not produced until batch k's log call
+// returns), so no locking is needed and the kill lands exactly at a batch
+// boundary.
+type failoverLogger struct {
+	lb        *cluster.LoopbackTCP
+	ldr       *repl.Leader
+	newLdr    *repl.Leader
+	dirs      map[int]string
+	ids       []int
+	killAfter int // total logged batches (warmup included) before the kill
+	batches   int
+	promoCh   chan benchPromotion
+	ack       repl.AckMode
+	waitFor   int
+	wopts     wal.Options
+	downtime  time.Duration
+}
+
+func (fl *failoverLogger) LogBatch(epoch uint64, txns []*txn.Txn) error {
+	if fl.newLdr != nil {
+		return fl.newLdr.LogBatch(epoch, txns)
+	}
+	if err := fl.ldr.LogBatch(epoch, txns); err != nil {
+		return err
+	}
+	fl.batches++
+	if fl.batches == fl.killAfter {
+		return fl.failOver()
+	}
+	return nil
+}
+
+// failOver kills the leader and waits out the election. The pre-kill
+// WaitCaughtUp quiesces the stream so every standby holds the full acked
+// prefix — any election winner then reopens at exactly the engine's next
+// epoch; the clock starts at the endpoint close, the real outage.
+func (fl *failoverLogger) failOver() error {
+	if err := fl.ldr.WaitCaughtUp(10 * time.Second); err != nil {
+		return fmt.Errorf("bench: pre-kill catch-up: %w", err)
+	}
+	start := time.Now()
+	fl.lb.Endpoint(0).Close()
+	var won benchPromotion
+	select {
+	case won = <-fl.promoCh:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("bench: no standby promoted itself after the leader kill")
+	}
+	survivors := make([]int, 0, len(fl.ids)-1)
+	for _, id := range fl.ids {
+		if id != won.id {
+			survivors = append(survivors, id)
+		}
+	}
+	waitFor := fl.waitFor
+	if waitFor > len(survivors) {
+		waitFor = len(survivors)
+	}
+	ldr2, err := repl.OpenLeader(fl.dirs[won.id], fl.lb, won.id, survivors, repl.Options{
+		Ack: fl.ack, WaitFor: waitFor, AckTimeout: 2 * time.Second, WAL: fl.wopts,
+	})
+	if err != nil {
+		return fmt.Errorf("bench: reopen log on promoted node %d: %w", won.id, err)
+	}
+	fl.newLdr = ldr2
+	fl.downtime = time.Since(start)
+	return nil
+}
+
+func (fl *failoverLogger) Close() error {
+	if fl.newLdr != nil {
+		fl.newLdr.Close()
+	}
+	return fl.ldr.Close()
+}

@@ -31,6 +31,9 @@ type JSONResult struct {
 	MsgsPerTxn   float64 `json:"msgs_per_txn"`
 	AllocsPerTxn float64 `json:"allocs_per_txn"`
 	BytesPerMsg  float64 `json:"bytes_per_msg"`
+	// FailoverDowntimeNs is the leader-kill outage for failover rows (E20);
+	// absent on every other row.
+	FailoverDowntimeNs int64 `json:"failover_downtime_ns,omitempty"`
 }
 
 // JSONExperiment is one experiment's results.
@@ -76,6 +79,7 @@ func (r *JSONReport) Add(e Experiment, results []Result) {
 			MeanNs: s.MeanLat.Nanoseconds(),
 			P50Ns:  s.P50.Nanoseconds(), P99Ns: s.P99.Nanoseconds(), P999Ns: s.P999.Nanoseconds(),
 			AllocsPerTxn: res.AllocsPerTxn, BytesPerMsg: res.BytesPerMsg,
+			FailoverDowntimeNs: res.FailoverDowntime.Nanoseconds(),
 		}
 		if s.Committed > 0 {
 			jr.MsgsPerTxn = float64(s.Messages) / float64(s.Committed)

@@ -74,6 +74,21 @@ const (
 	// MsgReplResume tells a caught-up standby it is back in the live stream
 	// from Batch onward (informational; appends resume at a batch boundary).
 	MsgReplResume
+	// MsgReplVoteReq opens a leader election round: a candidate that declared
+	// the leader dead broadcasts its claim (Flag = proposed term, Batch = its
+	// next contiguous WAL epoch) and collects competing claims.
+	MsgReplVoteReq
+	// MsgReplVote answers a vote request with the responder's own claim
+	// (Flag = its current term, Batch = its next contiguous WAL epoch); the
+	// candidate ranks all claims by durable prefix length, ties by node id.
+	MsgReplVote
+	// MsgReplLeader announces the election winner: Flag carries the new term,
+	// Batch the epoch the new leader will append from. Losers adopt the term
+	// and re-hello the winner.
+	MsgReplLeader
+	// MsgReplFenced rejects a message stamped with a stale term: Flag carries
+	// the receiver's current term. A leader receiving it demotes itself.
+	MsgReplFenced
 )
 
 // Msg is the unit of cluster communication. Payload layouts are owned by the

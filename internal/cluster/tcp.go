@@ -579,6 +579,13 @@ func (t *TCPTransport) redialLocked(i int) error {
 	t.encs[i] = gob.NewEncoder(conn)
 	t.dialAttempts[i] = 0
 	t.nextDial[i] = time.Time{}
+	// Re-admit the peer in the detector's book-keeping: a successful dial is
+	// proof of life, so clear the suspect verdict and restart the silence
+	// clock. Without this a peer that recovered behind a flapping link stayed
+	// permanently marked down (suspected never cleared until it happened to
+	// send us traffic first).
+	t.suspected[i].Store(0)
+	t.lastHeard[i].Store(time.Now().UnixNano())
 	return nil
 }
 

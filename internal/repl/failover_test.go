@@ -1,0 +1,327 @@
+package repl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/core"
+	"github.com/exploratory-systems/qotp/internal/wal"
+	"github.com/exploratory-systems/qotp/internal/workload/ycsb"
+)
+
+// electNode is one election-enabled follower: a full replica plus the peer
+// wiring and a promotion callback that reports through promoCh.
+type electNode struct {
+	id  int
+	dir string
+	rep *replica
+	f   *Follower
+}
+
+type promotion struct {
+	id   int
+	term uint64
+}
+
+func startElectNode(t *testing.T, tr cluster.Transport, id, leader int, peers []int, fs wal.FS, dir string, parts int, hb, et time.Duration, promoCh chan promotion) *electNode {
+	t.Helper()
+	rep := newReplica(t, parts)
+	opts := rep.followerOptions(dir, fs)
+	opts.Heartbeat = hb
+	opts.ElectionTimeout = et
+	opts.Peers = peers
+	opts.OnPromoted = func(term uint64) { promoCh <- promotion{id: id, term: term} }
+	f, err := StartFollower(tr, id, leader, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &electNode{id: id, dir: dir, rep: rep, f: f}
+}
+
+// skipBatches advances a fresh generator past the batches already in the
+// cluster log, so the continuation regenerates the exact deterministic stream
+// the serial reference executes.
+func skipBatches(gen *ycsb.Workload, n uint64, batchSize int) {
+	for i := uint64(0); i < n; i++ {
+		gen.NextBatch(batchSize)
+	}
+}
+
+// TestFailoverElectionTCP is the tentpole acceptance scenario: a 3-node
+// cluster over real TCP, the leader SIGKILLed mid-stream. The transport's
+// failure detector fires on both followers, they run the claim-exchange
+// election with no external coordinator, the longest durable prefix wins,
+// the winner reopens its sealed log as the new leader at the bumped term, the
+// survivor re-enters through the ordinary hello/catch-up path, and the
+// continued stream still reproduces the serial reference hash on every
+// surviving replica.
+func TestFailoverElectionTCP(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 10, 48
+	want := refHash(t, parts, nBatches, batchSize)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	killAt := 3 + rng.Intn(nBatches/2)
+	t.Logf("killing leader after batch %d", killAt)
+
+	lb, err := cluster.StartLoopbackTCPOpts(3, cluster.TCPOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		SuspectAfter:   250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	const hb, et = 20 * time.Millisecond, 150 * time.Millisecond
+	promoCh := make(chan promotion, 2)
+	n1 := startElectNode(t, lb, 1, 0, []int{2}, nil, t.TempDir(), parts, hb, et, promoCh)
+	n2 := startElectNode(t, lb, 2, 0, []int{1}, nil, t.TempDir(), parts, hb, et, promoCh)
+	defer n1.f.Close()
+	defer n2.f.Close()
+
+	opts := Options{Ack: AckWaitK, WaitFor: 1, AckTimeout: 2 * time.Second}
+	ldr, _, step := leaderRun(t, t.TempDir(), lb, []int{1, 2}, opts, parts, batchSize)
+	defer ldr.Close()
+	for i := 0; i < killAt; i++ {
+		step()
+	}
+	if err := ldr.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL the leader: sever its transport. The followers' detectors fire
+	// and the promotion round runs itself.
+	lb.Endpoint(0).Close()
+
+	var won promotion
+	select {
+	case won = <-promoCh:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("no follower promoted itself; f1=%+v f2=%+v", n1.f.Stats(), n2.f.Stats())
+	}
+	if won.term == 0 {
+		t.Fatalf("promotion at term 0")
+	}
+	t.Logf("node %d promoted at term %d", won.id, won.term)
+
+	winner, loser := n1, n2
+	if won.id == 2 {
+		winner, loser = n2, n1
+	}
+	if !winner.f.Promoted() {
+		t.Fatalf("winner %d not marked promoted", winner.id)
+	}
+
+	// Takeover: reopen the winner's sealed log as the new leader. wal.Open's
+	// tail repair is the suspect-tail truncation; the persisted term rides the
+	// manifest.
+	ldr2, err := OpenLeader(winner.dir, lb, winner.id, []int{loser.id}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldr2.Close()
+	if ldr2.Term() != won.term {
+		t.Fatalf("reopened leader at term %d, want %d", ldr2.Term(), won.term)
+	}
+
+	// Continue the deterministic stream where the cluster log ends: a fresh
+	// engine on the winner's applied replica state, a fresh generator advanced
+	// past the logged prefix.
+	start := ldr2.NextEpoch()
+	if start < 1 || start > uint64(nBatches) {
+		t.Fatalf("implausible takeover epoch %d", start)
+	}
+	gen2 := ycsb.MustNew(ycsbCfg(parts))
+	skipBatches(gen2, start, batchSize)
+	eng2, err := core.New(winner.rep.store, core.Config{Planners: 1, Executors: 2, Logger: ldr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	for i := start; i < uint64(nBatches); i++ {
+		if err := eng2.ExecBatch(gen2.NextBatch(batchSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ldr2.WaitCaughtUp(15 * time.Second); err != nil {
+		t.Fatalf("survivor never re-attached to the new leader: %v (loser=%+v)", err, loser.f.Stats())
+	}
+
+	if got := winner.rep.store.StateHash(); got != want {
+		t.Errorf("promoted leader hash %#x, want serial %#x", got, want)
+	}
+	if got := loser.rep.store.StateHash(); got != want {
+		t.Errorf("surviving follower hash %#x, want serial %#x", got, want)
+	}
+	if lt := loser.f.Term(); lt != won.term {
+		t.Errorf("survivor adopted term %d, want %d", lt, won.term)
+	}
+	if ll := loser.f.Leader(); ll != winner.id {
+		t.Errorf("survivor follows %d, want %d", ll, winner.id)
+	}
+	if st := loser.f.Stats(); st.Elections == 0 {
+		t.Errorf("survivor never joined an election round: %+v", st)
+	}
+}
+
+// TestFailoverSplitBrainFencing resurrects the old leader mid-promotion: the
+// election runs while the old leader is "SIGSTOPped" (it is never told about
+// the round — vote traffic only flows between the standbys), so when it wakes
+// and streams its next append at the stale term, the follower must reject it
+// with MsgReplFenced, the zombie must self-demote (LogBatch → ErrDemoted),
+// and the cluster must still converge to the serial reference. Runs on
+// FaultFS so the logs live on the crash-faithful in-memory filesystem.
+func TestFailoverSplitBrainFencing(t *testing.T) {
+	const parts, nBatches, batchSize = 4, 8, 48
+	const killAt = 4
+	want := refHash(t, parts, nBatches, batchSize)
+
+	// Node 3 is the test's own endpoint: it injects the election trigger
+	// (standing in for the failure detector) and otherwise just observes.
+	tr := cluster.NewChanTransport(4, 0)
+	defer tr.Close()
+	fs := wal.NewFaultFS()
+
+	const hb, et = 10 * time.Millisecond, 60 * time.Millisecond
+	promoCh := make(chan promotion, 2)
+	n1 := startElectNode(t, tr, 1, 0, []int{2, 3}, fs, "/f1", parts, hb, et, promoCh)
+	n2 := startElectNode(t, tr, 2, 0, []int{1, 3}, fs, "/f2", parts, hb, et, promoCh)
+	defer n1.f.Close()
+	defer n2.f.Close()
+
+	// The old leader is driven by hand so its post-dethronement appends can be
+	// observed instead of t.Fatal-ing.
+	ldr, err := OpenLeader("/ldr", tr, 0, []int{1, 2}, Options{WAL: wal.Options{FS: fs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldr.Close()
+	gen := ycsb.MustNew(ycsbCfg(parts))
+	for i := 0; i < killAt; i++ {
+		if err := ldr.LogBatch(uint64(i), gen.NextBatch(batchSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ldr.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "leader is dead" verdict: a claim with a hopeless position (epoch 0)
+	// from node 3 opens the round; both standbys join, exchange their real
+	// claims, and node 1 wins the tie at epoch killAt. The old leader hears
+	// nothing — exactly the SIGSTOP window.
+	for _, p := range []int{1, 2} {
+		if err := tr.Send(cluster.Msg{Type: cluster.MsgReplVoteReq, From: 3, To: p, Batch: 0, Flag: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var won promotion
+	select {
+	case won = <-promoCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no promotion; f1=%+v f2=%+v", n1.f.Stats(), n2.f.Stats())
+	}
+	if won.id != 1 || won.term != 1 {
+		t.Fatalf("promotion %+v, want node 1 at term 1 (tie-break to lowest id)", won)
+	}
+	// Wait for the survivor to adopt the new term, so the zombie's next append
+	// is guaranteed to hit a fence rather than a not-yet-updated follower.
+	deadline := time.Now().Add(5 * time.Second)
+	for n2.f.Term() != won.term {
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor never adopted term %d: %+v", won.term, n2.f.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Resurrect: the zombie keeps committing at its stale term. Its streamed
+	// appends must bounce off the fenced follower, and the MsgReplFenced reply
+	// must demote it within a few batches.
+	var demoteErr error
+	for i := killAt; i < killAt+20; i++ {
+		demoteErr = ldr.LogBatch(uint64(i), gen.NextBatch(batchSize))
+		if demoteErr != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !errors.Is(demoteErr, ErrDemoted) {
+		t.Fatalf("zombie LogBatch returned %v, want ErrDemoted", demoteErr)
+	}
+	if term, demoted := ldr.Demoted(); !demoted || term != won.term {
+		t.Fatalf("Demoted() = (%d, %v), want (%d, true)", term, demoted, won.term)
+	}
+	if st := n2.f.Stats(); st.Fencings == 0 {
+		t.Fatalf("survivor never fenced the zombie: %+v", st)
+	}
+
+	// The new reign continues the stream. The zombie burned generator batches
+	// that never replicated, so the continuation uses a fresh generator
+	// positioned at the log's true end.
+	ldr2, err := OpenLeader("/f1", tr, 1, []int{2}, Options{WAL: wal.Options{FS: fs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ldr2.Close()
+	if ldr2.Term() != won.term {
+		t.Fatalf("promoted leader term %d, want %d", ldr2.Term(), won.term)
+	}
+	start := ldr2.NextEpoch()
+	gen2 := ycsb.MustNew(ycsbCfg(parts))
+	skipBatches(gen2, start, batchSize)
+	eng2, err := core.New(n1.rep.store, core.Config{Planners: 1, Executors: 2, Logger: ldr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	for i := start; i < uint64(nBatches); i++ {
+		if err := eng2.ExecBatch(gen2.NextBatch(batchSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ldr2.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := n1.rep.store.StateHash(); got != want {
+		t.Errorf("promoted leader hash %#x, want serial %#x", got, want)
+	}
+	if got := n2.rep.store.StateHash(); got != want {
+		t.Errorf("surviving follower hash %#x, want serial %#x", got, want)
+	}
+}
+
+// TestFailoverReCandidateOnDeadWinner: if the election winner dies before
+// announcing itself, the losing candidate must time out awaiting it and run a
+// fresh round one term up — which, alone, it wins.
+func TestFailoverReCandidateOnDeadWinner(t *testing.T) {
+	const parts, batchSize = 2, 16
+	tr := cluster.NewChanTransport(4, 0)
+	defer tr.Close()
+
+	const hb, et = 10 * time.Millisecond, 50 * time.Millisecond
+	promoCh := make(chan promotion, 1)
+	// Node 1's only peer is node 3 (the test): node 2 plays the dying winner.
+	n1 := startElectNode(t, tr, 1, 0, []int{3}, nil, t.TempDir(), parts, hb, et, promoCh)
+	defer n1.f.Close()
+
+	// Trigger a round node 1 loses: node 3 claims a longer prefix (epoch 5
+	// vs node 1's 0)...
+	if err := tr.Send(cluster.Msg{Type: cluster.MsgReplVoteReq, From: 3, To: 1, Batch: 5, Flag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and then never announces leadership. Node 1 must re-candidate at
+	// term 2 and, with no competing claims, win.
+	select {
+	case won := <-promoCh:
+		if won.id != 1 || won.term != 2 {
+			t.Fatalf("promotion %+v, want node 1 at term 2", won)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("abandoned candidate never re-ran the election: %+v", n1.f.Stats())
+	}
+	if st := n1.f.Stats(); st.Elections < 2 {
+		t.Fatalf("expected at least two election rounds, got %+v", st)
+	}
+}

@@ -37,6 +37,32 @@ type FollowerOptions struct {
 	// position (recovering from leader-side shedding or a lost Resume).
 	// Default 100ms; <0 disables the goroutine (tests drive explicitly).
 	Heartbeat time.Duration
+	// Peers lists the other standby node ids (self and the current leader
+	// excluded). Non-empty enables leader election: when the transport's
+	// failure detector declares the leader dead, this follower becomes a
+	// candidate and runs the deterministic promotion protocol with its
+	// peers — candidates exchange (term, next contiguous WAL epoch) claims,
+	// the longest durable prefix wins, ties break to the lowest node id.
+	Peers []int
+	// ElectionTimeout is the claim settle window: how long a candidate
+	// collects competing claims before ranking them. It also bounds how long
+	// a losing candidate waits for the winner's announcement before starting
+	// a new round at the next term. Default 4×Heartbeat (100ms floor) —
+	// long enough for every live peer's claim to arrive on a LAN, short
+	// enough that failover downtime stays sub-second.
+	ElectionTimeout time.Duration
+	// OnPromoted is called (once, from the follower's internal goroutine)
+	// when this node wins an election at the given term. By then the
+	// follower has persisted the term, sealed its log, and stopped; the
+	// callback performs the takeover — typically repl.OpenLeader on the same
+	// directory (which repairs/truncates any torn suspect tail and picks up
+	// the persisted term) plus starting a fresh serving former on the
+	// replica's applied state.
+	OnPromoted func(term uint64)
+	// OnNewLeader is called when a different node wins an election this
+	// follower participated in or learned of; the follower has already
+	// re-pointed itself at the winner and re-helloed. Informational.
+	OnNewLeader func(leader int, term uint64)
 }
 
 // FollowerStats are the follower's cumulative counters.
@@ -51,6 +77,11 @@ type FollowerStats struct {
 	SnapshotsInstalled uint64
 	// Hellos counts rejoin announcements sent (including the initial one).
 	Hellos uint64
+	// Fencings counts stale-term messages rejected with MsgReplFenced (a
+	// zombie old leader knocking after its dethronement).
+	Fencings uint64
+	// Elections counts election rounds this follower started or joined.
+	Elections uint64
 }
 
 // Follower is a replication standby: it replays its local log on start,
@@ -74,6 +105,21 @@ type Follower struct {
 	err      error
 	closed   bool
 
+	// Term fencing + election state. term is the highest replication term
+	// this follower has adopted (persisted in its own manifest); messages
+	// below it are rejected with MsgReplFenced. While electing, claims
+	// accumulates (node id → next contiguous epoch) for the round at
+	// electTerm until electAt passes; a losing candidate then waits for the
+	// winner until awaitAt before starting a new round.
+	term      uint64
+	electing  bool
+	electTerm uint64
+	claims    map[int]uint64
+	electAt   time.Time
+	awaiting  bool
+	awaitAt   time.Time
+	promoted  bool
+
 	quit chan struct{}
 }
 
@@ -87,6 +133,12 @@ type Follower struct {
 func StartFollower(tr cluster.Transport, id, leader int, opts FollowerOptions) (*Follower, error) {
 	if opts.Heartbeat == 0 {
 		opts.Heartbeat = 100 * time.Millisecond
+	}
+	if opts.ElectionTimeout <= 0 {
+		opts.ElectionTimeout = 4 * opts.Heartbeat
+		if opts.ElectionTimeout < 100*time.Millisecond {
+			opts.ElectionTimeout = 100 * time.Millisecond
+		}
 	}
 	opts.WAL.FS = opts.FS
 	var recovered uint64
@@ -112,7 +164,7 @@ func StartFollower(tr cluster.Transport, id, leader int, opts FollowerOptions) (
 	}
 	f := &Follower{
 		tr: tr, id: id, leader: leader, opts: opts,
-		w: w, next: w.NextEpoch(), quit: make(chan struct{}),
+		w: w, next: w.NextEpoch(), term: w.Term(), quit: make(chan struct{}),
 	}
 	f.mu.Lock()
 	f.helloLocked()
@@ -129,11 +181,11 @@ func StartFollower(tr cluster.Transport, id, leader int, opts FollowerOptions) (
 func (f *Follower) helloLocked() {
 	f.live = false
 	f.stats.Hellos++
-	_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplHello, From: f.id, To: f.leader, Batch: f.next})
+	_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplHello, From: f.id, To: f.leader, Batch: f.next, Flag: f.term})
 }
 
 func (f *Follower) ackLocked() {
-	_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplAck, From: f.id, To: f.leader, Batch: f.next})
+	_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplAck, From: f.id, To: f.leader, Batch: f.next, Flag: f.term})
 }
 
 func (f *Follower) recvLoop() {
@@ -143,14 +195,49 @@ func (f *Follower) recvLoop() {
 			return
 		}
 		if down != nil {
-			// The leader link broke; the transport reconnects with backoff
-			// and the heartbeat loop re-hellos once it heals. Nothing to do.
+			// A peer-down verdict. For any peer but the leader the transport
+			// reconnects with backoff and the heartbeat loop re-hellos once
+			// the link heals — nothing to do. The leader being declared dead
+			// is the failover trigger: become a candidate (when election is
+			// enabled) and run a promotion round with the surviving peers.
+			if len(f.opts.Peers) > 0 {
+				f.mu.Lock()
+				if !f.closed && down.Peer == f.leader && !f.electing {
+					f.startElectionLocked(f.term + 1)
+				}
+				f.mu.Unlock()
+			}
 			continue
 		}
 		select {
 		case <-f.quit:
 			return
 		default:
+		}
+		// Term fencing: leader-originated stream traffic below our adopted
+		// term is a zombie knocking — reject it so the sender demotes itself.
+		// Traffic above our term is the new reign reaching us: adopt it.
+		switch m.Type {
+		case cluster.MsgReplAppend, cluster.MsgReplTail, cluster.MsgReplSnap, cluster.MsgReplResume:
+			f.mu.Lock()
+			if f.closed {
+				f.mu.Unlock()
+				return
+			}
+			if m.Flag < f.term {
+				f.stats.Fencings++
+				_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplFenced, From: f.id, To: m.From, Flag: f.term})
+				f.mu.Unlock()
+				continue
+			}
+			if m.Flag > f.term {
+				if err := f.adoptTermLocked(m.Flag, m.From); err != nil {
+					f.failLocked(err)
+					f.mu.Unlock()
+					return
+				}
+			}
+			f.mu.Unlock()
 		}
 		switch m.Type {
 		case cluster.MsgReplAppend, cluster.MsgReplTail:
@@ -201,6 +288,45 @@ func (f *Follower) recvLoop() {
 			f.mu.Lock()
 			f.progress++
 			f.live = true
+			f.mu.Unlock()
+		case cluster.MsgReplVoteReq:
+			f.mu.Lock()
+			switch {
+			case f.closed:
+				f.mu.Unlock()
+				continue
+			case m.Flag <= f.term:
+				// A round for a term we've already moved past: fence it.
+				f.stats.Fencings++
+				_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplFenced, From: f.id, To: m.From, Flag: f.term})
+			default:
+				// Join the round (or a newer one) and record the candidate's
+				// claim; reply with our own so the claim exchange is
+				// symmetric even under one-way message loss.
+				if !f.electing || m.Flag > f.electTerm {
+					f.startElectionLocked(m.Flag)
+				}
+				if m.Flag == f.electTerm {
+					f.claims[m.From] = m.Batch
+				}
+				_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplVote, From: f.id, To: m.From, Batch: f.next, Flag: m.Flag})
+			}
+			f.mu.Unlock()
+		case cluster.MsgReplVote:
+			f.mu.Lock()
+			if !f.closed && f.electing && m.Flag == f.electTerm {
+				f.claims[m.From] = m.Batch
+			}
+			f.mu.Unlock()
+		case cluster.MsgReplLeader:
+			f.mu.Lock()
+			if !f.closed && m.Flag > f.term {
+				if err := f.adoptTermLocked(m.Flag, m.From); err != nil {
+					f.failLocked(err)
+					f.mu.Unlock()
+					return
+				}
+			}
 			f.mu.Unlock()
 		case cluster.MsgHeartbeat:
 			// Transport- or protocol-level ping; liveness only.
@@ -260,6 +386,90 @@ func (f *Follower) failLocked(err error) {
 	}
 }
 
+// adoptTermLocked moves the follower to a newer term announced by (or
+// streamed from) node leader: persist it, leave any election in flight, and
+// re-hello if the leadership moved. Persisting before acking anything at the
+// new term is what makes the fence durable across this follower's own crash.
+func (f *Follower) adoptTermLocked(term uint64, leader int) error {
+	if err := f.w.SetTerm(term); err != nil {
+		return fmt.Errorf("repl: follower %d persist term %d: %w", f.id, term, err)
+	}
+	f.term = term
+	f.electing, f.awaiting = false, false
+	if leader != f.leader {
+		f.leader = leader
+		f.helloLocked()
+		if f.opts.OnNewLeader != nil {
+			go f.opts.OnNewLeader(leader, term)
+		}
+	}
+	return nil
+}
+
+// startElectionLocked opens (or restarts at a higher term) a promotion round:
+// broadcast our (term, next contiguous epoch) claim to every peer and start
+// the settle window. The heartbeat loop finishes the round when it expires.
+func (f *Follower) startElectionLocked(term uint64) {
+	f.electing, f.awaiting = true, false
+	f.electTerm = term
+	f.claims = map[int]uint64{f.id: f.next}
+	f.electAt = time.Now().Add(f.opts.ElectionTimeout)
+	f.stats.Elections++
+	for _, p := range f.opts.Peers {
+		_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplVoteReq, From: f.id, To: p, Batch: f.next, Flag: term})
+	}
+}
+
+// finishElection ranks the collected claims once the settle window closes:
+// the longest contiguous durable prefix wins, ties break to the lowest node
+// id. Winning seals this follower and hands over to OnPromoted; losing arms
+// the await-the-winner timeout (a dead winner restarts the round one term up).
+func (f *Follower) finishElection() {
+	f.mu.Lock()
+	if f.closed || !f.electing || time.Now().Before(f.electAt) {
+		f.mu.Unlock()
+		return
+	}
+	winner, best := -1, uint64(0)
+	for id, epoch := range f.claims {
+		if winner == -1 || epoch > best || (epoch == best && id < winner) {
+			winner, best = id, epoch
+		}
+	}
+	if winner != f.id {
+		// Lost: the winner announces itself (MsgReplLeader) or simply starts
+		// streaming at the new term; if neither happens, re-candidate.
+		f.electing = false
+		f.awaiting = true
+		f.awaitAt = time.Now().Add(2 * f.opts.ElectionTimeout)
+		f.mu.Unlock()
+		return
+	}
+	// Won: persist the new term, seal the log, announce, and hand over.
+	term := f.electTerm
+	if err := f.w.SetTerm(term); err != nil {
+		f.failLocked(fmt.Errorf("repl: follower %d persist won term %d: %w", f.id, term, err))
+		f.mu.Unlock()
+		return
+	}
+	f.term = term
+	f.electing = false
+	f.promoted = true
+	f.closed = true
+	if err := f.w.Close(); err != nil && f.err == nil {
+		f.err = err
+	}
+	for _, p := range f.opts.Peers {
+		_ = f.tr.Send(cluster.Msg{Type: cluster.MsgReplLeader, From: f.id, To: p, Batch: f.next, Flag: term})
+	}
+	onPromoted := f.opts.OnPromoted
+	f.mu.Unlock()
+	close(f.quit)
+	if onPromoted != nil {
+		onPromoted(term)
+	}
+}
+
 // heartbeatLoop pings the leader every beat and re-hellos when the follower
 // sits outside the live stream with no progress — the self-healing path out
 // of leader-side shedding or a dropped handshake.
@@ -279,6 +489,24 @@ func (f *Follower) heartbeatLoop() {
 			f.mu.Unlock()
 			return
 		}
+		if f.electing {
+			// Mid-election: no leader to ping or hello. Finish the round if
+			// the settle window has closed (outside the lock — it may seal
+			// the follower and call back into the application).
+			due := !time.Now().Before(f.electAt)
+			f.mu.Unlock()
+			if due {
+				f.finishElection()
+			}
+			continue
+		}
+		if f.awaiting && time.Now().After(f.awaitAt) {
+			// The election winner never materialized (it may have died too):
+			// run a fresh round one term up.
+			f.startElectionLocked(f.electTerm + 1)
+			f.mu.Unlock()
+			continue
+		}
 		_ = f.tr.Send(cluster.Msg{Type: cluster.MsgHeartbeat, From: f.id, To: f.leader})
 		if f.live || f.progress != lastProgress {
 			lastProgress, idle = f.progress, 0
@@ -295,6 +523,29 @@ func (f *Follower) Live() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.live
+}
+
+// Term returns the highest replication term this follower has adopted.
+func (f *Follower) Term() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.term
+}
+
+// Promoted reports whether this follower won an election and sealed itself
+// (OnPromoted has been or is being called).
+func (f *Follower) Promoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// Leader returns the node id this follower currently follows (it changes
+// after an election).
+func (f *Follower) Leader() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leader
 }
 
 // NextEpoch returns the first epoch not yet locally durable.

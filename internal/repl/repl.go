@@ -150,12 +150,31 @@ type Stats struct {
 	SnapshotsSent uint64
 	// PeerDown counts failure-detector / send-failure verdicts acted on.
 	PeerDown uint64
+	// Fenced counts stale-term rejections observed (a peer told this leader a
+	// newer term exists; the first one demotes it).
+	Fenced uint64
 }
+
+// ErrDemoted is returned by Leader.LogBatch once a newer-term leader has been
+// elected: this node's reign is over, nothing it appends can commit, and the
+// serving layer should stop cleanly (clients retry against the new leader)
+// rather than treat it as an engine failure. Match with errors.Is; the
+// serving layer detects it structurally (the Demoted marker method) to avoid
+// importing this package.
+var ErrDemoted error = demotedError{}
+
+type demotedError struct{}
+
+func (demotedError) Error() string { return "repl: leader demoted (newer term elected)" }
+
+// Demoted marks the error as a leadership handover rather than a failure.
+func (demotedError) Demoted() bool { return true }
 
 type waiter struct {
 	epoch uint64 // satisfied when >= need followers have acked > epoch
 	need  int
 	ch    chan struct{}
+	err   error // set before ch closes when the wait must fail (demotion)
 }
 
 // Leader replicates a leader node's WAL to standby followers. It implements
@@ -180,6 +199,14 @@ type Leader struct {
 	offset  uint64 // caller epoch + offset == wal epoch
 	offSet  bool
 	closed  bool
+	// term is the fencing token stamped on every outgoing repl message; it is
+	// the WAL manifest's persisted term at open/promotion time. demoted flips
+	// once a peer proves a newer term exists (demotedTo records it): every
+	// subsequent LogBatch fails with ErrDemoted.
+	term       uint64
+	startEpoch uint64 // NextEpoch at open: tie-break vs same-term announcements
+	demoted    bool
+	demotedTo  uint64
 
 	scratch []byte
 	quit    chan struct{}
@@ -205,6 +232,7 @@ func OpenLeader(dir string, tr cluster.Transport, id int, followers []int, opts 
 		tr: tr, id: id, followers: append([]int(nil), followers...),
 		opts: opts, dir: dir, fs: fs,
 		w: w, fls: make(map[int]*followerState), quit: make(chan struct{}),
+		term: w.Term(), startEpoch: w.NextEpoch(),
 	}
 	for _, f := range followers {
 		if f == id {
@@ -225,6 +253,10 @@ func (l *Leader) LogBatch(epoch uint64, txns []*txn.Txn) error {
 	if l.closed {
 		l.mu.Unlock()
 		return errors.New("repl: leader closed")
+	}
+	if l.demoted {
+		l.mu.Unlock()
+		return ErrDemoted
 	}
 	if !l.offSet {
 		l.offset = l.w.NextEpoch() - epoch
@@ -252,7 +284,7 @@ func (l *Leader) LogBatch(epoch uint64, txns []*txn.Txn) error {
 		if st.state != StateLive {
 			continue
 		}
-		if err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplAppend, From: l.id, To: f, Batch: wnext, Payload: payload}); err != nil {
+		if err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplAppend, From: l.id, To: f, Batch: wnext, Flag: l.term, Payload: payload}); err != nil {
 			l.markDownLocked(f, err)
 			continue
 		}
@@ -281,7 +313,7 @@ func (l *Leader) LogBatch(epoch uint64, txns []*txn.Txn) error {
 	defer timer.Stop()
 	select {
 	case <-wt.ch:
-		return nil
+		return wt.err
 	case <-l.quit:
 		return nil
 	case <-timer.C:
@@ -335,6 +367,44 @@ func (l *Leader) removeWaiterLocked(wt *waiter) {
 	}
 }
 
+// demoteLocked ends this node's reign: a peer proved a newer term exists.
+// Every pending ack wait fails with ErrDemoted (the batch must NOT be acked
+// to clients — only the new leader's log defines what committed), and every
+// subsequent LogBatch fails fast. The log is left open for inspection; the
+// application closes the leader and rejoins the cluster as a follower.
+func (l *Leader) demoteLocked(newTerm uint64) {
+	if l.demoted {
+		if newTerm > l.demotedTo {
+			l.demotedTo = newTerm
+		}
+		return
+	}
+	l.demoted = true
+	l.demotedTo = newTerm
+	l.stats.Fenced++
+	waiters := l.waiters
+	l.waiters = nil
+	for _, wt := range waiters {
+		wt.err = ErrDemoted
+		close(wt.ch)
+	}
+}
+
+// Demoted reports whether a newer-term leader has fenced this one off, and
+// the term that did it.
+func (l *Leader) Demoted() (term uint64, demoted bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.demotedTo, l.demoted
+}
+
+// Term returns the replication term this leader reigns at.
+func (l *Leader) Term() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
+}
+
 func (l *Leader) markDownLocked(f int, cause error) {
 	st := l.fls[f]
 	if st == nil || st.state == StateDown {
@@ -377,7 +447,37 @@ func (l *Leader) recvLoop() {
 			l.mu.Unlock()
 			continue
 		}
+		if m.Flag > 0 {
+			// Every repl message carries its sender's term. Any term above
+			// ours is proof a newer leader was elected: this node's reign is
+			// over, regardless of the message kind.
+			l.mu.Lock()
+			if m.Flag > l.term && !l.closed {
+				l.demoteLocked(m.Flag)
+				l.mu.Unlock()
+				continue
+			}
+			l.mu.Unlock()
+		}
 		switch m.Type {
+		case cluster.MsgReplFenced:
+			// Stale-term rejection at our own term or below after the check
+			// above: already demoted or a late duplicate; nothing to do.
+		case cluster.MsgReplVoteReq:
+			// A follower is holding an election at a term we've already
+			// fenced (its Flag was <= our term). Re-assert leadership so
+			// spurious detector verdicts don't split the cluster.
+			_ = l.tr.Send(cluster.Msg{Type: cluster.MsgReplLeader, From: l.id, To: m.From, Batch: l.startEpoch, Flag: l.term})
+		case cluster.MsgReplLeader:
+			// Same-term announcement from another node: dual promotion after
+			// a partitioned election. The longer log wins, ties to the lower
+			// node id.
+			l.mu.Lock()
+			if !l.closed && m.Flag == l.term && m.From != l.id &&
+				(m.Batch > l.startEpoch || (m.Batch == l.startEpoch && m.From < l.id)) {
+				l.demoteLocked(m.Flag)
+			}
+			l.mu.Unlock()
 		case cluster.MsgReplAck:
 			l.mu.Lock()
 			st := l.fls[m.From]
@@ -417,8 +517,15 @@ func (l *Leader) recvLoop() {
 			}
 			l.mu.Unlock()
 		case cluster.MsgHeartbeat:
-			// Protocol-level liveness only; the TCP transport's detector
-			// consumes its own heartbeats before they get here.
+			// Proof of life from a follower the detector had written off:
+			// re-admit it through catch-up from its last acked position.
+			// (The TCP transport consumes its own heartbeats; these are the
+			// follower protocol's beats, which reach us on any transport.)
+			l.mu.Lock()
+			if st := l.fls[m.From]; st != nil && st.state == StateDown {
+				l.toCatchupLocked(m.From, st.acked)
+			}
+			l.mu.Unlock()
 		default:
 			// Not ours (e.g. a stray protocol message): ignore.
 		}
@@ -450,7 +557,7 @@ func (l *Leader) serveCatchup(f int) {
 				l.mu.Unlock()
 				return
 			}
-			if err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplSnap, From: l.id, To: f, Batch: epoch, Payload: image}); err != nil {
+			if err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplSnap, From: l.id, To: f, Batch: epoch, Flag: l.term, Payload: image}); err != nil {
 				l.markDownLocked(f, err)
 				l.mu.Unlock()
 				return
@@ -463,7 +570,7 @@ func (l *Leader) serveCatchup(f int) {
 			// Caught up: resume the live stream at this batch boundary.
 			st.state = StateLive
 			l.stats.Rejoins++
-			err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplResume, From: l.id, To: f, Batch: next})
+			err := l.tr.Send(cluster.Msg{Type: cluster.MsgReplResume, From: l.id, To: f, Batch: next, Flag: l.term})
 			if err != nil {
 				l.markDownLocked(f, err)
 			}
@@ -479,7 +586,7 @@ func (l *Leader) serveCatchup(f int) {
 			// Clone: the channel transport retains the slice until the
 			// follower consumes it; ReadRange reuses its buffer per record.
 			p := append([]byte(nil), payload...)
-			if e := l.tr.Send(cluster.Msg{Type: cluster.MsgReplTail, From: l.id, To: f, Batch: epoch, Payload: p}); e != nil {
+			if e := l.tr.Send(cluster.Msg{Type: cluster.MsgReplTail, From: l.id, To: f, Batch: epoch, Flag: l.term, Payload: p}); e != nil {
 				sendErr = e
 				return e
 			}

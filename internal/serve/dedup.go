@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"sync"
+
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// dedupRetain bounds the per-client ring of resolved outcomes. A client
+// resubmits promptly after a connection loss, so its duplicate lands well
+// inside the ring; entries older than the ring are still *known* duplicates
+// (seq below the client's high-water mark) but their exact verdict has been
+// evicted and is reported as committed — see Admit.
+const dedupRetain = 1024
+
+// dedupState classifies an Admit result.
+type dedupState int
+
+const (
+	// dedupNew: first sighting of (client, seq); the submission executes.
+	dedupNew dedupState = iota
+	// dedupInflight: the same (client, seq) is already queued or executing;
+	// the duplicate attaches to the original's Future instead of re-entering
+	// the batch stream.
+	dedupInflight
+	// dedupResolved: the original already reached its commit point; the
+	// duplicate resolves from the recorded verdict without executing.
+	dedupResolved
+)
+
+// dedupEntry is one tracked submission: its shared Future while in flight,
+// then just the verdict once resolved.
+type dedupEntry struct {
+	fut       *Future
+	committed bool
+	resolved  bool
+}
+
+// clientWindow is one client session's dedup state: the highest sequence ever
+// admitted plus a bounded FIFO of recent entries.
+type clientWindow struct {
+	maxSeq  uint64
+	entries map[uint64]*dedupEntry
+	order   []uint64 // admission order, for ring eviction
+}
+
+// DedupWindow provides exactly-once resubmission semantics for client
+// transactions carrying a (ClientID, ClientSeq) identity: a transaction the
+// server has already seen resolves from the window — sharing the in-flight
+// Future or replaying the recorded verdict — instead of executing twice.
+//
+// The window is replicated for free: client identities ride the transactions'
+// wire encoding, which is exactly what the WAL logs and replication streams,
+// so a promoted follower rebuilds the window by observing every batch it
+// replays/applies (ObserveBatch) and a resubmitted pre-failover transaction
+// hits the rebuilt window on the new leader.
+type DedupWindow struct {
+	mu      sync.Mutex
+	clients map[uint64]*clientWindow
+}
+
+// NewDedupWindow returns an empty window.
+func NewDedupWindow() *DedupWindow {
+	return &DedupWindow{clients: make(map[uint64]*clientWindow)}
+}
+
+func (d *DedupWindow) client(cid uint64) *clientWindow {
+	cw := d.clients[cid]
+	if cw == nil {
+		cw = &clientWindow{entries: make(map[uint64]*dedupEntry)}
+		d.clients[cid] = cw
+	}
+	return cw
+}
+
+// Admit registers (cid, seq) with its submission Future. The first sighting
+// returns dedupNew; a duplicate of an in-flight submission returns the
+// original's Future (the caller hands it to the resubmitter — one execution,
+// two observers); a duplicate of a resolved submission returns its verdict.
+// A duplicate so old its verdict was evicted from the ring reports committed
+// (the client observed nothing for that long only if it stopped caring).
+func (d *DedupWindow) Admit(cid, seq uint64, fut *Future) (prior *Future, committed bool, state dedupState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cw := d.client(cid)
+	if e := cw.entries[seq]; e != nil {
+		if e.resolved {
+			return nil, e.committed, dedupResolved
+		}
+		return e.fut, false, dedupInflight
+	}
+	if cw.maxSeq > dedupRetain && seq <= cw.maxSeq-dedupRetain {
+		// So far below the high-water mark it must have been evicted from
+		// the ring: a very old duplicate; its outcome was delivered (or
+		// delivery was abandoned) long ago. Seqs merely *near* the mark that
+		// are absent from the ring were Forgotten (rejected/failed) and must
+		// re-execute.
+		return nil, true, dedupResolved
+	}
+	if seq > cw.maxSeq {
+		cw.maxSeq = seq
+	}
+	cw.entries[seq] = &dedupEntry{fut: fut}
+	cw.order = append(cw.order, seq)
+	for len(cw.order) > dedupRetain {
+		delete(cw.entries, cw.order[0])
+		cw.order = cw.order[1:]
+	}
+	return nil, false, dedupNew
+}
+
+// Observe records (or re-records) the final verdict for (cid, seq), dropping
+// any Future reference. Use Resolve-time on the serving path and replay-time
+// when rebuilding the window from the log.
+func (d *DedupWindow) Observe(cid, seq uint64, committed bool) {
+	if cid == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cw := d.client(cid)
+	if e := cw.entries[seq]; e != nil {
+		e.fut = nil
+		e.committed, e.resolved = committed, true
+		return
+	}
+	if seq > cw.maxSeq {
+		cw.maxSeq = seq
+	}
+	cw.entries[seq] = &dedupEntry{committed: committed, resolved: true}
+	cw.order = append(cw.order, seq)
+	for len(cw.order) > dedupRetain {
+		delete(cw.entries, cw.order[0])
+		cw.order = cw.order[1:]
+	}
+}
+
+// ObserveBatch records every client-identified transaction of an executed
+// batch with its verdict. Replicas call this from their apply hook (and
+// recovery replay), which is what makes the window survive failover.
+func (d *DedupWindow) ObserveBatch(txns []*txn.Txn) {
+	for _, t := range txns {
+		if t.ClientID != 0 {
+			d.Observe(t.ClientID, t.ClientSeq, !t.Aborted())
+		}
+	}
+}
+
+// Forget removes an in-flight entry whose submission never reached the
+// engine (queue rejection) or failed terminally — the client's resubmission
+// must execute, not attach to a dead Future.
+func (d *DedupWindow) Forget(cid, seq uint64) {
+	if cid == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cw := d.clients[cid]
+	if cw == nil {
+		return
+	}
+	if e := cw.entries[seq]; e != nil && !e.resolved {
+		delete(cw.entries, seq)
+		for i, s := range cw.order {
+			if s == seq {
+				cw.order = append(cw.order[:i], cw.order[i+1:]...)
+				break
+			}
+		}
+	}
+}

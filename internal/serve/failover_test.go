@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/exploratory-systems/qotp/internal/txn"
+)
+
+// TestDedupWindowStates walks Admit through its three verdicts and the
+// Forget/eviction edges.
+func TestDedupWindowStates(t *testing.T) {
+	d := NewDedupWindow()
+	const cid = 7
+
+	// First sighting executes.
+	f1 := newFuture()
+	if prior, _, state := d.Admit(cid, 1, f1); state != dedupNew || prior != nil {
+		t.Fatalf("first Admit: state=%v prior=%v, want dedupNew", state, prior)
+	}
+	// Duplicate while in flight shares the original's Future.
+	if prior, _, state := d.Admit(cid, 1, newFuture()); state != dedupInflight || prior != f1 {
+		t.Fatalf("in-flight duplicate: state=%v prior=%p, want dedupInflight with original future", state, prior)
+	}
+	// After resolution the verdict replays without executing.
+	d.Observe(cid, 1, true)
+	if _, committed, state := d.Admit(cid, 1, newFuture()); state != dedupResolved || !committed {
+		t.Fatalf("resolved duplicate: state=%v committed=%v, want dedupResolved committed", state, committed)
+	}
+	// Aborted verdicts replay too — an abort is deterministic and permanent.
+	d.Observe(cid, 2, false)
+	if _, committed, state := d.Admit(cid, 2, newFuture()); state != dedupResolved || committed {
+		t.Fatalf("resolved abort: state=%v committed=%v, want dedupResolved aborted", state, committed)
+	}
+
+	// Forget (queue rejection / terminal failure): the seq must re-execute.
+	d.Admit(cid, 3, newFuture())
+	d.Forget(cid, 3)
+	if _, _, state := d.Admit(cid, 3, newFuture()); state != dedupNew {
+		t.Fatalf("forgotten seq re-admitted as %v, want dedupNew", state)
+	}
+	// Forget never erases a resolved verdict.
+	d.Forget(cid, 1)
+	if _, committed, state := d.Admit(cid, 1, newFuture()); state != dedupResolved || !committed {
+		t.Fatalf("resolved verdict lost to Forget: state=%v committed=%v", state, committed)
+	}
+
+	// Eviction: push the ring far past dedupRetain; a seq provably beyond the
+	// ring's reach reports committed (known-old duplicate), while one merely
+	// absent near the high-water mark re-executes.
+	for seq := uint64(10); seq < 10+2*dedupRetain; seq += 2 { // even seqs only
+		d.Observe(cid, seq, true)
+	}
+	if _, committed, state := d.Admit(cid, 10, newFuture()); state != dedupResolved || !committed {
+		t.Fatalf("evicted-old duplicate: state=%v committed=%v, want resolved committed", state, committed)
+	}
+	// An odd seq near the mark was never admitted: it is new work.
+	top := uint64(10 + 2*dedupRetain - 1)
+	if _, _, state := d.Admit(cid, top, newFuture()); state != dedupNew {
+		t.Fatalf("fresh near-mark seq admitted as %v, want dedupNew", state)
+	}
+}
+
+// TestResubmitDedupExactlyOnce is the satellite acceptance scenario at the
+// serving layer: a client's transaction commits on the leader, the leader
+// dies before the ack reaches the client, and the client resubmits to the
+// promoted node — whose dedup window was rebuilt from the replicated batch.
+// The resubmission must resolve committed WITHOUT executing again (engine
+// sees nothing, batch counters unchanged), and only a genuinely new sequence
+// executes.
+func TestResubmitDedupExactlyOnce(t *testing.T) {
+	ctx := context.Background()
+
+	// Leader A: execute the client's txn 1 and capture the logged batch — the
+	// bytes replication would have shipped.
+	var logged [][]byte
+	logA := loggerFunc(func(_ uint64, txns []*txn.Txn) error {
+		logged = append(logged, txn.AppendBatch(nil, txns))
+		return nil
+	})
+	engA := &fakeEngine{}
+	srvA, err := New(engA, Config{MaxBatch: 4, MaxDelay: -1, WAL: logA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := mkTxn(1)
+	t1.ClientID, t1.ClientSeq = 42, 1
+	out, err := srvA.Session().Exec(ctx, t1)
+	if err != nil || !out.Committed {
+		t.Fatalf("leader exec: out=%+v err=%v", out, err)
+	}
+	if err := srvA.Close(); err != nil { // the ack is "lost"; the leader dies
+		t.Fatal(err)
+	}
+	if len(logged) != 1 {
+		t.Fatalf("logged %d batches, want 1", len(logged))
+	}
+
+	// Promotion: the new node replays the replicated batch into its own state
+	// machine and rebuilds the dedup window from the same bytes.
+	window := NewDedupWindow()
+	replayed, _, err := txn.DecodeBatch(logged[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	window.ObserveBatch(replayed)
+
+	engB := &fakeEngine{}
+	srvB, err := New(engB, Config{MaxBatch: 4, MaxDelay: -1, Dedup: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	// The client resubmits the same (ClientID, ClientSeq): committed exactly
+	// once — the verdict replays, the engine never sees the duplicate.
+	re := mkTxn(1)
+	re.ClientID, re.ClientSeq = 42, 1
+	out, err = srvB.Session().Exec(ctx, re)
+	if err != nil || !out.Committed {
+		t.Fatalf("resubmission: out=%+v err=%v", out, err)
+	}
+	if got := engB.batchSizes(); len(got) != 0 {
+		t.Fatalf("resubmission executed batches %v, want none", got)
+	}
+
+	// New work still executes.
+	t2 := mkTxn(2)
+	t2.ClientID, t2.ClientSeq = 42, 2
+	if out, err := srvB.Session().Exec(ctx, t2); err != nil || !out.Committed {
+		t.Fatalf("fresh seq: out=%+v err=%v", out, err)
+	}
+	if got := engB.batchSizes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("fresh seq batches %v, want [1]", got)
+	}
+}
+
+// loggerFunc adapts a func to BatchLogger.
+type loggerFunc func(epoch uint64, txns []*txn.Txn) error
+
+func (f loggerFunc) LogBatch(epoch uint64, txns []*txn.Txn) error { return f(epoch, txns) }
+
+// TestDuplicateSharesInflightFuture: a resubmission racing the original's
+// execution must not re-enter the batch stream — both observers get the one
+// verdict.
+func TestDuplicateSharesInflightFuture(t *testing.T) {
+	ctx := context.Background()
+	eng := &fakeEngine{gate: make(chan struct{})}
+	srv, err := New(eng, Config{MaxBatch: 1, MaxDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	t1 := mkTxn(1)
+	t1.ClientID, t1.ClientSeq = 9, 1
+	fut1, err := srv.Submit(ctx, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := mkTxn(1)
+	dup.ClientID, dup.ClientSeq = 9, 1
+	fut2, err := srv.Submit(ctx, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fut2 != fut1 {
+		t.Fatalf("duplicate got its own future")
+	}
+	close(eng.gate)
+	if out := fut2.Outcome(); !out.Committed || out.Err != nil {
+		t.Fatalf("shared outcome %+v, want committed", out)
+	}
+	if got := eng.batchSizes(); len(got) != 1 {
+		t.Fatalf("executed %v batches, want exactly one", got)
+	}
+}
+
+// TestFailoverClientReconnects: the failover client rides out its server
+// dying mid-stream by redialing the advertised peer list and resubmitting;
+// sequence identities are stamped once and survive the retry.
+func TestFailoverClientReconnects(t *testing.T) {
+	ctx := context.Background()
+	mk := func() (*TCPServer, *Server, *fakeEngine, string) {
+		eng := &fakeEngine{}
+		srv, err := New(eng, Config{MaxBatch: 8, MaxDelay: time.Millisecond, Block: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := ServeTCP(lis, srv, txn.Registry{})
+		return ts, srv, eng, ts.Addr().String()
+	}
+	tsA, srvA, _, addrA := mk()
+	tsB, srvB, engB, addrB := mk()
+	defer func() { tsB.Close(); srvB.Close() }()
+
+	fc, err := DialFailover(FailoverOptions{
+		Addrs:      []string{addrA, addrB},
+		ClientID:   77,
+		RetryEvery: 10 * time.Millisecond,
+		RetryFor:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	if out, err := fc.Exec(ctx, mkTxn(1)); err != nil || !out.Committed {
+		t.Fatalf("pre-failover exec: out=%+v err=%v", out, err)
+	}
+
+	// Server A dies. In-flight and subsequent submissions must fail over to B.
+	tsA.Close()
+	srvA.Close()
+
+	var wg sync.WaitGroup
+	outs := make([]Outcome, 8)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := fc.Exec(ctx, mkTxn(uint64(10+i)))
+			if err != nil {
+				out.Err = err
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out.Err != nil || !out.Committed {
+			t.Fatalf("post-failover exec %d: %+v", i, out)
+		}
+	}
+	if got := engB.batchSizes(); len(got) == 0 {
+		t.Fatalf("survivor executed nothing")
+	}
+
+	// The client's identity stamping is monotonic and unique.
+	if seq := fc.seq.Load(); seq != 9 {
+		t.Fatalf("client seq counter %d, want 9", seq)
+	}
+}
+
+// TestDemotionStopsCleanly (satellite a): a BatchLogger failing with a
+// demotion-marked error must NOT poison the server as an engine failure —
+// pending and later submissions resolve with the retryable ErrConnLost, so
+// remote clients redial the new leader instead of reporting a crash.
+func TestDemotionStopsCleanly(t *testing.T) {
+	ctx := context.Background()
+	demote := demotedErr{}
+	logged := false
+	log := loggerFunc(func(_ uint64, _ []*txn.Txn) error {
+		if logged {
+			return demote
+		}
+		logged = true
+		return nil
+	})
+	eng := &fakeEngine{}
+	srv, err := New(eng, Config{MaxBatch: 1, MaxDelay: -1, WAL: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if out, err := srv.Session().Exec(ctx, mkTxn(1)); err != nil || !out.Committed {
+		t.Fatalf("first exec: out=%+v err=%v", out, err)
+	}
+	// Second batch hits the demotion: its future must resolve ErrConnLost...
+	fut, err := srv.Submit(ctx, mkTxn(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fut.Outcome(); !errors.Is(out.Err, ErrConnLost) {
+		t.Fatalf("demoted batch resolved %+v, want ErrConnLost", out)
+	}
+	// ...and so must every later submission (fast-fail, not a wedge).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := srv.Submit(ctx, mkTxn(3)); errors.Is(err, ErrConnLost) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions after demotion never surfaced ErrConnLost")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Err(); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("server error %v, want ErrConnLost", err)
+	}
+}
+
+// demotedErr mirrors repl.ErrDemoted's structural marker without importing
+// the repl package into the serve tests.
+type demotedErr struct{}
+
+func (demotedErr) Error() string { return "test: demoted" }
+func (demotedErr) Demoted() bool { return true }

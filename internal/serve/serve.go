@@ -102,6 +102,13 @@ type Config struct {
 	// an engine-level logger (core.Config.Logger), not both — they would log
 	// the same batches twice.
 	WAL BatchLogger
+	// Dedup is the exactly-once resubmission window consulted for every
+	// submission carrying a client identity (txn.ClientID != 0). Nil creates
+	// a fresh empty window. A promoted replication leader passes the window
+	// it rebuilt from log replay, so transactions the dead leader committed
+	// resolve from the window instead of executing twice when their clients
+	// resubmit.
+	Dedup *DedupWindow
 }
 
 // BatchLogger is the durability hook the former calls with each formed batch
@@ -303,6 +310,7 @@ type Server struct {
 	stats    metrics.Stats
 	started  time.Time
 	batchSeq atomic.Uint64
+	dedup    *DedupWindow
 
 	done chan struct{} // closed when the former has drained and exited
 
@@ -347,9 +355,13 @@ func New(eng engine.Engine, cfg Config) (*Server, error) {
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg,
+		dedup:   cfg.Dedup,
 		in:      make(chan submission, cfg.MaxPending),
 		done:    make(chan struct{}),
 		started: time.Now(),
+	}
+	if s.dedup == nil {
+		s.dedup = NewDedupWindow()
 	}
 	if p, ok := eng.(engine.Pipeliner); ok && p.Pipelined() {
 		s.pipe = p
@@ -405,6 +417,19 @@ func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future
 	if s.specAcks {
 		fut = newSpecFuture()
 	}
+	if t.ClientID != 0 {
+		// Exactly-once resubmission: a duplicate of an in-flight submission
+		// shares its Future (one execution, two observers); a duplicate of a
+		// resolved one replays the recorded verdict without executing.
+		prior, committed, state := s.dedup.Admit(t.ClientID, t.ClientSeq, fut)
+		switch state {
+		case dedupInflight:
+			return prior, nil
+		case dedupResolved:
+			fut.resolve(Outcome{Committed: committed})
+			return fut, nil
+		}
+	}
 	sub := submission{t: t, fut: fut, sess: sess, enq: time.Now()}
 
 	// The RLock fences Submit sends against Close: Close flips closed under
@@ -413,6 +438,7 @@ func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
+		s.dedup.Forget(t.ClientID, t.ClientSeq)
 		return nil, ErrClosed
 	}
 	// Count the submission *before* handing it to the former: once the send
@@ -427,6 +453,7 @@ func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future
 		if sess != nil {
 			sess.submitted.Add(^uint64(0))
 		}
+		s.dedup.Forget(t.ClientID, t.ClientSeq)
 		return nil, err
 	}
 	if s.cfg.Block {
@@ -478,6 +505,16 @@ func (s *Server) run() {
 	// Close so Block-mode submitters can never wedge on a full queue nobody
 	// drains; each straggler fails fast.
 	fail := func(err error, batches ...[]submission) {
+		if isDemotion(err) {
+			// Leadership handover, not an engine failure: the replication
+			// layer fenced this node off because a newer-term leader owns
+			// the stream. Stop cleanly — pending and future submissions
+			// resolve with the retryable ErrConnLost, telling clients to
+			// redial the new leader and resubmit (the dedup window there
+			// makes the resubmission exactly-once). Nothing here poisons the
+			// engine; its state is simply no longer authoritative.
+			err = ErrConnLost
+		}
 		s.failure.CompareAndSwap(nil, err)
 		for _, b := range batches {
 			s.failBatch(b, err)
@@ -597,6 +634,14 @@ func (s *Server) run() {
 		}
 		s.resolveBatch(inflight, s.batchSeq.Load())
 	}
+}
+
+// isDemotion reports whether err marks a replication-leadership handover
+// (repl.ErrDemoted) rather than a genuine engine/WAL failure. Detected
+// structurally so the serving layer stays decoupled from the repl package.
+func isDemotion(err error) bool {
+	var d interface{ Demoted() bool }
+	return errors.As(err, &d) && d.Demoted()
 }
 
 // failWindow fails every batch still in the speculative window. Retraction
@@ -908,13 +953,17 @@ func (s *Server) resolveBatch(batch []submission, seq uint64) {
 				sub.sess.aborted.Add(1)
 			}
 		}
+		s.dedup.Observe(sub.t.ClientID, sub.t.ClientSeq, committed)
 		sub.fut.resolve(Outcome{Committed: committed, Latency: lat, Batch: seq})
 	}
 }
 
 // failBatch resolves every future of a batch with a terminal engine error.
+// The batch never reached its commit point, so its client-identified entries
+// leave the dedup window: a resubmission must execute, not replay.
 func (s *Server) failBatch(batch []submission, err error) {
 	for i := range batch {
+		s.dedup.Forget(batch[i].t.ClientID, batch[i].t.ClientSeq)
 		batch[i].fut.resolve(Outcome{Err: err})
 	}
 }

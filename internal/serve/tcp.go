@@ -9,8 +9,10 @@
 //	          error string (rest of frame; status=statusError only)
 //
 // Statuses: statusCommitted, statusAborted (deterministic logic abort),
-// statusOverloaded (queue full, transaction not accepted — retryable) and
-// statusError (terminal engine failure or rejected submission).
+// statusOverloaded (queue full, transaction not accepted — retryable),
+// statusError (terminal engine failure or rejected submission) and
+// statusRetry (the serving node lost leadership mid-flight — redial the
+// cluster and resubmit; maps to ErrConnLost client-side).
 //
 // Responses to one connection are written in submission order. That costs
 // nothing: the former resolves futures batch-at-a-time in batch order, and a
@@ -37,6 +39,7 @@ const (
 	statusAborted
 	statusOverloaded
 	statusError
+	statusRetry
 )
 
 // maxFrame bounds both request and response frames; a hostile length prefix
@@ -192,12 +195,17 @@ func (t *TCPServer) handle(conn net.Conn) {
 				buf = append(buf, statusAborted)
 			case errors.Is(out.Err, ErrOverloaded):
 				buf = append(buf, statusOverloaded)
+			case errors.Is(out.Err, ErrConnLost):
+				// The former stopped on demotion: this node no longer leads.
+				// Tell the client explicitly (its conn to us is still fine)
+				// so it redials the cluster and resubmits.
+				buf = append(buf, statusRetry)
 			default:
 				buf = append(buf, statusError)
 			}
 			buf = binary.AppendUvarint(buf, uint64(out.Latency.Nanoseconds()))
 			buf = binary.AppendUvarint(buf, out.Batch)
-			if out.Err != nil && !errors.Is(out.Err, ErrOverloaded) {
+			if out.Err != nil && !errors.Is(out.Err, ErrOverloaded) && !errors.Is(out.Err, ErrConnLost) {
 				buf = append(buf, out.Err.Error()...)
 			}
 			if err := writeFrame(conn, buf); err != nil {
@@ -372,6 +380,8 @@ func (c *RemoteClient) readLoop() {
 		case statusAborted:
 		case statusOverloaded:
 			out = Outcome{Err: ErrOverloaded}
+		case statusRetry:
+			out = Outcome{Err: ErrConnLost}
 		default:
 			msg := string(rest[n1+n2:])
 			if msg == "" {

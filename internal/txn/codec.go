@@ -11,7 +11,8 @@ import (
 // shipping between cluster nodes. Layout (little endian; `uv` denotes an
 // unsigned LEB128 varint, binary.AppendUvarint):
 //
-//	txn:  id u64 | batchPos u32 | profile u8 | nFrags u16 | frags...
+//	txn:  id u64 | batchPos u32 | profile u8 | clientID uv | clientSeq uv |
+//	      nFrags u16 | frags...
 //	frag: table u8 | key uv | access u8 | abortable u8 | op u16 |
 //	      nArgs u8 | args (uv each) | nNeed u8 | needVars (u8 each) |
 //	      nPub u8 | pubVars (u8 each)
@@ -36,6 +37,14 @@ func appendTxnWith(buf []byte, t *Txn, withSeq bool) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, t.ID)
 	buf = binary.LittleEndian.AppendUint32(buf, t.BatchPos)
 	buf = append(buf, t.Profile)
+	if !withSeq {
+		// Client submission identity rides the full layout only: it is what
+		// the WAL logs and what replication streams, so the dedup window
+		// rebuilds from replay. The shadow layout ships planner-internal
+		// fragments between nodes and never reaches the dedup path.
+		buf = binary.AppendUvarint(buf, t.ClientID)
+		buf = binary.AppendUvarint(buf, t.ClientSeq)
+	}
 	if withSeq {
 		buf = append(buf, byte(len(t.FwdVars)))
 		for _, r := range t.FwdVars {
@@ -159,6 +168,14 @@ func decodeTxnWith(buf []byte, withSeq bool, a *Arena) (*Txn, int, error) {
 	}
 	t := a.NewTxn()
 	t.ID, t.BatchPos, t.Profile = id, pos, profile
+	if !withSeq {
+		cid, ok1 := d.uvarint()
+		cseq, ok2 := d.uvarint()
+		if !ok1 || !ok2 {
+			return short("client identity")
+		}
+		t.ClientID, t.ClientSeq = cid, cseq
+	}
 	if withSeq {
 		nFwd, ok := d.u8()
 		if !ok || d.remaining() < int(nFwd)*9 {

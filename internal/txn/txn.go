@@ -230,6 +230,14 @@ type Txn struct {
 	BatchPos uint32
 	// Profile tags the workload transaction type (for per-type stats).
 	Profile uint8
+	// ClientID and ClientSeq identify the submitting client session and its
+	// per-session sequence number; the serving layer's dedup window uses the
+	// pair to resolve a resubmitted transaction exactly once after failover.
+	// Zero ClientID means "no client identity" (internal generators,
+	// pre-failover clients) and is never deduplicated. Both ride the full
+	// wire layout, so the WAL and the replication stream carry them.
+	ClientID  uint64
+	ClientSeq uint64
 	// Frags are the transaction's fragments in sequence order.
 	Frags []Fragment
 	// FwdVars lists the variable slots this (shadow) transaction publishes

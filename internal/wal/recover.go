@@ -24,6 +24,9 @@ type RecoveryInfo struct {
 	// batches the recovered state covers (SnapshotEpoch + Batches). A Writer
 	// reopened on the same directory continues from here.
 	NextEpoch uint64
+	// Term is the replication term persisted in the manifest (0 if the log
+	// predates terms or was never part of a replicated cluster).
+	Term uint64
 }
 
 // RecoverFrom rebuilds pre-crash state from a wal directory: it restores the
@@ -49,6 +52,7 @@ func RecoverFrom(dir string, fsys FS, store *storage.Store, reg txn.Registry, ap
 	if !found {
 		return info, nil // nothing ever logged: recovery is a no-op
 	}
+	info.Term = man.term
 	if man.snapName != "" {
 		if store == nil {
 			return info, fmt.Errorf("wal: recover %s: snapshot present but no store to restore into", dir)

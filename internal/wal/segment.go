@@ -101,6 +101,7 @@ type segInfo struct {
 type manifest struct {
 	snapName  string
 	snapEpoch uint64
+	term      uint64
 	segments  []segInfo
 }
 
@@ -130,6 +131,12 @@ func readManifest(fsys FS, dir string) (manifest, bool, error) {
 				return m, false, fmt.Errorf("wal: manifest: bad snapshot epoch %q", fields[2])
 			}
 			m.snapName, m.snapEpoch = fields[1], e
+		case fields[0] == "term" && len(fields) == 2:
+			t, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return m, false, fmt.Errorf("wal: manifest: bad term %q", fields[1])
+			}
+			m.term = t
 		case fields[0] == "segment" && len(fields) == 3:
 			s, err := strconv.ParseUint(fields[2], 10, 64)
 			if err != nil {
@@ -156,6 +163,9 @@ func writeManifest(fsys FS, dir string, m manifest) error {
 	b.WriteString("qotp-wal v1\n")
 	if m.snapName != "" {
 		fmt.Fprintf(&b, "snapshot %s %d\n", m.snapName, m.snapEpoch)
+	}
+	if m.term != 0 {
+		fmt.Fprintf(&b, "term %d\n", m.term)
 	}
 	for _, s := range m.segments {
 		fmt.Fprintf(&b, "segment %s %d\n", s.name, s.start)
@@ -571,6 +581,34 @@ func (w *Writer) Snapshot(st *storage.Store) error {
 // the snapshot image. The replication leader consults it to decide whether a
 // standby's requested tail must be preceded by a snapshot install.
 func (w *Writer) SnapshotEpoch() uint64 { return w.man.snapEpoch }
+
+// Term returns the replication term persisted in the manifest (0 if the log
+// predates terms). The term is the leader-election fencing token: a node
+// promoted to leader bumps it with SetTerm before accepting new appends, and
+// replication peers reject traffic stamped with a lower term.
+func (w *Writer) Term() uint64 { return w.man.term }
+
+// SetTerm durably records a new replication term in the manifest. Terms are
+// monotonic; lowering the persisted term is refused so a stale promotion
+// can never un-fence a newer leader's log.
+func (w *Writer) SetTerm(term uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if term < w.man.term {
+		return fmt.Errorf("wal: term %d below persisted term %d", term, w.man.term)
+	}
+	if term == w.man.term {
+		return nil
+	}
+	old := w.man.term
+	w.man.term = term
+	if err := writeManifest(w.fs, w.dir, w.man); err != nil {
+		w.man.term = old
+		return w.poison(err)
+	}
+	return nil
+}
 
 // InstallSnapshot replaces the log's entire content with a received snapshot
 // image (the raw storage image a leader's Snapshot wrote, without the file

@@ -93,7 +93,21 @@ type (
 	ClientOptions = serve.Config
 	RemoteClient  = serve.RemoteClient
 	ClientServer  = serve.TCPServer
+	// FailoverClient is Dial's HA twin (see DialFailover): it reconnects
+	// across leader failovers and resubmits in-flight transactions, with the
+	// cluster-side DedupWindow guaranteeing exactly-once resolution.
+	FailoverClient  = serve.FailoverClient
+	FailoverOptions = serve.FailoverOptions
+	// DedupWindow is the replicated exactly-once resubmission window (see
+	// ClientOptions.Dedup); a promoted leader passes the window it rebuilt
+	// from log replay so pre-failover commits resolve without re-executing.
+	DedupWindow = serve.DedupWindow
 )
+
+// NewDedupWindow returns an empty exactly-once resubmission window, to be
+// filled by replay (DedupWindow.ObserveBatch) and installed as
+// ClientOptions.Dedup on a promoted leader's serving layer.
+func NewDedupWindow() *DedupWindow { return serve.NewDedupWindow() }
 
 // Serving-layer sentinel errors.
 var (
@@ -160,6 +174,16 @@ func (c *Client) ListenAndServe(addr string, reg Registry) (*ClientServer, error
 
 // Dial connects a RemoteClient to a Client's TCP port.
 func Dial(addr string) (*RemoteClient, error) { return serve.DialTCP(addr) }
+
+// DialFailover connects a FailoverClient to a replicated cluster's advertised
+// peer list. Every transaction is stamped with (ClientID, ClientSeq); on a
+// lost connection — or an explicit retry verdict from a demoted leader — the
+// client redials the list until the promoted leader answers and resubmits its
+// in-flight transactions, which the new leader's dedup window resolves
+// exactly once.
+func DialFailover(opts FailoverOptions) (*FailoverClient, error) {
+	return serve.DialFailover(opts)
+}
 
 // ErrAbort aborts the enclosing transaction when returned by fragment logic.
 var ErrAbort = txn.ErrAbort
