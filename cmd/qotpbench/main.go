@@ -1,4 +1,4 @@
-// Command qotpbench runs the paper-reproduction experiments (E1–E20: E1–E15 mapping
+// Command qotpbench runs the paper-reproduction experiments (E1–E21: E1–E15 mapping
 // to Table 2 and the extended figures — see DESIGN.md §6) and prints
 // paper-style result tables. With -json it additionally writes a
 // machine-readable report; committed as BENCH_*.json files, those accumulate
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E20)")
+		expID    = flag.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E21)")
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		scale    = flag.Int("scale", 1, "workload scale multiplier (batches x batch size)")

@@ -80,6 +80,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/cluster"
 	"github.com/exploratory-systems/qotp/internal/core"
 	"github.com/exploratory-systems/qotp/internal/dist"
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/repl"
 	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/storage"
@@ -114,6 +115,8 @@ func main() {
 		rejoinAt   = flag.Int("rejoin", 0, "restart the killed follower after this many batches: replay local log, fetch the gap, rejoin live (requires -killnode)")
 		failover   = flag.Bool("failover", false, "SIGKILL the replication leader mid-stream and let the followers elect a replacement with no external coordinator (requires -replicas >= 2 and -ackmode k=N)")
 		leaderKill = flag.Int("leaderkill", 0, "sever the replication leader after this many batches (-failover mode; 0 = a randomized mid-stream batch)")
+		httpAddr   = flag.String("http", "", "observability HTTP endpoint exposing /healthz, /readyz and /metrics (Prometheus text + JSON) for queue depth, batch fill, repl lag, WAL fsync latency and more; e.g. :8080 (empty = off)")
+		linger     = flag.Duration("linger", 0, "keep the process and its -http endpoint alive this long after the final report, so an external scraper can take a last sample that matches the printed numbers (requires -http)")
 	)
 	flag.Parse()
 	if *nodes < 1 {
@@ -188,6 +191,38 @@ func main() {
 	} else if *leaderKill > 0 {
 		log.Fatal("qotpd: -leaderkill requires -failover")
 	}
+	if *linger > 0 && *httpAddr == "" {
+		log.Fatal("qotpd: -linger requires -http")
+	}
+
+	// Observability: one registry shared by every layer — serve, repl, wal,
+	// cluster, the engine — rendered live at -http. All layer config fields
+	// accept a nil registry, so the wiring below is unconditional.
+	var reg *obs.Registry
+	var obsSrv *obs.HTTPServer
+	if *httpAddr != "" {
+		reg = obs.New()
+		s, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			log.Fatalf("qotpd: %v", err)
+		}
+		obsSrv = s
+		fmt.Printf("observability endpoint on http://%s (/healthz /readyz /metrics)\n", s.Addr())
+	}
+	// finishObs runs AFTER the end-of-run report prints: every counter behind
+	// the registry is final by then (the formers are drained), so a scrape
+	// during the linger window matches the printed numbers exactly. Only then
+	// is the listener closed.
+	finishObs := func() {
+		if obsSrv == nil {
+			return
+		}
+		if *linger > 0 {
+			fmt.Printf("obs endpoint lingering %v at %s for a final scrape\n", *linger, obsSrv.Addr())
+			time.Sleep(*linger)
+		}
+		_ = obsSrv.Close()
+	}
 
 	var parts int
 	var mkGen func() workload.Generator
@@ -254,7 +289,9 @@ func main() {
 	// :0, share addresses, connect the mesh. qotpd demonstrates the wire
 	// path in one process; production deploys one TCPTransport per host with
 	// a static address list.
-	multi, err := cluster.StartLoopbackTCP(*nodes)
+	engineMeshOpts := cluster.DefaultTCPOptions()
+	engineMeshOpts.Metrics, engineMeshOpts.MetricsMesh = reg, "engine"
+	multi, err := cluster.StartLoopbackTCPOpts(*nodes, engineMeshOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -275,6 +312,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if reg != nil {
+		obs.CollectStats(reg, "qotp_engine", eng.Stats())
+	}
 
 	// Recovery before logging: replay the log's intact batches through the
 	// cluster (read-only pass), advance the generator past them, then open the
@@ -294,7 +334,7 @@ func main() {
 				gen.NextBatch(*batchSize) // replayed input: skip, don't re-run
 			}
 		}
-		w, err := wal.Open(*waldir, wal.Options{Sync: walPolicy})
+		w, err := wal.Open(*waldir, wal.Options{Sync: walPolicy, Metrics: reg})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -307,7 +347,7 @@ func main() {
 	// kill and rejoin land exactly at batch boundaries.
 	var rs *replSet
 	if *replicas > 0 {
-		rs, err = startRepl(*replicas, *ackmode, *killNode, *rejoinAt, *leaderKill, mkGen, parts, *execs)
+		rs, err = startRepl(*replicas, *ackmode, *killNode, *rejoinAt, *leaderKill, mkGen, parts, *execs, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -317,7 +357,7 @@ func main() {
 	}
 
 	if *serveMode {
-		srv, err := serve.New(eng, serve.Config{MaxBatch: *batchSize, MaxDelay: *maxDelay, Block: true})
+		srv, err := serve.New(eng, serve.Config{MaxBatch: *batchSize, MaxDelay: *maxDelay, Block: true, Metrics: reg})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -329,6 +369,7 @@ func main() {
 		if rs != nil {
 			rs.finish(eng, mkGen, parts, refStore != nil)
 		}
+		finishObs()
 		return
 	}
 
@@ -361,6 +402,7 @@ func main() {
 	if rs != nil {
 		rs.finish(eng, mkGen, parts, refStore != nil)
 	}
+	finishObs()
 }
 
 // verifyHash checks the cluster state against the serial reference when one
@@ -445,6 +487,7 @@ type replSet struct {
 
 	mkGen        func() workload.Generator
 	parts, execs int
+	reg          *obs.Registry
 
 	killAt, rejoinAt int
 	batches          int
@@ -468,7 +511,7 @@ type promoted struct {
 	term uint64
 }
 
-func startRepl(n int, ackmode string, killAt, rejoinAt, leaderKillAt int, mkGen func() workload.Generator, parts, execs int) (*replSet, error) {
+func startRepl(n int, ackmode string, killAt, rejoinAt, leaderKillAt int, mkGen func() workload.Generator, parts, execs int, reg *obs.Registry) (*replSet, error) {
 	ack, waitFor, err := repl.ParseAckMode(ackmode)
 	if err != nil {
 		return nil, err
@@ -476,6 +519,8 @@ func startRepl(n int, ackmode string, killAt, rejoinAt, leaderKillAt int, mkGen 
 	lb, err := cluster.StartLoopbackTCPOpts(n+1, cluster.TCPOptions{
 		HeartbeatEvery: 20 * time.Millisecond,
 		SuspectAfter:   300 * time.Millisecond,
+		Metrics:        reg,
+		MetricsMesh:    "repl",
 	})
 	if err != nil {
 		return nil, err
@@ -486,7 +531,7 @@ func startRepl(n int, ackmode string, killAt, rejoinAt, leaderKillAt int, mkGen 
 		return nil, err
 	}
 	rs := &replSet{
-		lb: lb, root: root, mkGen: mkGen, parts: parts, execs: execs,
+		lb: lb, root: root, mkGen: mkGen, parts: parts, execs: execs, reg: reg,
 		killAt: killAt, rejoinAt: rejoinAt,
 		leaderKillAt: leaderKillAt, ack: ack, waitFor: waitFor,
 		promoCh: make(chan promoted, n), winner: -1,
@@ -503,6 +548,8 @@ func startRepl(n int, ackmode string, killAt, rejoinAt, leaderKillAt int, mkGen 
 			return fail(err)
 		}
 		fo := rep.followerOptions(dir)
+		fo.Metrics = reg
+		fo.WAL.Metrics = reg
 		if leaderKillAt > 0 {
 			// Election-enabled standby: peers are the other followers; a win is
 			// reported so the batch stream can hand over to the new leader.
@@ -528,6 +575,7 @@ func startRepl(n int, ackmode string, killAt, rejoinAt, leaderKillAt int, mkGen 
 	}
 	ldr, err := repl.OpenLeader(root+"/leader", lb, 0, followers, repl.Options{
 		Ack: ack, WaitFor: waitFor, AckTimeout: 2 * time.Second,
+		Metrics: reg, WAL: wal.Options{Metrics: reg},
 	})
 	if err != nil {
 		return fail(err)
@@ -606,6 +654,7 @@ func (rs *replSet) killLeader() error {
 	}
 	ldr, err := repl.OpenLeader(rs.dirs[idx], rs.lb, won.id, survivors, repl.Options{
 		Ack: rs.ack, WaitFor: waitFor, AckTimeout: 2 * time.Second,
+		Metrics: rs.reg, WAL: wal.Options{Metrics: rs.reg},
 	})
 	if err != nil {
 		return fmt.Errorf("takeover on node %d: %w", won.id, err)
@@ -638,7 +687,10 @@ func (rs *replSet) rejoin() error {
 	if err != nil {
 		return err
 	}
-	f, err := repl.StartFollower(rs.lb, 1, 0, rep.followerOptions(rs.dirs[0]))
+	fo := rep.followerOptions(rs.dirs[0])
+	fo.Metrics = rs.reg
+	fo.WAL.Metrics = rs.reg
+	f, err := repl.StartFollower(rs.lb, 1, 0, fo)
 	if err != nil {
 		return err
 	}

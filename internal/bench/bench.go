@@ -7,6 +7,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/hstore"
 	"github.com/exploratory-systems/qotp/internal/metrics"
 	"github.com/exploratory-systems/qotp/internal/mvto"
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/repl"
 	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/silo"
@@ -94,6 +96,16 @@ type Spec struct {
 	// BatchSize and 1ms).
 	ClientMaxBatch int
 	ClientMaxDelay time.Duration
+	// ClientMaxPending bounds the serving path's submission queue
+	// (serve.Config.MaxPending; default 4x ClientMaxBatch). The overload
+	// experiment (E21) shrinks it so saturation arrives within the run.
+	ClientMaxPending int
+	// Shed turns off Block in the serving path: a full submission queue
+	// rejects with ErrOverloaded instead of blocking the submitter. Clients
+	// treat the rejection as a dropped request and press on — the overload
+	// experiment (E21) measures that a saturated server sheds load at a
+	// bounded queue instead of collapsing. Requires Clients > 0.
+	Shed bool
 	// SpeculativeAcks opts the serving path into early provisional
 	// acknowledgements (requires a speculating engine — quecc-spec):
 	// closed-loop clients gate their next submission on the speculative ack
@@ -180,6 +192,9 @@ func (s *Spec) normalize() error {
 	if s.ClientMaxDelay == 0 {
 		s.ClientMaxDelay = time.Millisecond
 	}
+	if s.Shed && s.Clients == 0 {
+		return fmt.Errorf("bench: Shed requires the serving path (Clients > 0)")
+	}
 	return nil
 }
 
@@ -200,6 +215,13 @@ type Result struct {
 	// reopened on the promoted standby); zero unless Spec.FailoverKillAt
 	// triggered.
 	FailoverDowntime time.Duration
+	// Sheds counts ErrOverloaded rejections over the measured window (serving
+	// path with Spec.Shed); MaxQueueDepth is the highest sampled submission
+	// queue depth. A shed row showing MaxQueueDepth bounded by
+	// ClientMaxPending with throughput near the block baseline is the
+	// shed-not-collapse evidence the overload experiment (E21) pins.
+	Sheds         uint64
+	MaxQueueDepth int64
 }
 
 // buildGenerator constructs the generator for the spec.
@@ -560,11 +582,17 @@ func Run(s Spec) (Result, error) {
 // lifetime is unbounded (it ends at its batch's commit, which the generator
 // cannot see), so the arena batch-lifetime rule does not apply.
 func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Transport, lg core.BatchLogger) (Result, error) {
+	// Every client run carries a live obs registry: the queue-depth sampler
+	// below reads the same qotp_serve_queue_depth gauge an operator would
+	// scrape, so the reported MaxQueueDepth is the observable number.
+	reg := obs.New()
 	cfg := serve.Config{
 		MaxBatch:        s.ClientMaxBatch,
 		MaxDelay:        s.ClientMaxDelay,
-		Block:           true, // the harness measures service time, not shed load
+		MaxPending:      s.ClientMaxPending,
+		Block:           !s.Shed, // blocking backpressure unless the spec sheds
 		SpeculativeAcks: s.SpeculativeAcks,
+		Metrics:         reg,
 	}
 	if lg != nil {
 		cfg.WAL = lg
@@ -590,6 +618,11 @@ func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Tr
 					for i := c; i < len(stream); i += s.Clients {
 						fut, err := sess.Submit(ctx, stream[i])
 						if err != nil {
+							if s.Shed && errors.Is(err, serve.ErrOverloaded) {
+								// Shed: the server already counted it; an
+								// open-loop arrival stream presses on.
+								continue
+							}
 							errs <- err
 							return
 						}
@@ -628,6 +661,9 @@ func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Tr
 				}
 				for i := c; i < len(stream); i += s.Clients {
 					if _, err := sess.Exec(ctx, stream[i]); err != nil {
+						if s.Shed && errors.Is(err, serve.ErrOverloaded) {
+							continue
+						}
 						errs <- err
 						return
 					}
@@ -653,13 +689,38 @@ func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Tr
 		preBytes = tr.Bytes()
 	}
 	stream := genBatch(s.Batches * s.BatchSize)
+	preSheds := srv.Sheds()
+	// Queue-depth sampler: polls the gauge the /metrics endpoint exports.
+	// Sampling necessarily undercounts instantaneous spikes, but the bound it
+	// checks — depth never exceeds MaxPending — holds for any sample.
+	var maxDepth int64
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(250 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampler:
+				return
+			case <-tick.C:
+				if d, ok := reg.Value("qotp_serve_queue_depth"); ok && int64(d) > maxDepth {
+					maxDepth = int64(d)
+				}
+			}
+		}
+	}()
 	var memBefore, memAfter runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
-	if err := drive(stream); err != nil {
+	err = drive(stream)
+	elapsed := time.Since(start)
+	close(stopSampler)
+	<-samplerDone
+	if err != nil {
 		return Result{}, fmt.Errorf("bench: client run: %w", err)
 	}
-	elapsed := time.Since(start)
 	runtime.ReadMemStats(&memAfter)
 	snap := srv.Stats().Snap(elapsed)
 	if tr != nil {
@@ -673,7 +734,13 @@ func runClients(s Spec, gen workload.Generator, eng engine.Engine, tr cluster.Tr
 	if s.SpeculativeAcks {
 		loop += "+specack"
 	}
-	res := Result{Spec: s, Engine: fmt.Sprintf("%s+client/%s/c=%d", eng.Name(), loop, s.Clients), Snapshot: snap}
+	if s.Shed {
+		loop += "+shed"
+	}
+	res := Result{
+		Spec: s, Engine: fmt.Sprintf("%s+client/%s/c=%d", eng.Name(), loop, s.Clients), Snapshot: snap,
+		Sheds: srv.Sheds() - preSheds, MaxQueueDepth: maxDepth,
+	}
 	if processed := snap.Committed + snap.UserAborts; processed > 0 {
 		res.AllocsPerTxn = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(processed)
 	}

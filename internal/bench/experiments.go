@@ -33,7 +33,7 @@ var DefaultScale = Scale{Batches: 6, BatchSize: 2000, YCSBRecs: 1 << 16, Threads
 // transactions per spec so the JSON trajectory is non-degenerate.
 var SmokeScale = Scale{Batches: 3, BatchSize: 500, YCSBRecs: 1 << 13, Threads: 2}
 
-// Experiments returns the full registry (E1–E20), sized by sc.
+// Experiments returns the full registry (E1–E21), sized by sc.
 func Experiments(sc Scale) []Experiment {
 	ycsbBase := func(theta, mpRatio float64, mpCount, ops int, readRatio float64) Spec {
 		s := Spec{
@@ -552,6 +552,37 @@ func Experiments(sc Scale) []Experiment {
 		Specs:    e20,
 	})
 
+	// E21 — overload: open-loop clients past saturation (the observability
+	// PR's companion experiment). 32 open-loop clients hammer a serving path
+	// whose batch former is deliberately small (ClientMaxBatch = BatchSize/4)
+	// behind a tight submission queue (ClientMaxPending = BatchSize/2). The
+	// block row is the backpressure baseline: every arrival eventually lands,
+	// submitters stall on the full queue. The shed row flips serve.Config.Block
+	// off: a full queue rejects with ErrOverloaded, the server counts the shed
+	// (qotp_serve_sheds_total on /metrics) and keeps its queue bounded — the
+	// sampled MaxQueueDepth never exceeds ClientMaxPending, and throughput
+	// holds near the baseline instead of collapsing under the excess arrivals.
+	var e21 []NamedSpec
+	overSpec := func(s Spec, shed bool) Spec {
+		s.Clients = 32
+		s.OpenLoop = true
+		s.ClientMaxBatch = max(sc.BatchSize/4, 1)
+		s.ClientMaxPending = max(sc.BatchSize/2, 1)
+		s.Shed = shed
+		return s
+	}
+	e21y := ycsbBase(0.6, 0, 1, 16, 0.5)
+	e21 = append(e21,
+		NamedSpec{"open/c=32/ycsb/quecc/block", overSpec(with(e21y, "quecc"), false)},
+		NamedSpec{"open/c=32/ycsb/quecc/shed", overSpec(with(e21y, "quecc"), true)},
+	)
+	exps = append(exps, Experiment{
+		ID:       "E21",
+		Artifact: "Overload: open-loop arrivals past saturation, blocking backpressure vs shed — queue depth bound, shed count, throughput",
+		Expect:   "shed row keeps MaxQueueDepth <= ClientMaxPending with throughput near the block baseline; excess arrivals are rejected, not queued",
+		Specs:    e21,
+	})
+
 	return exps
 }
 
@@ -587,6 +618,10 @@ func RunExperiment(e Experiment) (string, []Result, error) {
 	for i, r := range results {
 		if r.FailoverDowntime > 0 {
 			fmt.Fprintf(&b, "   %s: failover downtime %v\n", e.Specs[i].Name, r.FailoverDowntime)
+		}
+		if r.Spec.Shed {
+			fmt.Fprintf(&b, "   %s: sheds %d, max queue depth %d (bound %d)\n",
+				e.Specs[i].Name, r.Sheds, r.MaxQueueDepth, r.Spec.ClientMaxPending)
 		}
 	}
 	return b.String(), results, nil

@@ -34,6 +34,12 @@ type JSONResult struct {
 	// FailoverDowntimeNs is the leader-kill outage for failover rows (E20);
 	// absent on every other row.
 	FailoverDowntimeNs int64 `json:"failover_downtime_ns,omitempty"`
+	// Sheds and MaxQueueDepth are the overload evidence (E21): rejected
+	// submissions (shed rows only) and the deepest sampled submission queue
+	// (any serving-path row; the block baseline pins at its bound). Absent on
+	// harness rows.
+	Sheds         uint64 `json:"sheds,omitempty"`
+	MaxQueueDepth int64  `json:"max_queue_depth,omitempty"`
 }
 
 // JSONExperiment is one experiment's results.
@@ -80,6 +86,7 @@ func (r *JSONReport) Add(e Experiment, results []Result) {
 			P50Ns:  s.P50.Nanoseconds(), P99Ns: s.P99.Nanoseconds(), P999Ns: s.P999.Nanoseconds(),
 			AllocsPerTxn: res.AllocsPerTxn, BytesPerMsg: res.BytesPerMsg,
 			FailoverDowntimeNs: res.FailoverDowntime.Nanoseconds(),
+			Sheds:              res.Sheds, MaxQueueDepth: res.MaxQueueDepth,
 		}
 		if s.Committed > 0 {
 			jr.MsgsPerTxn = float64(s.Messages) / float64(s.Committed)

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/exploratory-systems/qotp/internal/obs"
 )
 
 // TCPTransport implements Transport over real TCP sockets using stdlib net
@@ -50,10 +53,11 @@ type TCPTransport struct {
 	// when the peer is heard again (so each outage is announced once).
 	suspected []atomic.Int32
 
-	wg     sync.WaitGroup
-	count  atomic.Uint64
-	bytes  atomic.Uint64
-	closed atomic.Bool
+	wg         sync.WaitGroup
+	count      atomic.Uint64
+	bytes      atomic.Uint64
+	reconnects atomic.Uint64
+	closed     atomic.Bool
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -87,6 +91,16 @@ type TCPOptions struct {
 	// once and then silent for this long is declared down via RecvE (default
 	// 4x HeartbeatEvery when heartbeats are on, else disabled).
 	SuspectAfter time.Duration
+	// Metrics, when non-nil, receives the transport's observability
+	// instruments: traffic counters, redials, per-peer liveness (labeled
+	// node=<id>, peer=<j>). A restarted transport created with the same
+	// options re-registers its series; gauges then point at the new
+	// instance's state.
+	Metrics *obs.Registry
+	// MetricsMesh, when non-empty, adds a mesh=<name> label to every series,
+	// so a process running several meshes (qotpd: the engine mesh and the
+	// replication mesh) keeps their series distinct in one registry.
+	MetricsMesh string
 }
 
 func (o *TCPOptions) normalize() {
@@ -299,7 +313,46 @@ func NewTCPTransportOpts(id int, addrs []string, opts TCPOptions) *TCPTransport 
 		lastHeard:    make([]atomic.Int64, len(addrs)),
 		suspected:    make([]atomic.Int32, len(addrs)),
 	}
+	if opts.Metrics != nil {
+		t.registerMetrics()
+	}
 	return t
+}
+
+// registerMetrics wires the transport's instruments into opts.Metrics. Every
+// gauge reads the same atomics the transport's own loops write, so scrapes
+// are race-free by construction.
+func (t *TCPTransport) registerMetrics() {
+	r := t.opts.Metrics
+	base := []obs.Label{obs.L("node", strconv.Itoa(t.id))}
+	if t.opts.MetricsMesh != "" {
+		base = append(base, obs.L("mesh", t.opts.MetricsMesh))
+	}
+	r.GaugeUint("qotp_cluster_messages_total", "payload messages received", &t.count, base...)
+	r.GaugeUint("qotp_cluster_bytes_total", "payload bytes received", &t.bytes, base...)
+	r.GaugeUint("qotp_cluster_reconnects_total", "successful peer redials after a broken connection", &t.reconnects, base...)
+	for j := range t.addrs {
+		if j == t.id {
+			continue
+		}
+		pls := append(append([]obs.Label(nil), base...), obs.L("peer", strconv.Itoa(j)))
+		r.Gauge("qotp_cluster_peer_state", "peer liveness: 0 never heard, 1 up, 2 suspect", func() float64 {
+			if t.suspected[j].Load() != 0 {
+				return 2
+			}
+			if t.lastHeard[j].Load() == 0 {
+				return 0
+			}
+			return 1
+		}, pls...)
+		r.Gauge("qotp_cluster_peer_silence_seconds", "seconds since the peer was last heard (-1 never)", func() float64 {
+			at := t.lastHeard[j].Load()
+			if at == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, at)).Seconds()
+		}, pls...)
+	}
 }
 
 // Start begins listening for peer connections. The accept loop runs until
@@ -579,6 +632,7 @@ func (t *TCPTransport) redialLocked(i int) error {
 	t.encs[i] = gob.NewEncoder(conn)
 	t.dialAttempts[i] = 0
 	t.nextDial[i] = time.Time{}
+	t.reconnects.Add(1)
 	// Re-admit the peer in the detector's book-keeping: a successful dial is
 	// proof of life, so clear the suspect verdict and restart the silence
 	// clock. Without this a peer that recovered behind a flapping link stayed

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Handler returns the observability mux:
+//
+//	GET /healthz  — liveness: 200 "ok" unless a Health probe fails (503)
+//	GET /readyz   — readiness: 200 "ready" unless a Ready probe fails (503);
+//	                a catch-up follower or demoted ex-leader answers 503 here
+//	                so load balancers stop routing before clients bounce
+//	GET /metrics  — every registered series; Prometheus text format by
+//	                default, JSON with ?format=json (or Accept: application/json)
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		writeChecks(w, r.CheckHealth(), "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		writeChecks(w, r.CheckReady(), "ready")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			writeJSON(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r)
+	})
+	return mux
+}
+
+func writeChecks(w http.ResponseWriter, results []CheckResult, okWord string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	failed := false
+	var b strings.Builder
+	for _, res := range results {
+		if res.Err != nil {
+			failed = true
+			fmt.Fprintf(&b, "%s: %v\n", res.Name, res.Err)
+		}
+	}
+	if failed {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, b.String())
+		return
+	}
+	io.WriteString(w, okWord+"\n")
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (families grouped, HELP/TYPE once per family).
+func WritePrometheus(w io.Writer, r *Registry) {
+	samples := r.Gather()
+	lastFamily := ""
+	for _, s := range samples {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if s.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type)
+		}
+		if len(s.Labels) == 0 {
+			fmt.Fprintf(w, "%s %v\n", s.Name, s.Value)
+			continue
+		}
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%q", k, s.Labels[k]))
+		}
+		fmt.Fprintf(w, "%s{%s} %v\n", s.Name, strings.Join(parts, ","), s.Value)
+	}
+}
+
+// jsonReport is the /metrics?format=json shape: a flat series array plus the
+// probe outcomes, decode-checked by CI the same way the BENCH files are.
+type jsonReport struct {
+	Series []Sample     `json:"series"`
+	Health []jsonCheck  `json:"health"`
+	Ready  []jsonCheck  `json:"ready"`
+}
+
+type jsonCheck struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
+}
+
+func toJSONChecks(results []CheckResult) []jsonCheck {
+	out := make([]jsonCheck, 0, len(results))
+	for _, r := range results {
+		c := jsonCheck{Name: r.Name, OK: r.Err == nil}
+		if r.Err != nil {
+			c.Err = r.Err.Error()
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, r *Registry) {
+	w.Header().Set("Content-Type", "application/json")
+	rep := jsonReport{
+		Series: r.Gather(),
+		Health: toJSONChecks(r.CheckHealth()),
+		Ready:  toJSONChecks(r.CheckReady()),
+	}
+	if rep.Series == nil {
+		rep.Series = []Sample{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}
+
+// HTTPServer is a running observability endpoint (see Serve).
+type HTTPServer struct {
+	lis net.Listener
+	srv *http.Server
+	reg *Registry
+}
+
+// Serve binds addr (":0" picks a free port — Addr reports it) and serves the
+// Handler mux until Close. The returned server owns the listener only; the
+// registry stays the caller's.
+func Serve(addr string, r *Registry) (*HTTPServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	s := &HTTPServer{lis: lis, srv: srv, reg: r}
+	go func() { _ = srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *HTTPServer) Addr() net.Addr { return s.lis.Addr() }
+
+// Registry returns the registry this endpoint serves.
+func (s *HTTPServer) Registry() *Registry { return s.reg }
+
+// Close stops the endpoint: the listener closes and in-flight responses are
+// cut. Call only after the final authoritative scrape — the counters behind
+// the registry are live until their producers stop, so a scrape immediately
+// before Close matches the producers' own final report.
+func (s *HTTPServer) Close() error {
+	return s.srv.Close()
+}

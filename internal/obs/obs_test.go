@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// frozenClock is the deterministic time seam: tests advance it explicitly.
+type frozenClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFrozenClock() *frozenClock {
+	return &frozenClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *frozenClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *frozenClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowBasicAggregation(t *testing.T) {
+	clk := newFrozenClock()
+	r := NewWithClock(clk.Now)
+	w := r.WindowOpts("lat", "test window", 10*time.Second, 10)
+
+	w.Observe(1)
+	w.Observe(3)
+	w.Observe(2)
+	st := w.Stats()
+	if st.Count != 3 || st.Sum != 6 || st.Max != 3 {
+		t.Fatalf("got %+v, want count=3 sum=6 max=3", st)
+	}
+	if st.Avg != 2 {
+		t.Fatalf("avg = %v, want 2", st.Avg)
+	}
+	if want := 3.0 / 10.0; st.Rate != want {
+		t.Fatalf("rate = %v, want %v", st.Rate, want)
+	}
+}
+
+// TestWindowRotation pins the ring behavior at bucket boundaries: samples
+// expire exactly when the window slides past their bucket, and a bucket slot
+// is reused (reset in place) when the ring wraps onto it.
+func TestWindowRotation(t *testing.T) {
+	clk := newFrozenClock()
+	r := NewWithClock(clk.Now)
+	// 10 buckets x 1s: a sample lives for 10 bucket epochs.
+	w := r.WindowOpts("lat", "test window", 10*time.Second, 10)
+
+	w.Observe(5)
+	if st := w.Stats(); st.Count != 1 {
+		t.Fatalf("fresh sample missing: %+v", st)
+	}
+
+	// 9 seconds later the sample's bucket is the oldest still inside the
+	// window.
+	clk.Advance(9 * time.Second)
+	if st := w.Stats(); st.Count != 1 || st.Max != 5 {
+		t.Fatalf("sample should survive 9s of a 10s window: %+v", st)
+	}
+
+	// One more bucket boundary: the sample's epoch falls out of the span.
+	clk.Advance(time.Second)
+	if st := w.Stats(); st.Count != 0 {
+		t.Fatalf("sample should have expired at the boundary: %+v", st)
+	}
+
+	// The ring wraps onto the stale bucket slot: the new observation must
+	// reset it, not accumulate into ten-second-old state.
+	w.Observe(7)
+	if st := w.Stats(); st.Count != 1 || st.Sum != 7 || st.Max != 7 {
+		t.Fatalf("wrapped bucket not reset: %+v", st)
+	}
+}
+
+// TestWindowSlidingPartialExpiry: observations spread across buckets expire
+// one bucket at a time, not all at once.
+func TestWindowSlidingPartialExpiry(t *testing.T) {
+	clk := newFrozenClock()
+	r := NewWithClock(clk.Now)
+	w := r.WindowOpts("lat", "test window", 4*time.Second, 4)
+
+	for i := 0; i < 4; i++ {
+		w.Observe(float64(i + 1)) // buckets hold 1, 2, 3, 4
+		if i < 3 {
+			clk.Advance(time.Second)
+		}
+	}
+	if st := w.Stats(); st.Count != 4 || st.Sum != 10 {
+		t.Fatalf("want all 4 samples: %+v", st)
+	}
+	clk.Advance(time.Second) // first bucket (value 1) expires
+	if st := w.Stats(); st.Count != 3 || st.Sum != 9 {
+		t.Fatalf("want 3 samples after one boundary: %+v", st)
+	}
+	clk.Advance(time.Second) // second bucket (value 2) expires
+	if st := w.Stats(); st.Count != 2 || st.Sum != 7 {
+		t.Fatalf("want 2 samples after two boundaries: %+v", st)
+	}
+}
+
+// TestWindowConcurrent hammers one window from many goroutines while readers
+// snapshot it — the -race safety requirement. Counts must balance exactly
+// when no time passes (frozen clock: nothing can expire).
+func TestWindowConcurrent(t *testing.T) {
+	clk := newFrozenClock()
+	r := NewWithClock(clk.Now)
+	w := r.WindowOpts("lat", "test window", 10*time.Second, 10)
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = w.Stats()
+				}
+			}
+		}()
+	}
+	var writersWg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWg.Add(1)
+		go func() {
+			defer writersWg.Done()
+			for i := 0; i < perWriter; i++ {
+				w.Observe(1)
+			}
+		}()
+	}
+	writersWg.Wait()
+	close(stop)
+	wg.Wait()
+	if st := w.Stats(); st.Count != writers*perWriter || st.Sum != writers*perWriter {
+		t.Fatalf("lost samples under concurrency: %+v, want %d", st, writers*perWriter)
+	}
+}
+
+func TestCounterNilAndConcurrent(t *testing.T) {
+	var nilC *Counter
+	nilC.Inc() // must not panic
+	nilC.Add(5)
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var nilW *Window
+	nilW.Observe(1) // must not panic
+	if nilW.Stats().Count != 0 {
+		t.Fatal("nil window must read empty")
+	}
+
+	r := New()
+	c := r.Counter("hits", "test counter")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("count = %d, want 8000", c.Value())
+	}
+	// Re-registration returns the same counter (restart semantics).
+	if c2 := r.Counter("hits", "test counter"); c2 != c {
+		t.Fatal("re-registering a counter must return the existing one")
+	}
+}
+
+func TestRegistryGatherAndValue(t *testing.T) {
+	clk := newFrozenClock()
+	r := NewWithClock(clk.Now)
+	var depth atomic.Uint64
+	depth.Store(42)
+	r.GaugeUint("queue_depth", "queued submissions", &depth)
+	r.Counter("sheds", "shed submissions").Add(7)
+	r.Window("forming", "forming latency").Observe(0.25)
+	r.Gauge("lag", "follower lag", func() float64 { return 3 }, L("follower", "1"))
+	r.Gauge("lag", "follower lag", func() float64 { return 9 }, L("follower", "2"))
+
+	if v, ok := r.Value("queue_depth"); !ok || v != 42 {
+		t.Fatalf("queue_depth = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("sheds"); !ok || v != 7 {
+		t.Fatalf("sheds = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("forming_max"); !ok || v != 0.25 {
+		t.Fatalf("forming_max = %v,%v", v, ok)
+	}
+	if v, ok := r.Value("lag", L("follower", "2")); !ok || v != 9 {
+		t.Fatalf("lag{follower=2} = %v,%v", v, ok)
+	}
+	if _, ok := r.Value("nope"); ok {
+		t.Fatal("unknown series must not resolve")
+	}
+
+	var b strings.Builder
+	WritePrometheus(&b, r)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE queue_depth gauge",
+		"queue_depth 42",
+		"# TYPE sheds counter",
+		"sheds 7",
+		"forming_count 1",
+		"forming_avg 0.25",
+		`lag{follower="1"} 3`,
+		`lag{follower="2"} 9`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHTTPSurface(t *testing.T) {
+	clk := newFrozenClock()
+	r := NewWithClock(clk.Now)
+	var depth atomic.Uint64
+	depth.Store(5)
+	r.GaugeUint("qotp_serve_queue_depth", "queued submissions", &depth)
+	live := atomic.Bool{}
+	r.Ready("follower", func() error {
+		if !live.Load() {
+			return errors.New("catching up")
+		}
+		return nil
+	})
+	r.Health("engine", func() error { return nil })
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	// Not ready while "catching up" — the load-balancer routing signal.
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "catching up") {
+		t.Fatalf("readyz while catching up = %d %q, want 503", code, body)
+	}
+	live.Store(true)
+	if code, body := get("/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("readyz when live = %d %q", code, body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "qotp_serve_queue_depth 5") {
+		t.Fatalf("metrics text = %d %q", code, body)
+	}
+
+	code, body = get("/metrics?format=json")
+	if code != 200 {
+		t.Fatalf("metrics json status %d", code)
+	}
+	var rep struct {
+		Series []Sample `json:"series"`
+		Ready  []struct {
+			Name string `json:"name"`
+			OK   bool   `json:"ok"`
+		} `json:"ready"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("metrics json does not decode: %v\n%s", err, body)
+	}
+	found := false
+	for _, s := range rep.Series {
+		if s.Name == "qotp_serve_queue_depth" && s.Value == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("json missing qotp_serve_queue_depth=5: %s", body)
+	}
+	if len(rep.Ready) != 1 || !rep.Ready[0].OK {
+		t.Fatalf("json ready block wrong: %s", body)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	r := New()
+	r.Counter("c", "test").Inc()
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr().String() + "/metrics"); err == nil {
+		t.Fatal("listener should be closed")
+	}
+}

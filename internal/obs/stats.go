@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"github.com/exploratory-systems/qotp/internal/metrics"
+)
+
+// CollectStats exports a live metrics.Stats — the accumulator every engine
+// and the serving layer already maintain — as registry series under the given
+// prefix: the cumulative counters plus latency percentiles read from the
+// log-linear histogram at scrape time. This is the "existing Stats, exported
+// live instead of at exit" bridge: the same atomics the end-of-run Snap reads
+// are read by every scrape, so the last scrape before shutdown matches the
+// printed report.
+func CollectStats(r *Registry, prefix string, st *metrics.Stats, labels ...Label) {
+	r.GaugeUint(prefix+"_committed_total", "transactions committed", &st.Committed, labels...)
+	r.GaugeUint(prefix+"_aborted_total", "deterministic logic aborts", &st.UserAborts, labels...)
+	r.GaugeUint(prefix+"_retries_total", "transaction retries", &st.Retries, labels...)
+	r.GaugeUint(prefix+"_messages_total", "cluster messages sent", &st.Messages, labels...)
+	quantile := func(q string, p float64) {
+		ls := append(append([]Label(nil), labels...), L("quantile", q))
+		r.Gauge(prefix+"_latency_seconds", "per-transaction latency quantiles",
+			func() float64 { return st.Latency.Percentile(p).Seconds() }, ls...)
+	}
+	quantile("0.5", 50)
+	quantile("0.99", 99)
+	quantile("0.999", 99.9)
+	r.Gauge(prefix+"_latency_mean_seconds", "mean per-transaction latency",
+		func() float64 { return st.Latency.Mean().Seconds() }, labels...)
+}

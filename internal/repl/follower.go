@@ -3,10 +3,12 @@ package repl
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/txn"
 	"github.com/exploratory-systems/qotp/internal/wal"
@@ -63,6 +65,12 @@ type FollowerOptions struct {
 	// follower participated in or learned of; the follower has already
 	// re-pointed itself at the winner and re-helloed. Informational.
 	OnNewLeader func(leader int, term uint64)
+	// Metrics, when non-nil, receives the follower's observability
+	// instruments (role/term/live gauges, cumulative counters) and registers
+	// the readiness probe: a follower in catch-up — not live, not promoted —
+	// reports not-ready, so a load balancer never routes to a node that
+	// would bounce clients with ErrConnLost.
+	Metrics *obs.Registry
 }
 
 // FollowerStats are the follower's cumulative counters.
@@ -165,6 +173,9 @@ func StartFollower(tr cluster.Transport, id, leader int, opts FollowerOptions) (
 	f := &Follower{
 		tr: tr, id: id, leader: leader, opts: opts,
 		w: w, next: w.NextEpoch(), term: w.Term(), quit: make(chan struct{}),
+	}
+	if opts.Metrics != nil {
+		f.registerMetrics()
 	}
 	f.mu.Lock()
 	f.helloLocked()
@@ -516,6 +527,55 @@ func (f *Follower) heartbeatLoop() {
 		}
 		f.mu.Unlock()
 	}
+}
+
+// registerMetrics wires the follower's instruments into opts.Metrics. All
+// gauges pull through the public accessors (mutex-protected), so scrapes
+// never race the receive loop.
+func (f *Follower) registerMetrics() {
+	r := f.opts.Metrics
+	nl := obs.L("node", strconv.Itoa(f.id))
+	r.Gauge("qotp_repl_role", "replication role: 1 leader, 0 follower", func() float64 {
+		if f.Promoted() {
+			return 1
+		}
+		return 0
+	}, nl)
+	r.Gauge("qotp_repl_term", "current fencing term", func() float64 { return float64(f.Term()) }, nl)
+	r.Gauge("qotp_repl_live", "1 when in the leader's live stream, 0 in catch-up", func() float64 {
+		if f.Live() {
+			return 1
+		}
+		return 0
+	}, nl)
+	r.Gauge("qotp_repl_next_epoch", "first epoch not yet locally durable", func() float64 { return float64(f.NextEpoch()) }, nl)
+	stat := func(name, help string, get func(FollowerStats) uint64) {
+		r.Gauge(name, help, func() float64 { return float64(get(f.Stats())) }, nl)
+	}
+	stat("qotp_repl_appended_total", "records made locally durable (live + catch-up)", func(s FollowerStats) uint64 { return s.Appended })
+	stat("qotp_repl_duplicates_total", "already-held epochs ignored", func(s FollowerStats) uint64 { return s.Duplicates })
+	stat("qotp_repl_gaps_total", "out-of-order records rejected with a re-hello", func(s FollowerStats) uint64 { return s.Gaps })
+	stat("qotp_repl_snapshots_installed_total", "leader snapshot images installed", func(s FollowerStats) uint64 { return s.SnapshotsInstalled })
+	stat("qotp_repl_hellos_total", "rejoin announcements sent", func(s FollowerStats) uint64 { return s.Hellos })
+	stat("qotp_repl_fencings_total", "stale-term messages rejected", func(s FollowerStats) uint64 { return s.Fencings })
+	stat("qotp_repl_elections_total", "election rounds started or joined", func(s FollowerStats) uint64 { return s.Elections })
+	// The readiness semantics the load balancer needs: a follower that is
+	// still catching up would bounce redirected clients, and a promoted one
+	// is now the leader (its own serving path answers readiness). Only a
+	// live follower — a warm standby with the full prefix — is ready.
+	r.Ready("repl-follower", func() error {
+		if err := f.Err(); err != nil {
+			return err
+		}
+		if f.Promoted() {
+			return nil
+		}
+		if !f.Live() {
+			return fmt.Errorf("follower %d catching up (next epoch %d)", f.id, f.NextEpoch())
+		}
+		return nil
+	})
+	r.Health("repl-follower", f.Err)
 }
 
 // Live reports whether the follower is in the leader's live stream.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/cluster"
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/txn"
 	"github.com/exploratory-systems/qotp/internal/wal"
@@ -90,6 +91,11 @@ type Options struct {
 	// WAL configures the leader's local segmented log (sync policy, segment
 	// sizes, FS seam).
 	WAL wal.Options
+	// Metrics, when non-nil, receives the leader's observability instruments:
+	// role/term/demotion gauges, per-follower lag and state, the cumulative
+	// Stats counters, and the ack-wait latency window. It also registers the
+	// readiness probe that marks a demoted ex-leader not-ready.
+	Metrics *obs.Registry
 }
 
 func (o *Options) normalize() {
@@ -210,6 +216,8 @@ type Leader struct {
 
 	scratch []byte
 	quit    chan struct{}
+
+	wAckWait *obs.Window // ack-wait latency per quorum-waited batch (nil-safe)
 }
 
 // OpenLeader opens (or reopens) the leader's log in dir and starts
@@ -240,8 +248,72 @@ func OpenLeader(dir string, tr cluster.Transport, id int, followers []int, opts 
 		}
 		l.fls[f] = &followerState{state: StateJoining}
 	}
+	if opts.Metrics != nil {
+		l.registerMetrics()
+	}
 	go l.recvLoop()
 	return l, nil
+}
+
+// registerMetrics wires the leader's instruments into opts.Metrics. All
+// gauges pull through the public accessors (mutex-protected snapshots), so
+// scrapes never race the replication paths.
+func (l *Leader) registerMetrics() {
+	r := l.opts.Metrics
+	nl := obs.L("node", strconv.Itoa(l.id))
+	r.Gauge("qotp_repl_role", "replication role: 1 leader, 0 follower", func() float64 { return 1 }, nl)
+	r.Gauge("qotp_repl_term", "current fencing term", func() float64 { return float64(l.Term()) }, nl)
+	r.Gauge("qotp_repl_demoted", "1 once a newer-term leader fenced this node off", func() float64 {
+		if _, d := l.Demoted(); d {
+			return 1
+		}
+		return 0
+	}, nl)
+	r.Gauge("qotp_repl_next_epoch", "next wal epoch the leader will append", func() float64 { return float64(l.NextEpoch()) }, nl)
+	for _, f := range l.followers {
+		fl := obs.L("follower", strconv.Itoa(f))
+		r.Gauge("qotp_repl_follower_lag", "unacked batches: leader next epoch - follower acked watermark", func() float64 {
+			_, acked := l.FollowerState(f)
+			if next := l.NextEpoch(); next > acked {
+				return float64(next - acked)
+			}
+			return 0
+		}, nl, fl)
+		r.Gauge("qotp_repl_follower_state", "follower lifecycle: 0 joining, 1 live, 2 catchup, 3 down", func() float64 {
+			state, _ := l.FollowerState(f)
+			switch state {
+			case StateLive:
+				return 1
+			case StateCatchup:
+				return 2
+			case StateDown:
+				return 3
+			}
+			return 0
+		}, nl, fl)
+	}
+	stat := func(name, help string, get func(Stats) uint64) {
+		r.Gauge(name, help, func() float64 { return float64(get(l.Stats())) }, nl)
+	}
+	stat("qotp_repl_appends_total", "batches logged and offered to the stream", func(s Stats) uint64 { return s.Appends })
+	stat("qotp_repl_ack_waits_total", "batches that waited for a follower quorum", func(s Stats) uint64 { return s.AckWaits })
+	stat("qotp_repl_degraded_total", "ack waits that expired and committed with the survivors", func(s Stats) uint64 { return s.Degraded })
+	stat("qotp_repl_shed_followers_total", "live-to-catchup demotions (ack timeout or MaxLag)", func(s Stats) uint64 { return s.Shed })
+	stat("qotp_repl_rejoins_total", "completed catch-ups (follower back to live)", func(s Stats) uint64 { return s.Rejoins })
+	stat("qotp_repl_catchup_records_total", "tail records streamed to rejoining followers", func(s Stats) uint64 { return s.CatchupRecords })
+	stat("qotp_repl_snapshots_sent_total", "snapshot installs shipped to truncated-gap followers", func(s Stats) uint64 { return s.SnapshotsSent })
+	stat("qotp_repl_peer_down_total", "failure-detector / send-failure verdicts acted on", func(s Stats) uint64 { return s.PeerDown })
+	stat("qotp_repl_fencings_total", "stale-term rejections observed", func(s Stats) uint64 { return s.Fenced })
+	l.wAckWait = r.WindowOpts("qotp_repl_ack_wait_seconds", "time spent waiting for a follower quorum per batch", 10*time.Second, 20)
+	// A demoted ex-leader must stop taking traffic: its serving path bounces
+	// every submission with ErrConnLost, so the load balancer needs /readyz
+	// to fail the moment the fencing lands.
+	r.Ready("repl-leader", func() error {
+		if t, d := l.Demoted(); d {
+			return fmt.Errorf("demoted: newer term %d elected", t)
+		}
+		return nil
+	})
 }
 
 // LogBatch implements the BatchLogger hook: append locally, stream to live
@@ -309,14 +381,17 @@ func (l *Leader) LogBatch(epoch uint64, txns []*txn.Txn) error {
 	if wt == nil {
 		return nil
 	}
+	waitStart := time.Now()
 	timer := time.NewTimer(l.opts.AckTimeout)
 	defer timer.Stop()
 	select {
 	case <-wt.ch:
+		l.wAckWait.ObserveDuration(time.Since(waitStart))
 		return wt.err
 	case <-l.quit:
 		return nil
 	case <-timer.C:
+		l.wAckWait.ObserveDuration(time.Since(waitStart))
 		// Degrade: commit with the surviving quorum; laggards that were
 		// supposed to be live are shed to catch-up.
 		l.mu.Lock()

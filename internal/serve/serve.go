@@ -46,12 +46,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/engine"
 	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/txn"
 )
 
@@ -102,6 +104,20 @@ type Config struct {
 	// an engine-level logger (core.Config.Logger), not both — they would log
 	// the same batches twice.
 	WAL BatchLogger
+	// Metrics, when non-nil, is the observability registry the server wires
+	// its instruments into: queue depth, batch fill ratio, forming latency,
+	// shed/block backpressure counts, dedup-window hits, per-session
+	// counters, and the commit/abort/latency statistics exported live. A
+	// shared registry (qotpd passes one across serve/repl/wal/cluster) yields
+	// one /metrics page for the whole node.
+	Metrics *obs.Registry
+	// MetricsAddr, when non-empty, starts an embedded observability HTTP
+	// endpoint (obs.Serve: /healthz, /readyz, /metrics) on this address for
+	// the server's lifetime — ":0" picks a free port, readable via
+	// Server.MetricsAddr. If Metrics is nil a fresh registry is created.
+	// Close shuts the listener down after the former drains, so a scrape
+	// during drain still observes final counters.
+	MetricsAddr string
 	// Dedup is the exactly-once resubmission window consulted for every
 	// submission carrying a client identity (txn.ClientID != 0). Nil creates
 	// a fresh empty window. A promoted replication leader passes the window
@@ -312,6 +328,17 @@ type Server struct {
 	batchSeq atomic.Uint64
 	dedup    *DedupWindow
 
+	// Observability (all nil-safe / always-valid: the atomics count whether
+	// or not a registry is attached, the windows are nil without one).
+	sheds     atomic.Uint64 // ErrOverloaded rejections (shed-load mode)
+	blocked   atomic.Uint64 // Block-mode submitters that had to wait for space
+	dedupHits atomic.Uint64 // submissions answered from the dedup window
+	sessSeq   atomic.Uint64 // session ids for per-session series labels
+	reg       *obs.Registry
+	obsSrv    *obs.HTTPServer
+	wForming  *obs.Window // forming latency per batch (first-enqueue → dispatch)
+	wFill     *obs.Window // batch fill ratio per batch (len/MaxBatch)
+
 	done chan struct{} // closed when the former has drained and exited
 
 	// The former's batch buffers (former goroutine only): a rotating
@@ -370,9 +397,72 @@ func New(eng engine.Engine, cfg Config) (*Server, error) {
 		s.spec = sp
 		s.specAcks = cfg.SpeculativeAcks
 	}
+	s.reg = cfg.Metrics
+	if s.reg == nil && cfg.MetricsAddr != "" {
+		s.reg = obs.New()
+	}
+	if s.reg != nil {
+		s.registerMetrics()
+	}
+	if cfg.MetricsAddr != "" {
+		srv, err := obs.Serve(cfg.MetricsAddr, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		s.obsSrv = srv
+	}
 	go s.run()
 	return s, nil
 }
+
+// registerMetrics wires the serving layer's instruments into s.reg: the
+// submission queue, backpressure counters, the forming windows, and the
+// commit/abort/latency statistics exported live.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.Gauge("qotp_serve_queue_depth", "submissions accepted but not yet formed", func() float64 { return float64(len(s.in)) })
+	r.Gauge("qotp_serve_queue_capacity", "submission queue bound (MaxPending)", func() float64 { return float64(cap(s.in)) })
+	r.GaugeUint("qotp_serve_sheds_total", "submissions rejected with ErrOverloaded (shed-load mode)", &s.sheds)
+	r.GaugeUint("qotp_serve_blocked_total", "Block-mode submitters that waited for queue space", &s.blocked)
+	r.GaugeUint("qotp_serve_dedup_hits_total", "submissions answered from the exactly-once dedup window", &s.dedupHits)
+	r.GaugeUint("qotp_serve_batches_total", "batches formed and dispatched", &s.batchSeq)
+	s.wForming = r.WindowOpts("qotp_serve_forming_seconds", "batch forming latency (first enqueue to dispatch)", 10*time.Second, 20)
+	s.wFill = r.WindowOpts("qotp_serve_batch_fill_ratio", "formed batch size / MaxBatch", 10*time.Second, 20)
+	obs.CollectStats(r, "qotp_serve", &s.stats)
+	r.Health("serve", s.Err)
+	r.Ready("serve", func() error {
+		if err := s.Err(); err != nil {
+			return err
+		}
+		s.mu.RLock()
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	})
+}
+
+// Metrics returns the server's observability registry, nil when none was
+// configured.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// MetricsAddr returns the bound address of the embedded observability
+// endpoint ("" when Config.MetricsAddr was empty).
+func (s *Server) MetricsAddr() string {
+	if s.obsSrv == nil {
+		return ""
+	}
+	return s.obsSrv.Addr().String()
+}
+
+// QueueDepth reports the submissions accepted but not yet formed into a
+// dispatched batch — the live backpressure signal.
+func (s *Server) QueueDepth() int { return len(s.in) }
+
+// Sheds reports the cumulative ErrOverloaded rejections.
+func (s *Server) Sheds() uint64 { return s.sheds.Load() }
 
 // Stats returns the serving-layer metrics: per-transaction commit/abort
 // counters and the end-to-end latency histogram (one Observe per transaction,
@@ -394,7 +484,25 @@ func (s *Server) Err() error {
 // A session is a single client's submission ordering context: transactions
 // submitted sequentially through one session enter the stream (and therefore
 // the deterministic execution order) in submission order.
-func (s *Server) Session() *Session { return &Session{srv: s} }
+//
+// With a metrics registry attached, the first maxSessionSeries sessions get
+// per-session series (submitted/committed/aborted/shed, labeled session="N");
+// later sessions still count internally but are not exported individually, so
+// label cardinality stays bounded no matter how many clients connect.
+func (s *Server) Session() *Session {
+	sess := &Session{srv: s, id: s.sessSeq.Add(1)}
+	if s.reg != nil && sess.id <= maxSessionSeries {
+		l := obs.L("session", strconv.FormatUint(sess.id, 10))
+		s.reg.GaugeUint("qotp_serve_session_submitted_total", "transactions accepted per session", &sess.submitted, l)
+		s.reg.GaugeUint("qotp_serve_session_committed_total", "transactions committed per session", &sess.committed, l)
+		s.reg.GaugeUint("qotp_serve_session_aborted_total", "logic aborts per session", &sess.aborted, l)
+		s.reg.GaugeUint("qotp_serve_session_shed_total", "ErrOverloaded rejections per session", &sess.shed, l)
+	}
+	return sess
+}
+
+// maxSessionSeries bounds per-session label cardinality on /metrics.
+const maxSessionSeries = 64
 
 // Submit enqueues one transaction and returns its Future. The transaction
 // must be fully built (txn.Txn.Finish called — workload generators do this);
@@ -424,8 +532,10 @@ func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future
 		prior, committed, state := s.dedup.Admit(t.ClientID, t.ClientSeq, fut)
 		switch state {
 		case dedupInflight:
+			s.dedupHits.Add(1)
 			return prior, nil
 		case dedupResolved:
+			s.dedupHits.Add(1)
 			fut.resolve(Outcome{Committed: committed})
 			return fut, nil
 		}
@@ -461,6 +571,7 @@ func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future
 		case s.in <- sub:
 		default:
 			// Full: wait for space or cancellation.
+			s.blocked.Add(1)
 			select {
 			case s.in <- sub:
 			case <-ctx.Done():
@@ -471,6 +582,10 @@ func (s *Server) submit(ctx context.Context, t *txn.Txn, sess *Session) (*Future
 		select {
 		case s.in <- sub:
 		default:
+			s.sheds.Add(1)
+			if sess != nil {
+				sess.shed.Add(1)
+			}
 			return reject(ErrOverloaded)
 		}
 	}
@@ -489,6 +604,11 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	<-s.done
+	// The former has drained: every counter is final. Only now close the
+	// embedded obs listener, so a scrape during drain reflects the end state.
+	if s.obsSrv != nil {
+		_ = s.obsSrv.Close()
+	}
 	return s.Err()
 }
 
@@ -544,6 +664,10 @@ func (s *Server) run() {
 		s.subsBuf[s.bufIdx] = s.subs
 		s.txnsBuf[s.bufIdx] = s.txns
 		s.bufIdx = (s.bufIdx + 1) % 3
+		// Per-batch observability: forming latency (first enqueue to here)
+		// and fill ratio. Nil-safe — no registry, no cost beyond two calls.
+		s.wForming.ObserveDuration(time.Since(first.enq))
+		s.wFill.Observe(float64(len(batch)) / float64(s.cfg.MaxBatch))
 		if err, _ := s.failure.Load().(error); err != nil {
 			// A mid-gather TryDrain surfaced a terminal error.
 			fail(err, batch)
@@ -974,9 +1098,11 @@ func (s *Server) failBatch(batch []submission, err error) {
 // single-client contract); the underlying server is fully concurrent.
 type Session struct {
 	srv       *Server
+	id        uint64
 	submitted atomic.Uint64
 	committed atomic.Uint64
 	aborted   atomic.Uint64
+	shed      atomic.Uint64
 }
 
 // Submit enqueues one transaction on the session's server; see Server.Submit.
@@ -1003,14 +1129,19 @@ type SessionStats struct {
 	Submitted uint64 // accepted by the queue
 	Committed uint64
 	Aborted   uint64 // deterministic logic aborts
+	Shed      uint64 // rejected with ErrOverloaded (never accepted)
 }
 
 // Stats returns the session's counters. Submitted can exceed
-// Committed+Aborted while outcomes are still pending.
+// Committed+Aborted while outcomes are still pending; Shed accounts for the
+// submissions that never entered the queue at all, so
+// Submitted+Shed covers every Submit call that did not fail for another
+// reason.
 func (s *Session) Stats() SessionStats {
 	return SessionStats{
 		Submitted: s.submitted.Load(),
 		Committed: s.committed.Load(),
 		Aborted:   s.aborted.Load(),
+		Shed:      s.shed.Load(),
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/exploratory-systems/qotp/internal/metrics"
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/txn"
 )
 
@@ -468,6 +469,65 @@ func TestFutureWaitCtx(t *testing.T) {
 	close(eng.gate)
 	if out := fut.Outcome(); !out.Committed {
 		t.Fatalf("outcome after abandoned wait: %+v, want committed", out)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShedAccounting: every ErrOverloaded rejection must be visible three
+// ways — Server.Sheds, the rejecting session's SessionStats.Shed, and the
+// qotp_serve_sheds_total / per-session series on the obs registry — and
+// Submitted+Shed must cover every Submit call.
+func TestShedAccounting(t *testing.T) {
+	eng := &fakeEngine{entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	reg := obs.New()
+	s, err := New(eng, Config{MaxBatch: 1, MaxDelay: time.Nanosecond, MaxPending: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess := s.Session()
+	fut1, err := sess.Submit(ctx, mkTxn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-eng.entered // the former is stalled inside ExecBatch
+	var futs []*Future
+	for i := 0; i < 2; i++ { // fill the queue behind the stalled batch
+		fut, err := sess.Submit(ctx, mkTxn(uint64(2+i)))
+		if err != nil {
+			t.Fatalf("queue fill %d: %v", i, err)
+		}
+		futs = append(futs, fut)
+	}
+	const rejects = 3
+	for i := 0; i < rejects; i++ {
+		if _, err := sess.Submit(ctx, mkTxn(uint64(10+i))); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("submit %d on full queue: err=%v, want ErrOverloaded", i, err)
+		}
+	}
+	if got := s.Sheds(); got != rejects {
+		t.Errorf("Server.Sheds = %d, want %d", got, rejects)
+	}
+	st := sess.Stats()
+	if st.Shed != rejects {
+		t.Errorf("SessionStats.Shed = %d, want %d", st.Shed, rejects)
+	}
+	if st.Submitted != 3 {
+		t.Errorf("SessionStats.Submitted = %d, want 3 (sheds must not count as accepted)", st.Submitted)
+	}
+	if v, ok := reg.Value("qotp_serve_sheds_total"); !ok || v != rejects {
+		t.Errorf("qotp_serve_sheds_total = (%v, %v), want (%d, true)", v, ok, rejects)
+	}
+	if v, ok := reg.Value("qotp_serve_session_shed_total", obs.L("session", "1")); !ok || v != rejects {
+		t.Errorf("qotp_serve_session_shed_total{session=1} = (%v, %v), want (%d, true)", v, ok, rejects)
+	}
+	close(eng.gate)
+	for i, fut := range append([]*Future{fut1}, futs...) {
+		if out := fut.Outcome(); !out.Committed {
+			t.Errorf("accepted txn %d: %+v, want committed once the engine freed up", i, out)
+		}
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)

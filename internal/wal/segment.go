@@ -10,7 +10,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/storage"
 	"github.com/exploratory-systems/qotp/internal/txn"
 )
@@ -60,6 +63,10 @@ type Options struct {
 	// FS substitutes the filesystem (default OSFS); the fault-injection
 	// tests pass a FaultFS.
 	FS FS
+	// Metrics, when non-nil, receives the log's observability instruments:
+	// fsync latency, segment count, bytes appended, snapshot epoch and age,
+	// labeled log=<basename of dir>.
+	Metrics *obs.Registry
 }
 
 func (o *Options) normalize() {
@@ -220,6 +227,53 @@ type Writer struct {
 	buf    []byte // frame scratch, reused across batches
 	err    error  // sticky IO failure: the log is poisoned, like a dead engine
 	closed bool
+
+	// Scrape-time mirrors: the Writer is single-threaded by contract, so
+	// observability gauges read these atomics — never the plain fields above,
+	// which a scrape goroutine must not touch.
+	mSegments  atomic.Uint64
+	mBytes     atomic.Uint64 // frame bytes appended
+	mNext      atomic.Uint64
+	mSnapEpoch atomic.Uint64
+	mSnapAt    atomic.Int64 // unix nanos of the last local snapshot (0 = none)
+	wFsync     *obs.Window  // fsync latency (nil-safe)
+}
+
+// registerMetrics wires the log's instruments into opts.Metrics.
+func (w *Writer) registerMetrics() {
+	r := w.opts.Metrics
+	ll := obs.L("log", filepath.Base(w.dir))
+	r.GaugeUint("qotp_wal_segments", "live segment files", &w.mSegments, ll)
+	r.GaugeUint("qotp_wal_appended_bytes_total", "frame bytes appended to the log", &w.mBytes, ll)
+	r.GaugeUint("qotp_wal_next_epoch", "next wal epoch to append", &w.mNext, ll)
+	r.GaugeUint("qotp_wal_snapshot_epoch", "epoch of the current snapshot (0 when none)", &w.mSnapEpoch, ll)
+	r.Gauge("qotp_wal_snapshot_age_seconds", "seconds since the last local snapshot (-1 before one exists)", func() float64 {
+		at := w.mSnapAt.Load()
+		if at == 0 {
+			return -1
+		}
+		return time.Since(time.Unix(0, at)).Seconds()
+	}, ll)
+	w.wFsync = r.WindowOpts("qotp_wal_fsync_seconds", "fsync latency", 10*time.Second, 20, ll)
+}
+
+// mirror refreshes the scrape-time atomics from the writer's own fields.
+// Called at the end of every mutation that moves them.
+func (w *Writer) mirror() {
+	w.mSegments.Store(uint64(len(w.man.segments)))
+	w.mNext.Store(w.next)
+	w.mSnapEpoch.Store(w.man.snapEpoch)
+}
+
+// syncFile is File.Sync with the fsync-latency window fed.
+func (w *Writer) syncFile(f File) error {
+	if w.wFsync == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	w.wFsync.ObserveDuration(time.Since(start))
+	return err
 }
 
 // Open creates or reopens the write-ahead log in dir. Reopening repairs a
@@ -239,6 +293,9 @@ func Open(dir string, opts Options) (*Writer, error) {
 		return nil, err
 	}
 	w := &Writer{dir: dir, fs: fsys, opts: opts, man: man}
+	if opts.Metrics != nil {
+		w.registerMetrics()
+	}
 	w.next = man.snapEpoch
 	if found {
 		if err := w.repair(); err != nil {
@@ -374,7 +431,7 @@ func (w *Writer) rotate() error {
 	}
 	if w.tail != nil {
 		if w.opts.Sync != SyncOff {
-			if err := w.tail.Sync(); err != nil {
+			if err := w.syncFile(w.tail); err != nil {
 				return w.poison(err)
 			}
 		}
@@ -403,6 +460,7 @@ func (w *Writer) rotate() error {
 	w.tailSize = 0
 	w.tailBatches = 0
 	w.sinceSync = 0
+	w.mirror()
 	return nil
 }
 
@@ -482,15 +540,16 @@ func (w *Writer) appendFrame() error {
 	w.tailBatches++
 	w.next++
 	w.sinceSync++
+	w.mBytes.Add(uint64(len(w.buf)))
 	switch w.opts.Sync {
 	case SyncEachBatch:
-		if err := w.tail.Sync(); err != nil {
+		if err := w.syncFile(w.tail); err != nil {
 			return w.poison(err)
 		}
 		w.sinceSync = 0
 	case SyncGroup:
 		if w.sinceSync >= w.opts.GroupEvery {
-			if err := w.tail.Sync(); err != nil {
+			if err := w.syncFile(w.tail); err != nil {
 				return w.poison(err)
 			}
 			w.sinceSync = 0
@@ -499,6 +558,7 @@ func (w *Writer) appendFrame() error {
 	if w.tailBatches >= w.opts.SegmentBatches {
 		return w.rotate()
 	}
+	w.mirror()
 	return nil
 }
 
@@ -540,7 +600,7 @@ func (w *Writer) Snapshot(st *storage.Store) error {
 		f.Close()
 		return w.poison(err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := w.syncFile(f); err != nil {
 		f.Close()
 		return w.poison(err)
 	}
@@ -573,6 +633,8 @@ func (w *Writer) Snapshot(st *storage.Store) error {
 	if oldSnap != "" && oldSnap != name {
 		_ = w.fs.Remove(filepath.Join(w.dir, oldSnap))
 	}
+	w.mSnapAt.Store(time.Now().UnixNano())
+	w.mirror()
 	return nil
 }
 
@@ -639,7 +701,7 @@ func (w *Writer) InstallSnapshot(epoch uint64, image []byte) error {
 		f.Close()
 		return w.poison(err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := w.syncFile(f); err != nil {
 		f.Close()
 		return w.poison(err)
 	}
@@ -675,6 +737,7 @@ func (w *Writer) InstallSnapshot(epoch uint64, image []byte) error {
 	if oldSnap != "" && oldSnap != name {
 		_ = w.fs.Remove(filepath.Join(w.dir, oldSnap))
 	}
+	w.mirror()
 	return nil
 }
 
@@ -689,7 +752,7 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if w.tail != nil {
-		if err := w.tail.Sync(); err != nil {
+		if err := w.syncFile(w.tail); err != nil {
 			return w.poison(err)
 		}
 		if err := w.tail.Close(); err != nil {

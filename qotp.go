@@ -39,6 +39,7 @@ import (
 	"github.com/exploratory-systems/qotp/internal/hstore"
 	"github.com/exploratory-systems/qotp/internal/metrics"
 	"github.com/exploratory-systems/qotp/internal/mvto"
+	"github.com/exploratory-systems/qotp/internal/obs"
 	"github.com/exploratory-systems/qotp/internal/serve"
 	"github.com/exploratory-systems/qotp/internal/silo"
 	"github.com/exploratory-systems/qotp/internal/storage"
@@ -102,7 +103,18 @@ type (
 	// ClientOptions.Dedup); a promoted leader passes the window it rebuilt
 	// from log replay so pre-failover commits resolve without re-executing.
 	DedupWindow = serve.DedupWindow
+	// MetricsRegistry is the observability registry (internal/obs): set
+	// ClientOptions.MetricsAddr to expose /healthz, /readyz, and /metrics
+	// (Prometheus text + JSON) for the client's lifetime — queue depth,
+	// batch fill, forming latency, shed counts, commit/abort/latency series
+	// all live. Pass a shared registry via ClientOptions.Metrics to merge
+	// several components onto one page; Client.Metrics returns it.
+	MetricsRegistry = obs.Registry
 )
+
+// NewMetricsRegistry returns an empty observability registry, to be shared
+// across components via ClientOptions.Metrics (and the qotpd layers).
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
 
 // NewDedupWindow returns an empty exactly-once resubmission window, to be
 // filled by replay (DedupWindow.ObserveBatch) and installed as
